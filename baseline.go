@@ -1,0 +1,52 @@
+package larpredictor
+
+import (
+	"github.com/acis-lab/larpredictor/internal/nws"
+	"github.com/acis-lab/larpredictor/internal/vmtrace"
+)
+
+// Network Weather Service baseline types, re-exported so applications can
+// benchmark the LARPredictor against the comparison system the paper uses.
+type (
+	// NWSSelector is a mix-of-experts forecaster using cumulative- or
+	// windowed-MSE selection (the NWS scheme).
+	NWSSelector = nws.Selector
+	// NWSStepResult reports one NWS selection step.
+	NWSStepResult = nws.StepResult
+)
+
+// NewCumulativeMSE returns the classic NWS selector: all experts run every
+// step and the one with the lowest cumulative MSE publishes the forecast.
+func NewCumulativeMSE(pool *Pool) (*NWSSelector, error) {
+	return nws.NewCumulativeMSE(pool)
+}
+
+// NewWindowedMSE returns the fixed-window NWS variant (W-Cum.MSE); the
+// paper's Figure 6 uses window = 2.
+func NewWindowedMSE(pool *Pool, window int) (*NWSSelector, error) {
+	return nws.NewWindowedMSE(pool, window)
+}
+
+// Synthetic trace generation, re-exported for applications that want
+// realistic VM resource workloads without a hypervisor.
+type (
+	// VMID names one of the five simulated virtual machines (VM1..VM5).
+	VMID = vmtrace.VMID
+	// MetricName names one of the twelve vmkusage metrics.
+	MetricName = vmtrace.Metric
+	// TraceSet is the five-VM × twelve-metric synthetic trace collection.
+	TraceSet = vmtrace.TraceSet
+)
+
+// StandardTraceSet deterministically generates the paper's five-VM trace
+// set for a seed: VM1 covers 7 days at 30-minute intervals, VM2–VM5 cover
+// 24 hours at 5-minute intervals, across twelve resource metrics each.
+func StandardTraceSet(seed int64) *TraceSet {
+	return vmtrace.StandardTraceSet(seed)
+}
+
+// VMs lists the five simulated virtual machines in paper order.
+func VMs() []VMID { return vmtrace.VMs() }
+
+// MetricNames lists the twelve metrics in the paper's table order.
+func MetricNames() []MetricName { return vmtrace.Metrics() }

@@ -1,0 +1,126 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section from the synthetic trace set:
+//
+//	experiments                 # run the full suite
+//	experiments -run table2     # a single experiment
+//	experiments -seed 42 -folds 5
+//
+// Experiments: figure4, figure5, table2, table3, figure6, headline,
+// ablations, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/acis-lab/larpredictor/internal/experiments"
+)
+
+func main() {
+	var (
+		seed  = flag.Int64("seed", 2007, "base seed for trace synthesis and cross-validation")
+		folds = flag.Int("folds", 10, "cross-validation folds per trace")
+		run   = flag.String("run", "all", "experiment to run: figure4|figure5|table2|table3|figure6|headline|ablations|all")
+		asCSV = flag.Bool("csv", false, "emit machine-readable CSV (figure4, figure5, figure6, table2 only)")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{Seed: *seed, Folds: *folds}
+	if *asCSV {
+		if err := runExperimentCSV(os.Stdout, *run, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := runExperiment(os.Stdout, *run, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func runExperiment(out io.Writer, name string, opts experiments.Options) error {
+	switch name {
+	case "all":
+		return experiments.RunAll(opts, out)
+	case "figure4":
+		r, err := experiments.Figure4(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, r.Render())
+	case "figure5":
+		r, err := experiments.Figure5(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, r.Render())
+	case "table2":
+		r, err := experiments.Table2(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, r.Render())
+	case "table3":
+		r, err := experiments.Table3(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, r.Render())
+	case "figure6":
+		r, err := experiments.Figure6(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, r.Render())
+	case "headline":
+		r, err := experiments.Headline(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, r.Render())
+	case "ablations":
+		r, err := experiments.Ablations(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, experiments.RenderAblations(r))
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}
+
+// runExperimentCSV emits machine-readable output for the plottable results.
+func runExperimentCSV(out io.Writer, name string, opts experiments.Options) error {
+	switch name {
+	case "figure4":
+		r, err := experiments.Figure4(opts)
+		if err != nil {
+			return err
+		}
+		return r.WriteCSV(out)
+	case "figure5":
+		r, err := experiments.Figure5(opts)
+		if err != nil {
+			return err
+		}
+		return r.WriteCSV(out)
+	case "figure6":
+		r, err := experiments.Figure6(opts)
+		if err != nil {
+			return err
+		}
+		return r.WriteCSV(out)
+	case "table2":
+		r, err := experiments.Table2(opts)
+		if err != nil {
+			return err
+		}
+		return r.WriteCSV(out)
+	default:
+		return fmt.Errorf("no CSV form for experiment %q", name)
+	}
+}

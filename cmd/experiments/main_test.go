@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/acis-lab/larpredictor/internal/experiments"
+)
+
+func fastOpts() experiments.Options { return experiments.Options{Seed: 2007, Folds: 2} }
+
+func TestRunSingleExperiments(t *testing.T) {
+	cases := map[string]string{
+		"figure4":  "VM2_load15",
+		"figure5":  "VM2_PktIn",
+		"table2":   "Normalized Prediction MSE",
+		"figure6":  "W-Cum.MSE",
+		"headline": "forecasting accuracy",
+	}
+	for name, want := range cases {
+		var buf bytes.Buffer
+		if err := runExperiment(&buf, name, fastOpts()); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("%s output missing %q", name, want)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := runExperiment(&bytes.Buffer{}, "nope", fastOpts()); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunExperimentCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runExperimentCSV(&buf, "figure4", fastOpts()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "step,observed_best,lar_selected,nws_selected") {
+		t.Errorf("csv header = %q", strings.SplitN(buf.String(), "\n", 2)[0])
+	}
+	if err := runExperimentCSV(&bytes.Buffer{}, "headline", fastOpts()); err == nil {
+		t.Error("CSV for headline accepted")
+	}
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/acis-lab/larpredictor/internal/timeseries"
+	"github.com/acis-lab/larpredictor/internal/vmtrace"
+)
+
+// writeTraceFile materializes a synthetic trace as a CSV file.
+func writeTraceFile(t *testing.T) string {
+	t.Helper()
+	ts := vmtrace.StandardTraceSet(5)
+	s, err := ts.Get(vmtrace.VM2, vmtrace.CPUUsedSec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := timeseries.WriteCSV(f, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunEvaluation(t *testing.T) {
+	path := writeTraceFile(t)
+	var buf bytes.Buffer
+	if err := run(&buf, path, 5, 3, 2, 0.5, false, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"trace VM2_CPU_usedsec", "normalized MSE", "P-LAR", "NWS Cum.MSE",
+		"expert LAST", "expert AR", "expert SW_AVG", "forecasting accuracy",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunForecastMode(t *testing.T) {
+	path := writeTraceFile(t)
+	var buf bytes.Buffer
+	if err := run(&buf, path, 5, 3, 2, 0.5, false, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "forecast for VM2_CPU_usedsec") {
+		t.Errorf("forecast output = %q", buf.String())
+	}
+}
+
+func TestRunExtendedPoolAndNoPCA(t *testing.T) {
+	path := writeTraceFile(t)
+	var buf bytes.Buffer
+	if err := run(&buf, path, 5, 3, 0, 0.5, true, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "expert SW_MEDIAN") {
+		t.Errorf("extended pool not in output:\n%s", buf.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(&bytes.Buffer{}, filepath.Join(t.TempDir(), "missing.csv"), 5, 3, 2, 0.5, false, false); err == nil {
+		t.Error("missing file accepted")
+	}
+	// Corrupt CSV.
+	bad := filepath.Join(t.TempDir(), "bad.csv")
+	if err := os.WriteFile(bad, []byte("not,a\nvalid,trace\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&bytes.Buffer{}, bad, 5, 3, 2, 0.5, false, false); err == nil {
+		t.Error("corrupt CSV accepted")
+	}
+	// Invalid split.
+	path := writeTraceFile(t)
+	if err := run(&bytes.Buffer{}, path, 5, 3, 2, 1.5, false, false); err == nil {
+		t.Error("split > 1 accepted")
+	}
+	// Window larger than the series can support.
+	if err := run(&bytes.Buffer{}, path, 400, 3, 2, 0.5, false, false); err == nil {
+		t.Error("oversized window accepted")
+	}
+}

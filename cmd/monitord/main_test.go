@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/acis-lab/larpredictor/internal/vmtrace"
+)
+
+func TestRunShortSimulation(t *testing.T) {
+	var buf bytes.Buffer
+	// 8 simulated hours: enough consolidated samples (96) for the default
+	// trainSize of 60, so predictions must flow.
+	err := run(&buf, 7, 8*time.Hour, []vmtrace.VMID{vmtrace.VM2}, 5, 60, 12, 2.0, false, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "monitord summary after 8h0m0s") {
+		t.Errorf("missing summary:\n%s", out)
+	}
+	if !strings.Contains(out, "simulated hour  1") {
+		t.Errorf("missing hourly progress:\n%s", out)
+	}
+	if strings.Contains(out, "predictions issued:    0") {
+		t.Errorf("no predictions after 8 hours:\n%s", out)
+	}
+	if !strings.Contains(out, "scored predictions") {
+		t.Errorf("missing per-pipeline audit:\n%s", out)
+	}
+}
+
+func TestRunQuietSuppressesProgress(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(&buf, 7, 2*time.Hour, []vmtrace.VMID{vmtrace.VM3}, 5, 60, 12, 2.0, true, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "simulated hour") {
+		t.Error("quiet mode printed hourly progress")
+	}
+}
+
+func TestRunUnknownVM(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(&buf, 7, time.Hour, []vmtrace.VMID{"VM9"}, 5, 60, 12, 2.0, true, "")
+	if err != nil {
+		t.Fatal(err) // the agent monitors it; the sampler reports misses
+	}
+	// An unknown VM yields no samples → no profiled rows → no predictions.
+	if !strings.Contains(buf.String(), "predictions issued:    0") {
+		t.Errorf("unknown VM produced predictions:\n%s", buf.String())
+	}
+}
+
+func TestDeviceOf(t *testing.T) {
+	cases := map[vmtrace.Metric]string{
+		vmtrace.NIC1RX:     "NIC1",
+		vmtrace.VD2Write:   "VD2",
+		vmtrace.CPUUsedSec: "CPU",
+		vmtrace.MemSize:    "Memory",
+	}
+	for m, want := range cases {
+		if got := deviceOf(m); got != want {
+			t.Errorf("deviceOf(%s) = %q, want %q", m, got, want)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// Command tracegen emits the synthetic VM resource traces as CSV:
+//
+//	tracegen -out traces/                # full 5-VM × 12-metric set, one file per VM
+//	tracegen -vm VM2 -metric CPU_usedsec # one trace to stdout
+//	tracegen -special load15             # the Figure-4 trace VM2_load15
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/acis-lab/larpredictor/internal/timeseries"
+	"github.com/acis-lab/larpredictor/internal/vmtrace"
+)
+
+func main() {
+	var (
+		seed    = flag.Int64("seed", 2007, "trace synthesis seed")
+		out     = flag.String("out", "", "output directory (default: single trace to stdout)")
+		vm      = flag.String("vm", "", "emit only this VM (VM1..VM5)")
+		metric  = flag.String("metric", "", "emit only this metric (requires -vm)")
+		special = flag.String("special", "", "emit a special trace: load15 | pktin")
+	)
+	flag.Parse()
+
+	if err := run(os.Stdout, *seed, *out, *vm, *metric, *special); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(stdout io.Writer, seed int64, out, vm, metric, special string) error {
+	if special != "" {
+		var s *timeseries.Series
+		switch special {
+		case "load15":
+			s = vmtrace.Load15(seed)
+		case "pktin":
+			s = vmtrace.PktIn(seed)
+		default:
+			return fmt.Errorf("unknown special trace %q (want load15 or pktin)", special)
+		}
+		return timeseries.WriteCSV(stdout, s)
+	}
+
+	ts := vmtrace.StandardTraceSet(seed)
+
+	if vm != "" && metric != "" {
+		s, err := ts.Get(vmtrace.VMID(vm), vmtrace.Metric(metric))
+		if err != nil {
+			return err
+		}
+		return timeseries.WriteCSV(stdout, s)
+	}
+	if vm != "" || metric != "" {
+		if out == "" && metric == "" {
+			// Emit all metrics of one VM as a multi-column CSV to stdout.
+			return writeVM(stdout, ts, vmtrace.VMID(vm))
+		}
+		return fmt.Errorf("-metric requires -vm")
+	}
+
+	if out == "" {
+		return fmt.Errorf("either -out DIR, -vm, or -special is required")
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	for _, v := range vmtrace.VMs() {
+		path := filepath.Join(out, string(v)+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := writeVM(f, ts, v); err != nil {
+			f.Close()
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "wrote", path)
+	}
+	return nil
+}
+
+// writeVM emits all twelve metrics of one VM as an aligned multi-column CSV.
+func writeVM(w io.Writer, ts *vmtrace.TraceSet, vm vmtrace.VMID) error {
+	var series []*timeseries.Series
+	for _, m := range vmtrace.Metrics() {
+		s, err := ts.Get(vm, m)
+		if err != nil {
+			return err
+		}
+		series = append(series, s)
+	}
+	return timeseries.WriteMultiCSV(w, series)
+}

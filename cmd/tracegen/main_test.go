@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/acis-lab/larpredictor/internal/timeseries"
+)
+
+func TestRunSingleTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 1, "", "VM2", "CPU_usedsec", ""); err != nil {
+		t.Fatal(err)
+	}
+	s, err := timeseries.ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "VM2_CPU_usedsec" || s.Len() != 288 {
+		t.Errorf("trace = %q with %d samples", s.Name, s.Len())
+	}
+}
+
+func TestRunSpecialTraces(t *testing.T) {
+	for _, sp := range []string{"load15", "pktin"} {
+		var buf bytes.Buffer
+		if err := run(&buf, 1, "", "", "", sp); err != nil {
+			t.Fatalf("%s: %v", sp, err)
+		}
+		s, err := timeseries.ReadCSV(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Len() != 144 {
+			t.Errorf("%s: %d samples", sp, s.Len())
+		}
+	}
+	if err := run(&bytes.Buffer{}, 1, "", "", "", "bogus"); err == nil {
+		t.Error("unknown special accepted")
+	}
+}
+
+func TestRunWholeVMToStdout(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 1, "", "VM3", "", ""); err != nil {
+		t.Fatal(err)
+	}
+	series, err := timeseries.ReadMultiCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 12 {
+		t.Errorf("columns = %d, want 12", len(series))
+	}
+}
+
+func TestRunFullSetToDirectory(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(&bytes.Buffer{}, 1, dir, "", "", ""); err != nil {
+		t.Fatal(err)
+	}
+	for _, vm := range []string{"VM1", "VM2", "VM3", "VM4", "VM5"} {
+		path := filepath.Join(dir, vm+".csv")
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		series, err := timeseries.ReadMultiCSV(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if len(series) != 12 {
+			t.Errorf("%s: %d columns", path, len(series))
+		}
+	}
+}
+
+func TestRunArgumentErrors(t *testing.T) {
+	if err := run(&bytes.Buffer{}, 1, "", "", "CPU_usedsec", ""); err == nil ||
+		!strings.Contains(err.Error(), "-vm") {
+		t.Error("-metric without -vm accepted")
+	}
+	if err := run(&bytes.Buffer{}, 1, "", "", "", ""); err == nil {
+		t.Error("no arguments accepted")
+	}
+	if err := run(&bytes.Buffer{}, 1, "", "VM9", "CPU_usedsec", ""); err == nil {
+		t.Error("unknown VM accepted")
+	}
+}

@@ -1,0 +1,100 @@
+// netforecast pits the LARPredictor against the Network Weather Service
+// selection scheme on bursty network-bandwidth traces — the NWS's home
+// domain (§2 of the paper). Both consume the identical stream; the NWS runs
+// every expert on every step and publishes the lowest-cumulative-MSE
+// expert's forecast, while the LARPredictor classifies the window and runs a
+// single expert.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	larpredictor "github.com/acis-lab/larpredictor"
+)
+
+func main() {
+	traces := larpredictor.StandardTraceSet(9)
+	metrics := []larpredictor.MetricName{
+		"NIC1_received", "NIC1_transmitted", "NIC2_received", "NIC2_transmitted",
+	}
+
+	fmt.Println("network bandwidth forecasting: LARPredictor vs NWS cumulative-MSE selection")
+	fmt.Printf("%-26s %10s %10s %10s %10s\n", "trace", "LAR", "NWS", "oracle", "winner")
+
+	const window = 5
+	for _, vm := range larpredictor.VMs() {
+		for _, metric := range metrics {
+			series, err := traces.Get(vm, metric)
+			if err != nil {
+				log.Fatal(err)
+			}
+			vals := series.Values
+			if larpredictor.NewSeries("", vals).IsConstant(0) {
+				continue // idle device
+			}
+			half := len(vals) / 2
+
+			// Train the LARPredictor on the first half.
+			lar, err := larpredictor.New(larpredictor.DefaultConfig(window))
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := lar.Train(vals[:half]); err != nil {
+				log.Fatal(err)
+			}
+			res, err := lar.Evaluate(vals[half:])
+			if err != nil {
+				log.Fatal(err)
+			}
+
+			// Run the NWS over the same normalized test frames, warmed on
+			// the training half (it tracks errors continuously).
+			norm := lar.Normalizer()
+			sel, err := larpredictor.NewCumulativeMSE(lar.Pool())
+			if err != nil {
+				log.Fatal(err)
+			}
+			nwsMSE, err := runNWS(sel, norm, vals[:half], vals[half:], window)
+			if err != nil {
+				log.Fatal(err)
+			}
+
+			winner := "NWS"
+			if res.LARMSE < nwsMSE {
+				winner = "LAR"
+			}
+			fmt.Printf("%-26s %10.4f %10.4f %10.4f %10s\n",
+				series.Name, res.LARMSE, nwsMSE, res.OracleMSE, winner)
+		}
+	}
+}
+
+// runNWS warms the selector on the training half and returns its published-
+// forecast MSE over the test half, in the same normalized space the
+// LARPredictor reports.
+func runNWS(sel *larpredictor.NWSSelector, norm larpredictor.Normalizer, train, test []float64, window int) (float64, error) {
+	feed := func(vals []float64, score bool) (float64, int) {
+		z := norm.Apply(vals)
+		var sumSq float64
+		n := 0
+		for i := 0; i+window < len(z); i++ {
+			step, err := sel.Step(z[i:i+window], z[i+window])
+			if err != nil {
+				log.Fatal(err)
+			}
+			if score {
+				d := step.Prediction - z[i+window]
+				sumSq += d * d
+				n++
+			}
+		}
+		return sumSq, n
+	}
+	feed(train, false)
+	sumSq, n := feed(test, true)
+	if n == 0 {
+		return 0, fmt.Errorf("no test frames")
+	}
+	return sumSq / float64(n), nil
+}

@@ -1,0 +1,53 @@
+// Quickstart: train a LARPredictor on a synthetic CPU trace and forecast the
+// next sample, printing which expert the classifier chose.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	larpredictor "github.com/acis-lab/larpredictor"
+)
+
+func main() {
+	// A day of five-minute CPU samples from the synthetic VM workload
+	// generator (any []float64 works here — this is just a realistic one).
+	traces := larpredictor.StandardTraceSet(1)
+	series, err := traces.Get("VM2", "CPU_usedsec")
+	if err != nil {
+		log.Fatal(err)
+	}
+	history := series.Values
+
+	// The paper's configuration for five-minute traces: window m = 5,
+	// PCA to 2 components, 3-NN, pool {LAST, AR, SW_AVG}.
+	predictor, err := larpredictor.New(larpredictor.DefaultConfig(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Train on the first half...
+	if err := predictor.Train(history[:len(history)/2]); err != nil {
+		log.Fatal(err)
+	}
+
+	// ...and forecast one step ahead from the trailing window.
+	pred, err := predictor.Forecast(history[len(history)-5:])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("next value ≈ %.2f (forecast by the %s expert)\n", pred.Value, pred.SelectedName)
+
+	// Evaluate on the second half: the result compares the adaptive
+	// predictor with the perfect-selection oracle and every single expert.
+	res, err := predictor.Evaluate(history[len(history)/2:])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("normalized MSE over %d test frames: LAR %.4f (oracle bound %.4f)\n",
+		res.N, res.LARMSE, res.OracleMSE)
+	for i, name := range predictor.Pool().Names() {
+		fmt.Printf("  %-8s alone: %.4f\n", name, res.ExpertMSE[i])
+	}
+	fmt.Printf("best-expert forecasting accuracy: %.1f%%\n", 100*res.ForecastAccuracy)
+}

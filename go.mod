@@ -1,0 +1,3 @@
+module github.com/acis-lab/larpredictor
+
+go 1.22

@@ -1,0 +1,157 @@
+package larpredictor_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/acis-lab/larpredictor/internal/core"
+	"github.com/acis-lab/larpredictor/internal/monitor"
+	"github.com/acis-lab/larpredictor/internal/preddb"
+	"github.com/acis-lab/larpredictor/internal/vmtrace"
+)
+
+// TestFullPipelineEndToEnd exercises the paper's Figure-1 architecture as
+// one flow: synthetic VM workload → VMM monitoring agent (1-minute samples,
+// 5-minute consolidation into an RRD) → profiler extraction → streaming
+// LARPredictor → prediction database → Quality Assuror audit.
+func TestFullPipelineEndToEnd(t *testing.T) {
+	traces := vmtrace.StandardTraceSet(77)
+	cfg := monitor.DefaultConfig(vmtrace.VM2)
+	cfg.Retention = 48 * time.Hour
+	agent, err := monitor.NewAgent(cfg, monitor.TraceSampler(traces))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := preddb.New()
+	key := preddb.Key{VM: "VM2", Device: "CPU", Metric: string(vmtrace.CPUUsedSec)}
+
+	online, err := core.NewOnline(core.OnlineConfig{
+		Predictor:    core.DefaultConfig(5),
+		TrainSize:    60, // five hours of consolidated samples
+		AuditWindow:  12,
+		MSEThreshold: 0, // QA auditing handled via preddb below
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		lastSeen    = cfg.Start
+		pendingFor  time.Time
+		hasPending  bool
+		pendingVal  float64
+		predictions int
+	)
+	step := cfg.ConsolidationInterval
+
+	// Simulate 20 hours, hour by hour, exactly as monitord does.
+	for h := 0; h < 20; h++ {
+		if err := agent.Run(time.Hour); err != nil {
+			t.Fatal(err)
+		}
+		s, err := agent.Profile(monitor.Query{
+			VM: vmtrace.VM2, Metric: vmtrace.CPUUsedSec,
+			Start: lastSeen.Add(time.Second), End: agent.Now(),
+		})
+		if err != nil {
+			continue
+		}
+		for i := 0; i < s.Len(); i++ {
+			ts := s.TimeAt(i)
+			if !ts.After(lastSeen) {
+				continue
+			}
+			v := s.At(i)
+			db.PutObservation(key, ts, v)
+			if hasPending && ts.Equal(pendingFor) {
+				hasPending = false
+				_ = pendingVal
+			}
+			if _, err := online.Observe(v); err != nil {
+				t.Fatal(err)
+			}
+			lastSeen = ts
+			if online.Trained() {
+				pred, err := online.Forecast()
+				if err != nil {
+					t.Fatal(err)
+				}
+				pendingVal = pred.Value
+				pendingFor = ts.Add(step)
+				hasPending = true
+				db.PutPrediction(key, pendingFor, pred.Value, pred.SelectedName)
+				predictions++
+			}
+		}
+	}
+
+	if !online.Trained() {
+		t.Fatal("streaming predictor never trained over 20 simulated hours")
+	}
+	if predictions < 100 {
+		t.Fatalf("only %d predictions issued", predictions)
+	}
+
+	// The prediction DB must hold matched observation/prediction rows.
+	recs := db.Range(key, cfg.Start, agent.Now())
+	scored := 0
+	for _, r := range recs {
+		if r.HasObserved && r.HasPredicted {
+			scored++
+			if r.PredictorName == "" {
+				t.Fatal("scored prediction lacks the expert name")
+			}
+		}
+	}
+	if scored < 90 {
+		t.Fatalf("only %d scored rows in the prediction DB", scored)
+	}
+
+	// The QA can audit the pipeline's accuracy. With raw (unnormalized)
+	// values the threshold is scale-dependent; here we only require the
+	// audit to function and cover its window.
+	mse, n, err := db.AuditMSE(key, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 24 {
+		t.Fatalf("audit covered %d rows, want 24", n)
+	}
+	if mse < 0 {
+		t.Fatalf("audit MSE = %g", mse)
+	}
+
+	// The pipeline's forecasts must beat a null model (predicting the
+	// overall mean) on the same scored rows — i.e. the plumbing is not
+	// just moving numbers around.
+	var obsSum float64
+	var obs []float64
+	var preds []float64
+	for _, r := range recs {
+		if r.HasObserved && r.HasPredicted {
+			obs = append(obs, r.Observed)
+			preds = append(preds, r.Predicted)
+			obsSum += r.Observed
+		}
+	}
+	mean := obsSum / float64(len(obs))
+	var pipeSq, nullSq float64
+	for i := range obs {
+		pipeSq += (preds[i] - obs[i]) * (preds[i] - obs[i])
+		nullSq += (mean - obs[i]) * (mean - obs[i])
+	}
+	if pipeSq >= nullSq {
+		t.Errorf("pipeline MSE %.4g not better than mean-prediction %.4g", pipeSq, nullSq)
+	}
+
+	// QA assuror wired to the DB fires a retrain callback when accuracy
+	// degrades; with a tiny threshold it must fire here.
+	fired := false
+	qa, err := preddb.NewAssuror(db, 24, 1e-12, func(k preddb.Key, m float64) { fired = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := qa.Audit(key); !ok || !fired {
+		t.Error("QA with epsilon threshold did not order a retrain")
+	}
+}

@@ -1,0 +1,397 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/acis-lab/larpredictor/internal/predictors"
+	"github.com/acis-lab/larpredictor/internal/timeseries"
+)
+
+// arSeries generates an AR(1) realization with the given coefficient.
+func arSeries(seed int64, n int, phi, noise float64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]float64, n)
+	for i := 1; i < n; i++ {
+		v[i] = phi*v[i-1] + noise*rng.NormFloat64()
+	}
+	return v
+}
+
+// regimeSeries alternates between a smooth LAST-friendly regime and a noisy
+// mean-reverting SW_AVG-friendly regime, forcing best-expert switches.
+func regimeSeries(seed int64, n int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]float64, n)
+	level := 0.0
+	for i := 1; i < n; i++ {
+		block := (i / 40) % 2
+		if block == 0 { // smooth random walk
+			level += 0.05 * rng.NormFloat64()
+			v[i] = level
+		} else { // heavy oscillation around the level
+			v[i] = level + 3*math.Sin(float64(i)*2.5) + rng.NormFloat64()
+		}
+	}
+	return v
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []Config{
+		{WindowSize: 1, PCAComponents: 2, K: 3},                           // window too small
+		{WindowSize: 5, PCAComponents: 2, K: 0},                           // bad k
+		{WindowSize: 5, PCAComponents: 0, K: 3},                           // no PCA rule
+		{WindowSize: 5, PCAComponents: 0, K: 3, MinFractionVariance: 1.5}, // bad fraction
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("case %d: err = %v, want ErrBadConfig", i, err)
+		}
+	}
+	// Pool order exceeding window size is rejected.
+	cfg := DefaultConfig(3)
+	cfg.Pool = predictors.NewPool(predictors.NewSWAvg(10))
+	if _, err := New(cfg); !errors.Is(err, ErrBadConfig) {
+		t.Error("accepted pool with order > window")
+	}
+	cfg = DefaultConfig(3)
+	cfg.Pool = predictors.NewPool()
+	if _, err := New(cfg); !errors.Is(err, ErrBadConfig) {
+		t.Error("accepted empty pool")
+	}
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	cfg := DefaultConfig(16)
+	if cfg.WindowSize != 16 || cfg.PCAComponents != 2 || cfg.K != 3 {
+		t.Errorf("DefaultConfig = %+v", cfg)
+	}
+	l, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := l.Pool().Names()
+	want := []string{"LAST", "AR", "SW_AVG"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("default pool = %v", names)
+		}
+	}
+}
+
+func TestTrainRequiresEnoughSamples(t *testing.T) {
+	l, err := New(DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Train(make([]float64, 6)); !errors.Is(err, timeseries.ErrShort) {
+		t.Errorf("err = %v, want ErrShort", err)
+	}
+	if l.Trained() {
+		t.Error("failed Train left predictor marked trained")
+	}
+}
+
+func TestForecastBeforeTrain(t *testing.T) {
+	l, err := New(DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Forecast(make([]float64, 5)); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("err = %v, want ErrNotTrained", err)
+	}
+	if _, err := l.Evaluate(make([]float64, 50)); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("Evaluate err = %v, want ErrNotTrained", err)
+	}
+}
+
+func TestTrainForecastSmoke(t *testing.T) {
+	series := arSeries(1, 300, 0.8, 1)
+	l, err := New(DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Train(series[:150]); err != nil {
+		t.Fatal(err)
+	}
+	if !l.Trained() {
+		t.Fatal("not trained")
+	}
+	if len(l.TrainingLabels()) != 150-5 {
+		t.Errorf("training labels = %d, want 145", len(l.TrainingLabels()))
+	}
+	p, err := l.Forecast(series[150:155])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Selected < 0 || p.Selected >= l.Pool().Size() {
+		t.Errorf("selected = %d", p.Selected)
+	}
+	if p.SelectedName != l.Pool().At(p.Selected).Name() {
+		t.Error("SelectedName mismatch")
+	}
+	if math.IsNaN(p.Value) || math.IsNaN(p.Normalized) {
+		t.Error("NaN forecast")
+	}
+	// Value and Normalized must be consistent under the normalizer.
+	if diff := math.Abs(l.Normalizer().Invert(p.Normalized) - p.Value); diff > 1e-9 {
+		t.Errorf("Value/Normalized inconsistent by %g", diff)
+	}
+}
+
+func TestForecastWindowTooShort(t *testing.T) {
+	series := arSeries(2, 100, 0.5, 1)
+	l, err := New(DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Train(series); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Forecast([]float64{1, 2}); !errors.Is(err, predictors.ErrWindowTooShort) {
+		t.Errorf("err = %v, want ErrWindowTooShort", err)
+	}
+}
+
+func TestForecastUsesTrailingWindow(t *testing.T) {
+	series := arSeries(3, 200, 0.9, 1)
+	l, err := New(DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Train(series); err != nil {
+		t.Fatal(err)
+	}
+	long := series[100:120]
+	short := series[115:120]
+	a, err := l.Forecast(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := l.Forecast(short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Value != b.Value || a.Selected != b.Selected {
+		t.Error("Forecast should only use the trailing WindowSize samples")
+	}
+}
+
+func TestEvaluateInvariants(t *testing.T) {
+	series := regimeSeries(5, 400)
+	l, err := New(DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Train(series[:200]); err != nil {
+		t.Fatal(err)
+	}
+	res, err := l.Evaluate(series[200:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != 200-5 {
+		t.Errorf("N = %d, want 195", res.N)
+	}
+	// Oracle dominates LAR, which is sandwiched by construction:
+	// OracleMSE <= LARMSE (oracle picks per-frame best).
+	if res.OracleMSE > res.LARMSE+1e-12 {
+		t.Errorf("oracle MSE %g > LAR MSE %g", res.OracleMSE, res.LARMSE)
+	}
+	// Oracle dominates every single expert.
+	for i, e := range res.ExpertMSE {
+		if res.OracleMSE > e+1e-12 {
+			t.Errorf("oracle MSE %g > expert %d MSE %g", res.OracleMSE, i, e)
+		}
+	}
+	if res.ForecastAccuracy < 0 || res.ForecastAccuracy > 1 {
+		t.Errorf("accuracy = %g", res.ForecastAccuracy)
+	}
+	// Accuracy consistency with the label arrays.
+	correct := 0
+	for i := range res.Selected {
+		if res.Selected[i] == res.ObservedBest[i] {
+			correct++
+		}
+	}
+	if got := float64(correct) / float64(res.N); math.Abs(got-res.ForecastAccuracy) > 1e-12 {
+		t.Errorf("accuracy %g inconsistent with labels %g", res.ForecastAccuracy, got)
+	}
+	// LARMSE consistency with Forecasts/Targets.
+	mse, err := timeseries.MSE(res.Forecasts, res.Targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mse-res.LARMSE) > 1e-9 {
+		t.Errorf("LARMSE %g != recomputed %g", res.LARMSE, mse)
+	}
+	best, idx := res.BestExpertMSE()
+	if idx < 0 || idx >= len(res.ExpertMSE) || best != res.ExpertMSE[idx] {
+		t.Errorf("BestExpertMSE = (%g,%d)", best, idx)
+	}
+}
+
+func TestEvaluateDeterministic(t *testing.T) {
+	series := regimeSeries(6, 300)
+	l, err := New(DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Train(series[:150]); err != nil {
+		t.Fatal(err)
+	}
+	a, err := l.Evaluate(series[150:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := l.Evaluate(series[150:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.LARMSE != b.LARMSE || a.ForecastAccuracy != b.ForecastAccuracy {
+		t.Error("Evaluate is not deterministic despite parallel frames")
+	}
+	for i := range a.Selected {
+		if a.Selected[i] != b.Selected[i] {
+			t.Fatal("selection timeline not deterministic")
+		}
+	}
+}
+
+func TestLARBeatsWorstExpertOnRegimeSeries(t *testing.T) {
+	// On a regime-switching series the adaptive predictor must beat the
+	// worst single expert (a very weak but meaningful sanity bound) and be
+	// within striking distance of the best.
+	series := regimeSeries(7, 600)
+	l, err := New(DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Train(series[:300]); err != nil {
+		t.Fatal(err)
+	}
+	res, err := l.Evaluate(series[300:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := res.ExpertMSE[0]
+	for _, e := range res.ExpertMSE {
+		if e > worst {
+			worst = e
+		}
+	}
+	if res.LARMSE >= worst {
+		t.Errorf("LAR MSE %g not better than worst expert %g", res.LARMSE, worst)
+	}
+	// Forecast accuracy must beat uniform random selection (1/3) on this
+	// learnable series.
+	if res.ForecastAccuracy < 1.0/3 {
+		t.Errorf("forecast accuracy %g below random baseline", res.ForecastAccuracy)
+	}
+}
+
+func TestDisablePCAAblation(t *testing.T) {
+	series := regimeSeries(8, 300)
+	cfg := DefaultConfig(5)
+	cfg.DisablePCA = true
+	l, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Train(series[:150]); err != nil {
+		t.Fatal(err)
+	}
+	res, err := l.Evaluate(series[150:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N == 0 {
+		t.Fatal("no frames evaluated")
+	}
+}
+
+func TestKDTreeBackendMatchesBruteForce(t *testing.T) {
+	series := regimeSeries(9, 400)
+	mk := func(kd bool) *EvalResult {
+		cfg := DefaultConfig(5)
+		cfg.UseKDTree = kd
+		l, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Train(series[:200]); err != nil {
+			t.Fatal(err)
+		}
+		res, err := l.Evaluate(series[200:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	bf, kd := mk(false), mk(true)
+	if bf.LARMSE != kd.LARMSE || bf.ForecastAccuracy != kd.ForecastAccuracy {
+		t.Error("kd-tree backend changed results")
+	}
+}
+
+func TestRetrainReplacesState(t *testing.T) {
+	l, err := New(DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := arSeries(10, 200, 0.9, 1)
+	if err := l.Train(a); err != nil {
+		t.Fatal(err)
+	}
+	normA := l.Normalizer()
+	b := make([]float64, 200)
+	for i := range b {
+		b[i] = 1000 + a[i]
+	}
+	if err := l.Train(b); err != nil {
+		t.Fatal(err)
+	}
+	normB := l.Normalizer()
+	if normA.Mean == normB.Mean {
+		t.Error("retrain did not refresh normalization")
+	}
+}
+
+func TestMinVarianceSelectionConfig(t *testing.T) {
+	cfg := Config{WindowSize: 8, PCAComponents: 0, MinFractionVariance: 0.95, K: 3}
+	l, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := regimeSeries(11, 300)
+	if err := l.Train(series[:150]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Evaluate(series[150:]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstantTrainingSeries(t *testing.T) {
+	// A fully constant trace must train and predict without NaN.
+	l, err := New(DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := make([]float64, 100)
+	for i := range v {
+		v[i] = 42
+	}
+	if err := l.Train(v); err != nil {
+		t.Fatal(err)
+	}
+	p, err := l.Forecast(v[:5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Value != 42 {
+		t.Errorf("constant-series forecast = %g, want 42", p.Value)
+	}
+}

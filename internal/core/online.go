@@ -1,0 +1,211 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/acis-lab/larpredictor/internal/timeseries"
+)
+
+// ErrNotReady is returned by Online.Forecast before enough samples have been
+// observed to train the underlying LARPredictor.
+var ErrNotReady = errors.New("core: online predictor not yet trained (insufficient history)")
+
+// OnlineConfig parameterizes the streaming predictor with QA-driven
+// retraining (the Prediction Quality Assuror of paper Figure 1: "When the
+// average MSE of the audit window exceeds a predefined threshold, it directs
+// the LARPredictor to re-train the predictors and the classifier using
+// recent performance data").
+type OnlineConfig struct {
+	// Predictor is the LARPredictor configuration.
+	Predictor Config
+	// TrainSize is the number of most-recent samples used for (re)training.
+	TrainSize int
+	// AuditWindow is the number of recent forecasts the QA averages. The
+	// audit MSE is computed in normalized space.
+	AuditWindow int
+	// MSEThreshold triggers retraining when the audit-window MSE exceeds
+	// it. A non-positive threshold disables QA retraining.
+	MSEThreshold float64
+	// MinRetrainSpacing is the minimum number of observations between
+	// retrains, preventing thrash when a trace shifts regime abruptly.
+	// Defaults to AuditWindow when zero.
+	MinRetrainSpacing int
+	// MaxHistory bounds the retained history buffer (0 = 4×TrainSize).
+	MaxHistory int
+}
+
+func (c *OnlineConfig) validate() error {
+	if err := c.Predictor.validate(); err != nil {
+		return err
+	}
+	if c.TrainSize < c.Predictor.WindowSize+2 {
+		return fmt.Errorf("core: train size %d < window+2 (%d): %w",
+			c.TrainSize, c.Predictor.WindowSize+2, ErrBadConfig)
+	}
+	if c.AuditWindow < 1 {
+		return fmt.Errorf("core: audit window %d < 1: %w", c.AuditWindow, ErrBadConfig)
+	}
+	return nil
+}
+
+// Online wraps a LARPredictor in a streaming interface: feed observations
+// one at a time with Observe, read one-step-ahead forecasts with Forecast.
+// It trains itself once TrainSize samples have arrived and retrains when the
+// QA audit fires. Not safe for concurrent use.
+type Online struct {
+	cfg OnlineConfig
+	lar *LARPredictor
+
+	history []float64
+	// audit ring of recent squared errors (normalized space)
+	auditSq   []float64
+	auditNext int
+	auditLen  int
+
+	// pending holds the last forecast, compared against the next observation.
+	pending    float64
+	hasPending bool
+
+	sinceRetrain int
+	retrains     int
+}
+
+// NewOnline validates the configuration and returns an empty streaming
+// predictor.
+func NewOnline(cfg OnlineConfig) (*Online, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MinRetrainSpacing == 0 {
+		cfg.MinRetrainSpacing = cfg.AuditWindow
+	}
+	if cfg.MaxHistory == 0 {
+		cfg.MaxHistory = 4 * cfg.TrainSize
+	}
+	if cfg.MaxHistory < cfg.TrainSize {
+		return nil, fmt.Errorf("core: max history %d < train size %d: %w",
+			cfg.MaxHistory, cfg.TrainSize, ErrBadConfig)
+	}
+	lar, err := New(cfg.Predictor)
+	if err != nil {
+		return nil, err
+	}
+	return &Online{
+		cfg:     cfg,
+		lar:     lar,
+		auditSq: make([]float64, cfg.AuditWindow),
+	}, nil
+}
+
+// Retrains returns how many times QA has retrained the model (the initial
+// training does not count).
+func (o *Online) Retrains() int { return o.retrains }
+
+// Trained reports whether the underlying model is trained.
+func (o *Online) Trained() bool { return o.lar.Trained() }
+
+// HistoryLen returns the number of retained observations.
+func (o *Online) HistoryLen() int { return len(o.history) }
+
+// AuditMSE returns the QA's current audit-window MSE (normalized space) and
+// the number of forecasts it covers.
+func (o *Online) AuditMSE() (float64, int) {
+	if o.auditLen == 0 {
+		return 0, 0
+	}
+	var s float64
+	for i := 0; i < o.auditLen; i++ {
+		s += o.auditSq[i]
+	}
+	return s / float64(o.auditLen), o.auditLen
+}
+
+// Observe feeds one observation. It scores the previous forecast (if any)
+// for the QA audit, appends to history, performs initial training when
+// enough samples have arrived, and retrains when the audit MSE breaches the
+// threshold. It reports whether a (re)train happened.
+func (o *Online) Observe(v float64) (retrained bool, err error) {
+	// Score the pending forecast in normalized space.
+	if o.hasPending && o.lar.Trained() {
+		d := o.lar.Normalizer().ApplyValue(o.pending) - o.lar.Normalizer().ApplyValue(v)
+		o.auditSq[o.auditNext] = d * d
+		o.auditNext = (o.auditNext + 1) % len(o.auditSq)
+		if o.auditLen < len(o.auditSq) {
+			o.auditLen++
+		}
+	}
+	o.hasPending = false
+
+	o.history = append(o.history, v)
+	if len(o.history) > o.cfg.MaxHistory {
+		// Drop the oldest half-excess in one copy to amortize.
+		excess := len(o.history) - o.cfg.MaxHistory
+		o.history = append(o.history[:0], o.history[excess:]...)
+	}
+	o.sinceRetrain++
+
+	switch {
+	case !o.lar.Trained():
+		if len(o.history) >= o.cfg.TrainSize {
+			if err := o.train(); err != nil {
+				return false, err
+			}
+			return true, nil
+		}
+	case o.qaFires():
+		if err := o.train(); err != nil {
+			return false, err
+		}
+		o.retrains++
+		return true, nil
+	}
+	return false, nil
+}
+
+// qaFires reports whether the QA audit demands a retrain.
+func (o *Online) qaFires() bool {
+	if o.cfg.MSEThreshold <= 0 {
+		return false
+	}
+	if o.sinceRetrain < o.cfg.MinRetrainSpacing {
+		return false
+	}
+	if o.auditLen < len(o.auditSq) {
+		return false // audit window not yet full
+	}
+	mse, _ := o.AuditMSE()
+	return mse > o.cfg.MSEThreshold
+}
+
+// train (re)fits the LARPredictor on the most recent TrainSize samples and
+// clears the audit ring.
+func (o *Online) train() error {
+	train := o.history[len(o.history)-o.cfg.TrainSize:]
+	if err := o.lar.Train(train); err != nil {
+		return fmt.Errorf("core: online (re)train: %w", err)
+	}
+	o.sinceRetrain = 0
+	o.auditNext, o.auditLen = 0, 0
+	return nil
+}
+
+// Forecast returns the one-step-ahead forecast from the current history.
+// The forecast is remembered and scored against the next Observe.
+func (o *Online) Forecast() (Prediction, error) {
+	if !o.lar.Trained() {
+		return Prediction{}, ErrNotReady
+	}
+	m := o.cfg.Predictor.WindowSize
+	if len(o.history) < m {
+		return Prediction{}, fmt.Errorf("core: %d observations, need >= %d: %w",
+			len(o.history), m, timeseries.ErrShort)
+	}
+	p, err := o.lar.Forecast(o.history[len(o.history)-m:])
+	if err != nil {
+		return Prediction{}, err
+	}
+	o.pending = p.Value
+	o.hasPending = true
+	return p, nil
+}

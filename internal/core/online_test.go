@@ -1,0 +1,182 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func onlineCfg(window, trainSize int) OnlineConfig {
+	return OnlineConfig{
+		Predictor:    DefaultConfig(window),
+		TrainSize:    trainSize,
+		AuditWindow:  10,
+		MSEThreshold: 2.0,
+	}
+}
+
+func TestNewOnlineValidation(t *testing.T) {
+	bad := []OnlineConfig{
+		{Predictor: DefaultConfig(5), TrainSize: 3, AuditWindow: 5},                  // train size too small
+		{Predictor: DefaultConfig(5), TrainSize: 50, AuditWindow: 0},                 // bad audit window
+		{Predictor: Config{WindowSize: 1, K: 3}, TrainSize: 50, AuditWindow: 5},      // bad inner config
+		{Predictor: DefaultConfig(5), TrainSize: 50, AuditWindow: 5, MaxHistory: 10}, // history < train
+	}
+	for i, cfg := range bad {
+		if _, err := NewOnline(cfg); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("case %d: err = %v, want ErrBadConfig", i, err)
+		}
+	}
+}
+
+func TestOnlineTrainsAfterEnoughSamples(t *testing.T) {
+	o, err := NewOnline(onlineCfg(5, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	var trainedAt int
+	for i := 0; i < 60; i++ {
+		if _, err := o.Forecast(); i < 49 && !errors.Is(err, ErrNotReady) {
+			t.Fatalf("sample %d: Forecast err = %v, want ErrNotReady", i, err)
+		}
+		retrained, err := o.Observe(rng.NormFloat64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if retrained && trainedAt == 0 {
+			trainedAt = i + 1
+		}
+	}
+	if trainedAt != 50 {
+		t.Errorf("initial training at sample %d, want 50", trainedAt)
+	}
+	if !o.Trained() {
+		t.Error("not trained after 60 samples")
+	}
+	if _, err := o.Forecast(); err != nil {
+		t.Errorf("Forecast after training: %v", err)
+	}
+	if o.Retrains() != 0 {
+		t.Errorf("initial training counted as retrain: %d", o.Retrains())
+	}
+}
+
+func TestOnlineQARetrainsOnRegimeShift(t *testing.T) {
+	cfg := onlineCfg(5, 60)
+	cfg.MSEThreshold = 0.5
+	cfg.MinRetrainSpacing = 10
+	o, err := NewOnline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	// Calm regime: a slow, highly predictable sinusoid. Its normalized
+	// one-step error is tiny, so the QA stays quiet. (Pure white noise
+	// would not do here: its normalized MSE is ~1 by construction.)
+	for i := 0; i < 120; i++ {
+		if o.Trained() {
+			if _, err := o.Forecast(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		v := 10*math.Sin(float64(i)*0.05) + 0.001*rng.NormFloat64()
+		if _, err := o.Observe(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if o.Retrains() != 0 {
+		t.Fatalf("QA fired during calm regime: %d retrains", o.Retrains())
+	}
+	// Violent regime shift: huge oscillations the stale model can't track.
+	for i := 0; i < 100; i++ {
+		if _, err := o.Forecast(); err != nil {
+			t.Fatal(err)
+		}
+		v := 100.0
+		if i%2 == 0 {
+			v = -100
+		}
+		if _, err := o.Observe(v + rng.NormFloat64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if o.Retrains() == 0 {
+		t.Error("QA never retrained despite violent regime shift")
+	}
+}
+
+func TestOnlineQADisabledByNonPositiveThreshold(t *testing.T) {
+	cfg := onlineCfg(5, 40)
+	cfg.MSEThreshold = 0
+	o, err := NewOnline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		if o.Trained() {
+			if _, err := o.Forecast(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := o.Observe(100 * rng.NormFloat64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if o.Retrains() != 0 {
+		t.Errorf("QA retrained %d times with threshold disabled", o.Retrains())
+	}
+}
+
+func TestOnlineHistoryBounded(t *testing.T) {
+	cfg := onlineCfg(5, 40)
+	cfg.MaxHistory = 100
+	o, err := NewOnline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 1000; i++ {
+		if _, err := o.Observe(rng.NormFloat64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if o.HistoryLen() > 100 {
+		t.Errorf("history grew to %d, cap 100", o.HistoryLen())
+	}
+}
+
+func TestOnlineAuditMSETracksErrors(t *testing.T) {
+	cfg := onlineCfg(5, 40)
+	cfg.MSEThreshold = 0 // keep the model stale so errors accumulate
+	o, err := NewOnline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 40; i++ {
+		if _, err := o.Observe(rng.NormFloat64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, n := o.AuditMSE(); n != 0 {
+		t.Errorf("audit count before any forecast = %d", n)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := o.Forecast(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := o.Observe(rng.NormFloat64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mse, n := o.AuditMSE()
+	if n != 10 { // audit window size
+		t.Errorf("audit count = %d, want 10", n)
+	}
+	if mse <= 0 {
+		t.Errorf("audit MSE = %g, want > 0 on noisy series", mse)
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/acis-lab/larpredictor/internal/vmtrace"
+)
+
+// TestClassifierRecoversLatentRegime validates the mechanism behind the
+// LARPredictor's advantage with ground truth: on a two-regime workload, the
+// expert selected for windows that lie fully inside the quiet regime must
+// differ systematically from the expert selected inside the loud regime —
+// i.e. the k-NN classification is actually reading the regime off the
+// window, not guessing.
+func TestClassifierRecoversLatentRegime(t *testing.T) {
+	q := vmtrace.QuietLoud{
+		PQuietToLoud: 0.030, PLoudToQuiet: 0.035,
+		MinDwell: 16, Attack: 4, MixDrift: 0.0, // stationary mix: clean measurement
+		Mean: 100, Swing: 20, Period: 48,
+		QuietJitter: 0.3, LoudAmp: 50, LoudOffset: 130,
+	}
+	vals, loud := q.GenerateLabeled(1200, rand.New(rand.NewSource(11)))
+	half := len(vals) / 2
+
+	lar, err := New(DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lar.Train(vals[:half]); err != nil {
+		t.Fatal(err)
+	}
+	res, err := lar.Evaluate(vals[half:])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Attribute each test frame to a regime when its window AND target are
+	// uniformly in one state; skip boundary frames.
+	m := lar.Config().WindowSize
+	lastIdx := lar.Pool().IndexOf("LAST")
+	swIdx := lar.Pool().IndexOf("SW_AVG")
+	var quietLast, quietN, loudSW, loudN int
+	for i := 0; i < res.N; i++ {
+		start := half + i       // window start in vals
+		end := half + i + m + 1 // window + target (exclusive)
+		state, uniform := loud[start], true
+		for j := start + 1; j < end; j++ {
+			if loud[j] != state {
+				uniform = false
+				break
+			}
+		}
+		if !uniform {
+			continue
+		}
+		if state {
+			loudN++
+			if res.Selected[i] == swIdx {
+				loudSW++
+			}
+		} else {
+			quietN++
+			if res.Selected[i] == lastIdx {
+				quietLast++
+			}
+		}
+	}
+	if quietN < 20 || loudN < 20 {
+		t.Fatalf("too few uniform frames: quiet=%d loud=%d", quietN, loudN)
+	}
+
+	quietLastShare := float64(quietLast) / float64(quietN)
+	loudSWShare := float64(loudSW) / float64(loudN)
+	// In-regime selections must be strongly regime-appropriate: LAST
+	// dominates quiet frames (trend tracking) and SW_AVG is selected far
+	// more inside loud frames (noise averaging).
+	if quietLastShare < 0.5 {
+		t.Errorf("LAST selected on only %.0f%% of quiet frames", 100*quietLastShare)
+	}
+	if loudSWShare < 0.2 {
+		t.Errorf("SW_AVG selected on only %.0f%% of loud frames", 100*loudSWShare)
+	}
+	// And the preference must flip across regimes.
+	var loudLast int
+	for i := 0; i < res.N; i++ {
+		start := half + i
+		end := half + i + m + 1
+		state, uniform := loud[start], true
+		for j := start + 1; j < end; j++ {
+			if loud[j] != state {
+				uniform = false
+				break
+			}
+		}
+		if uniform && state && res.Selected[i] == lastIdx {
+			loudLast++
+		}
+	}
+	loudLastShare := float64(loudLast) / float64(loudN)
+	if loudLastShare >= quietLastShare {
+		t.Errorf("LAST share did not drop in the loud regime: quiet %.2f vs loud %.2f",
+			quietLastShare, loudLastShare)
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestTrainRejectsNonFiniteData(t *testing.T) {
+	l, err := New(DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := arSeries(1, 100, 0.5, 1)
+	bad[50] = math.NaN()
+	if err := l.Train(bad); !errors.Is(err, ErrBadTrainingData) {
+		t.Errorf("NaN training err = %v, want ErrBadTrainingData", err)
+	}
+	bad[50] = math.Inf(1)
+	if err := l.Train(bad); !errors.Is(err, ErrBadTrainingData) {
+		t.Errorf("Inf training err = %v, want ErrBadTrainingData", err)
+	}
+	if l.Trained() {
+		t.Error("rejected Train left the predictor marked trained")
+	}
+}
+
+func TestExpertTrainRMSE(t *testing.T) {
+	series := regimeSeries(21, 400)
+	l, err := New(DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Train(series[:200]); err != nil {
+		t.Fatal(err)
+	}
+	rmse := l.ExpertTrainRMSE()
+	if len(rmse) != 3 {
+		t.Fatalf("rmse = %v", rmse)
+	}
+	for i, r := range rmse {
+		if r <= 0 || math.IsNaN(r) {
+			t.Errorf("expert %d RMSE = %g", i, r)
+		}
+	}
+	// Returned slice must be a copy.
+	rmse[0] = -1
+	if l.ExpertTrainRMSE()[0] == -1 {
+		t.Error("ExpertTrainRMSE exposed internal storage")
+	}
+}
+
+func TestForecastStdEstimate(t *testing.T) {
+	series := regimeSeries(22, 400)
+	l, err := New(DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Train(series[:200]); err != nil {
+		t.Fatal(err)
+	}
+	p, err := l.Forecast(series[200:205])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.StdEstimate <= 0 || math.IsNaN(p.StdEstimate) {
+		t.Fatalf("StdEstimate = %g", p.StdEstimate)
+	}
+	// The estimate is the selected expert's training RMSE in raw scale.
+	want := l.ExpertTrainRMSE()[p.Selected] * l.Normalizer().Std
+	if math.Abs(p.StdEstimate-want) > 1e-12 {
+		t.Errorf("StdEstimate = %g, want %g", p.StdEstimate, want)
+	}
+}
+
+func TestStdEstimateCalibrationOrder(t *testing.T) {
+	// The one-sigma estimate must be the right order of magnitude: over a
+	// test set, the fraction of |error| <= 2σ should be large.
+	series := regimeSeries(23, 600)
+	l, err := New(DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Train(series[:300]); err != nil {
+		t.Fatal(err)
+	}
+	within := 0
+	total := 0
+	for i := 300; i+6 < len(series); i++ {
+		p, err := l.Forecast(series[i : i+5])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(p.Value-series[i+5]) <= 2*p.StdEstimate {
+			within++
+		}
+		total++
+	}
+	frac := float64(within) / float64(total)
+	if frac < 0.6 {
+		t.Errorf("only %.0f%% of errors within 2σ — estimate badly calibrated", 100*frac)
+	}
+}

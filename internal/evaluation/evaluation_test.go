@@ -1,0 +1,181 @@
+package evaluation
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/acis-lab/larpredictor/internal/core"
+	"github.com/acis-lab/larpredictor/internal/timeseries"
+	"github.com/acis-lab/larpredictor/internal/vmtrace"
+)
+
+func testTrace(t *testing.T) *timeseries.Series {
+	t.Helper()
+	ts := vmtrace.StandardTraceSet(101)
+	s, err := ts.Get(vmtrace.VM2, vmtrace.CPUUsedSec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestEvaluateTraceBasics(t *testing.T) {
+	s := testTrace(t)
+	opts := DefaultOptions(core.DefaultConfig(5), 7)
+	res, err := EvaluateTrace(s, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Folds != 10 {
+		t.Errorf("folds = %d", res.Folds)
+	}
+	if res.Name != s.Name {
+		t.Errorf("name = %q", res.Name)
+	}
+	if len(res.Expert) != 3 || len(res.ExpertNames) != 3 {
+		t.Fatalf("experts = %v %v", res.Expert, res.ExpertNames)
+	}
+	// Oracle must dominate everything it is compared with.
+	for i, e := range res.Expert {
+		if res.PLAR > e+1e-9 {
+			t.Errorf("PLAR %g > expert %s %g", res.PLAR, res.ExpertNames[i], e)
+		}
+	}
+	if res.PLAR > res.LAR+1e-9 {
+		t.Errorf("PLAR %g > LAR %g", res.PLAR, res.LAR)
+	}
+	if res.PLAR > res.NWSCum+1e-9 || res.PLAR > res.NWSWin+1e-9 {
+		t.Errorf("PLAR %g > NWS (%g, %g)", res.PLAR, res.NWSCum, res.NWSWin)
+	}
+	for _, acc := range []float64{res.LARAccuracy, res.NWSAccuracy} {
+		if acc < 0 || acc > 1 {
+			t.Errorf("accuracy out of range: %g", acc)
+		}
+	}
+	best, name := res.BestExpert()
+	if name == "" || best <= 0 {
+		t.Errorf("BestExpert = (%g, %q)", best, name)
+	}
+}
+
+func TestEvaluateTraceDeterministicForSeed(t *testing.T) {
+	s := testTrace(t)
+	opts := DefaultOptions(core.DefaultConfig(5), 3)
+	a, err := EvaluateTrace(s, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EvaluateTrace(s, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.LAR != b.LAR || a.PLAR != b.PLAR || a.NWSCum != b.NWSCum || a.LARAccuracy != b.LARAccuracy {
+		t.Error("evaluation not deterministic for a fixed seed")
+	}
+}
+
+func TestEvaluateTraceRejectsDegenerate(t *testing.T) {
+	flat := timeseries.FromValues("flat", make([]float64, 300))
+	opts := DefaultOptions(core.DefaultConfig(5), 1)
+	if _, err := EvaluateTrace(flat, opts); !errors.Is(err, ErrDegenerate) {
+		t.Errorf("err = %v, want ErrDegenerate", err)
+	}
+}
+
+func TestEvaluateTraceRejectsShort(t *testing.T) {
+	short := timeseries.FromValues("short", []float64{1, 2, 3, 4, 5, 6, 7})
+	opts := DefaultOptions(core.DefaultConfig(5), 1)
+	if _, err := EvaluateTrace(short, opts); !errors.Is(err, timeseries.ErrShort) {
+		t.Errorf("err = %v, want ErrShort", err)
+	}
+	opts.Folds = 0
+	if _, err := EvaluateTrace(testTrace(t), opts); err == nil {
+		t.Error("folds=0 accepted")
+	}
+}
+
+func TestLARBeatsBestExpertFlag(t *testing.T) {
+	r := &TraceResult{
+		LAR:         0.5,
+		Expert:      []float64{0.6, 0.7},
+		ExpertNames: []string{"A", "B"},
+	}
+	if !r.LARBeatsBestExpert() {
+		t.Error("LAR 0.5 vs best 0.6 should be a win")
+	}
+	r.LAR = 0.65
+	if r.LARBeatsBestExpert() {
+		t.Error("LAR 0.65 vs best 0.6 should not be a win")
+	}
+	// Exact tie counts as a win ("equal or higher prediction accuracy").
+	r.LAR = 0.6
+	if !r.LARBeatsBestExpert() {
+		t.Error("tie should count as a win")
+	}
+}
+
+func TestEvaluationShapeOnHeterogeneousTraces(t *testing.T) {
+	// Across a trace set with smooth and bursty members, the evaluation
+	// must produce finite results and LAR accuracy above random (1/3).
+	ts := vmtrace.StandardTraceSet(55)
+	names := []struct {
+		vm vmtrace.VMID
+		m  vmtrace.Metric
+	}{
+		{vmtrace.VM2, vmtrace.NIC1RX},  // bursty
+		{vmtrace.VM1, vmtrace.MemSize}, // stepwise-smooth
+	}
+	for _, c := range names {
+		s, err := ts.Get(c.vm, c.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := core.DefaultConfig(5)
+		if c.vm == vmtrace.VM1 {
+			cfg = core.DefaultConfig(16)
+		}
+		res, err := EvaluateTrace(s, DefaultOptions(cfg, 9))
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		for _, v := range []float64{res.LAR, res.PLAR, res.NWSCum, res.NWSWin} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%s: non-finite MSE", s.Name)
+			}
+		}
+		if res.LARAccuracy <= 1.0/3 {
+			t.Errorf("%s: LAR accuracy %g not above random", s.Name, res.LARAccuracy)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Metric", "LAR", "LAST")
+	tb.AddRow("CPU_usedsec", "0.9508", "1.1436")
+	tb.AddRow("x") // short row pads
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Metric") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "0.9508") {
+		t.Errorf("row = %q", lines[2])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("rule = %q", lines[1])
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := FormatMSE(0.95083); got != "0.9508" {
+		t.Errorf("FormatMSE = %q", got)
+	}
+	if got := FormatPct(0.5598); got != "55.98%" {
+		t.Errorf("FormatPct = %q", got)
+	}
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationsStructure(t *testing.T) {
+	res, err := Ablations(Options{Seed: 2007, Folds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 5 {
+		t.Fatalf("sweeps = %d, want 5", len(res))
+	}
+	wantDims := []string{"PCA components", "k-NN neighbors", "prediction order", "expert pool", "vote strategy"}
+	for i, r := range res {
+		if !strings.Contains(r.Dimension, wantDims[i]) {
+			t.Errorf("sweep %d dimension = %q", i, r.Dimension)
+		}
+		if len(r.Rows) < 3 {
+			t.Errorf("%s: only %d rows", r.Dimension, len(r.Rows))
+		}
+		for _, row := range r.Rows {
+			if row.LAR <= 0 {
+				t.Errorf("%s/%s: MSE %g", r.Dimension, row.Name, row.LAR)
+			}
+			if row.Accuracy < 0 || row.Accuracy > 1 {
+				t.Errorf("%s/%s: accuracy %g", r.Dimension, row.Name, row.Accuracy)
+			}
+		}
+	}
+	out := RenderAblations(res)
+	for _, want := range []string{"n=2", "k=3", "m=16", "paper3", "majority"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

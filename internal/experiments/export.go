@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// WriteCSV emits the selection timeline as machine-readable CSV (one row per
+// test step) for external plotting — the data behind the paper's Figure 4/5
+// panels.
+func (st *SelectionTimeline) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"step", "observed_best", "lar_selected", "nws_selected"}); err != nil {
+		return fmt.Errorf("experiments: write csv header: %w", err)
+	}
+	for i := range st.ObservedBest {
+		rec := []string{
+			strconv.Itoa(i),
+			st.Classes[st.ObservedBest[i]],
+			st.Classes[st.LARSelected[i]],
+			st.Classes[st.NWSSelected[i]],
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("experiments: write csv row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the per-metric MSE comparison as CSV (one row per metric) —
+// the data behind the paper's Figure 6 bar chart. NaN (degenerate) cells
+// emit empty fields.
+func (f *Figure6Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"metric", "p_larp", "knn_larp", "cum_mse", "w_cum_mse"}); err != nil {
+		return fmt.Errorf("experiments: write csv header: %w", err)
+	}
+	cell := func(v float64) string {
+		if math.IsNaN(v) {
+			return ""
+		}
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	for i, m := range f.Metrics {
+		rec := []string{string(m), cell(f.PLAR[i]), cell(f.LAR[i]), cell(f.Cum[i]), cell(f.WCum[i])}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("experiments: write csv row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the Table-2 rows as CSV.
+func (t *Table2Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"metric", "p_lar", "lar", "last", "ar", "sw_avg"}); err != nil {
+		return fmt.Errorf("experiments: write csv header: %w", err)
+	}
+	num := func(v float64, degenerate bool) string {
+		if degenerate {
+			return ""
+		}
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	for i, r := range t.Rows {
+		rec := []string{
+			string(r.Metric),
+			num(r.PLAR, r.Degenerate), num(r.LAR, r.Degenerate),
+			num(r.LAST, r.Degenerate), num(r.AR, r.Degenerate), num(r.SW, r.Degenerate),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("experiments: write csv row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

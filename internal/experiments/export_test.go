@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestSelectionTimelineCSV(t *testing.T) {
+	st := &SelectionTimeline{
+		Trace:        "x",
+		Classes:      []string{"LAST", "AR", "SW_AVG"},
+		ObservedBest: []int{0, 1, 2},
+		LARSelected:  []int{0, 0, 2},
+		NWSSelected:  []int{1, 1, 1},
+	}
+	var buf bytes.Buffer
+	if err := st.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 { // header + 3 rows
+		t.Fatalf("rows = %d", len(recs))
+	}
+	if recs[1][1] != "LAST" || recs[3][3] != "AR" {
+		t.Errorf("records = %v", recs)
+	}
+}
+
+func TestFigure6CSV(t *testing.T) {
+	r, err := Figure6(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 13 { // header + 12 metrics
+		t.Fatalf("rows = %d", len(recs))
+	}
+	if recs[0][0] != "metric" || recs[1][0] != "CPU_usedsec" {
+		t.Errorf("header/first = %v %v", recs[0], recs[1])
+	}
+}
+
+func TestTable2CSV(t *testing.T) {
+	r, err := Table2(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "metric,p_lar,lar,last,ar,sw_avg") {
+		t.Errorf("header = %q", strings.SplitN(out, "\n", 2)[0])
+	}
+	if strings.Count(out, "\n") != 13 {
+		t.Errorf("line count = %d", strings.Count(out, "\n"))
+	}
+}

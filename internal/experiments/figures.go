@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/acis-lab/larpredictor/internal/core"
+	"github.com/acis-lab/larpredictor/internal/evaluation"
+	"github.com/acis-lab/larpredictor/internal/nws"
+	"github.com/acis-lab/larpredictor/internal/timeseries"
+	"github.com/acis-lab/larpredictor/internal/vmtrace"
+)
+
+// SelectionTimeline reproduces Figures 4 and 5: for each test step, the
+// observed best predictor, the LARPredictor's k-NN forecast of it, and the
+// NWS cumulative-MSE selection, using the paper's class numbering
+// (1 - LAST, 2 - AR, 3 - SW_AVG).
+type SelectionTimeline struct {
+	// Trace names the series ("VM2_load15").
+	Trace string
+	// Classes[i] is the display name of class i+1.
+	Classes []string
+	// ObservedBest, LARSelected, NWSSelected are aligned per-step class
+	// indexes (0-based into Classes).
+	ObservedBest []int
+	LARSelected  []int
+	NWSSelected  []int
+	// LARAccuracy and NWSAccuracy are the fractions of steps where each
+	// selector matched the observed best.
+	LARAccuracy float64
+	NWSAccuracy float64
+}
+
+// selectionTimeline runs the Figure-4/5 protocol on one trace: train on the
+// first half, compare selections on the second half.
+func selectionTimeline(s *timeseries.Series, cfg core.Config) (*SelectionTimeline, error) {
+	split, err := timeseries.SplitFraction(s.Values, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	lar, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := lar.Train(split.Train); err != nil {
+		return nil, err
+	}
+	ev, err := lar.Evaluate(split.Test)
+	if err != nil {
+		return nil, err
+	}
+
+	// NWS selection over the same normalized frames, warmed on the train half.
+	norm := lar.Normalizer()
+	trainFrames, err := timeseries.FrameSeries(norm.Apply(split.Train), cfg.WindowSize)
+	if err != nil {
+		return nil, err
+	}
+	testFrames, err := timeseries.FrameSeries(norm.Apply(split.Test), cfg.WindowSize)
+	if err != nil {
+		return nil, err
+	}
+	sel, err := nws.NewCumulativeMSE(lar.Pool())
+	if err != nil {
+		return nil, err
+	}
+	if _, err := sel.Run(trainFrames); err != nil {
+		return nil, err
+	}
+	nwsRes, err := sel.Run(testFrames)
+	if err != nil {
+		return nil, err
+	}
+
+	correct := 0
+	for i, c := range nwsRes.Selected {
+		if c == ev.ObservedBest[i] {
+			correct++
+		}
+	}
+	nwsAcc := 0.0
+	if len(nwsRes.Selected) > 0 {
+		nwsAcc = float64(correct) / float64(len(nwsRes.Selected))
+	}
+	return &SelectionTimeline{
+		Trace:        s.Name,
+		Classes:      lar.Pool().Names(),
+		ObservedBest: ev.ObservedBest,
+		LARSelected:  ev.Selected,
+		NWSSelected:  nwsRes.Selected,
+		LARAccuracy:  ev.ForecastAccuracy,
+		NWSAccuracy:  nwsAcc,
+	}, nil
+}
+
+// Figure4 reproduces the paper's Figure 4: predictor selection for trace
+// VM2_load15 (CPU fifteen-minute load average, 12 hours at 5-minute
+// sampling).
+func Figure4(opts Options) (*SelectionTimeline, error) {
+	return selectionTimeline(vmtrace.Load15(opts.Seed), core.DefaultConfig(5))
+}
+
+// Figure5 reproduces the paper's Figure 5: predictor selection for trace
+// VM2_PktIn (network packets received per second).
+func Figure5(opts Options) (*SelectionTimeline, error) {
+	return selectionTimeline(vmtrace.PktIn(opts.Seed), core.DefaultConfig(5))
+}
+
+// Render draws the three selection timelines as character rows (one column
+// per step, the class digit 1..P per the paper's axis) plus the accuracy
+// summary.
+func (st *SelectionTimeline) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Best predictor selection for trace %s\n", st.Trace)
+	fmt.Fprintf(&b, "Predictor class: ")
+	for i, c := range st.Classes {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d - %s", i+1, c)
+	}
+	b.WriteByte('\n')
+	rows := []struct {
+		label string
+		data  []int
+	}{
+		{"observed best ", st.ObservedBest},
+		{"LARPredictor  ", st.LARSelected},
+		{"NWS (Cum.MSE) ", st.NWSSelected},
+	}
+	for _, r := range rows {
+		b.WriteString(r.label)
+		for _, c := range r.data {
+			fmt.Fprintf(&b, "%d", c+1)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "forecast accuracy: LAR %s, NWS %s\n",
+		evaluation.FormatPct(st.LARAccuracy), evaluation.FormatPct(st.NWSAccuracy))
+	return b.String()
+}
+
+// Figure6Result reproduces the paper's Figure 6: per-metric MSE on VM4 for
+// the perfect LARPredictor (P-LARP), the k-NN LARPredictor (Knn-LARP), the
+// NWS cumulative selector (Cum.MSE), and the window-2 selector (W-Cum.MSE).
+// Degenerate metrics hold NaN.
+type Figure6Result struct {
+	VM      vmtrace.VMID
+	Metrics []vmtrace.Metric
+	PLAR    []float64
+	LAR     []float64
+	Cum     []float64
+	WCum    []float64
+}
+
+// Figure6 runs the comparison for VM4 (the paper's example VM).
+func Figure6(opts Options) (*Figure6Result, error) {
+	ts := vmtrace.StandardTraceSet(opts.Seed)
+	metrics := vmtrace.Metrics()
+	res := &Figure6Result{
+		VM:      vmtrace.VM4,
+		Metrics: metrics,
+		PLAR:    make([]float64, len(metrics)),
+		LAR:     make([]float64, len(metrics)),
+		Cum:     make([]float64, len(metrics)),
+		WCum:    make([]float64, len(metrics)),
+	}
+	for i, m := range metrics {
+		s, err := ts.Get(vmtrace.VM4, m)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := evaluation.EvaluateTrace(s, evalOptions(opts, vmtrace.VM4, m))
+		if isDegenerate(err) {
+			res.PLAR[i], res.LAR[i], res.Cum[i], res.WCum[i] =
+				math.NaN(), math.NaN(), math.NaN(), math.NaN()
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.PLAR[i] = tr.PLAR
+		res.LAR[i] = tr.LAR
+		res.Cum[i] = tr.NWSCum
+		res.WCum[i] = tr.NWSWin
+	}
+	return res, nil
+}
+
+// Render prints the Figure 6 series as a table (the paper draws a grouped
+// bar chart; the numbers carry the same information).
+func (f *Figure6Result) Render() string {
+	tb := evaluation.NewTable("Metric", "P-LARP", "Knn-LARP", "Cum.MSE", "W-Cum.MSE")
+	fmtCell := func(v float64) string {
+		if math.IsNaN(v) {
+			return "NaN"
+		}
+		return evaluation.FormatMSE(v)
+	}
+	for i, m := range f.Metrics {
+		tb.AddRow(string(m), fmtCell(f.PLAR[i]), fmtCell(f.LAR[i]), fmtCell(f.Cum[i]), fmtCell(f.WCum[i]))
+	}
+	return fmt.Sprintf("Predictor performance comparison (%s)\n%s", f.VM, tb.String())
+}

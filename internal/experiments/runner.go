@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// RunAll regenerates every table and figure in order and writes the rendered
+// results to w — the backing driver for cmd/experiments and for
+// EXPERIMENTS.md.
+func RunAll(opts Options, w io.Writer) error {
+	fmt.Fprintf(w, "LARPredictor experiment suite (seed=%d, folds=%d)\n\n", opts.Seed, opts.Folds)
+
+	fig4, err := Figure4(opts)
+	if err != nil {
+		return fmt.Errorf("figure 4: %w", err)
+	}
+	fmt.Fprintf(w, "== Figure 4 ==\n%s\n", fig4.Render())
+
+	fig5, err := Figure5(opts)
+	if err != nil {
+		return fmt.Errorf("figure 5: %w", err)
+	}
+	fmt.Fprintf(w, "== Figure 5 ==\n%s\n", fig5.Render())
+
+	t2, err := Table2(opts)
+	if err != nil {
+		return fmt.Errorf("table 2: %w", err)
+	}
+	fmt.Fprintf(w, "== Table 2 ==\n%s\n", t2.Render())
+
+	t3, err := Table3(opts)
+	if err != nil {
+		return fmt.Errorf("table 3: %w", err)
+	}
+	fmt.Fprintf(w, "== Table 3 ==\n%s\n", t3.Render())
+
+	fig6, err := Figure6(opts)
+	if err != nil {
+		return fmt.Errorf("figure 6: %w", err)
+	}
+	fmt.Fprintf(w, "== Figure 6 ==\n%s\n", fig6.Render())
+
+	head, err := Headline(opts)
+	if err != nil {
+		return fmt.Errorf("headline: %w", err)
+	}
+	fmt.Fprintf(w, "== Headline ==\n%s", head.Render())
+	return nil
+}

@@ -1,0 +1,203 @@
+// Package knn implements the k-Nearest-Neighbor classifier the LARPredictor
+// uses to forecast the best predictor for a workload window (paper §5.1):
+// memory-based training (the training phase "is simply to index the N
+// training data"), Euclidean distance, and majority vote over the k = 3
+// nearest neighbors' class labels.
+//
+// Two neighbor-search backends are provided: a brute-force linear scan
+// (O(N) per query, the paper's quicksort-selection approach) and a k-d tree
+// (the Friedman–Bentley–Finkel logarithmic-expected-time algorithm the paper
+// cites as a fast alternative). Both return identical neighbor sets; the
+// ablation bench compares their throughput.
+package knn
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/acis-lab/larpredictor/internal/linalg"
+)
+
+// ErrBadInput is returned for invalid construction or query arguments.
+var ErrBadInput = errors.New("knn: invalid input")
+
+// Neighbor is one result of a nearest-neighbor query.
+type Neighbor struct {
+	// Index is the position of the neighbor in the training set.
+	Index int
+	// Label is the neighbor's class label.
+	Label int
+	// Distance is the Euclidean distance to the query point.
+	Distance float64
+}
+
+// Searcher finds the k nearest training points to a query.
+type Searcher interface {
+	// Nearest returns the k nearest neighbors of q, ordered by ascending
+	// distance with index as the tiebreaker (deterministic across backends).
+	// It returns fewer than k neighbors only when the training set is
+	// smaller than k.
+	Nearest(q []float64, k int) ([]Neighbor, error)
+	// Len returns the number of indexed training points.
+	Len() int
+}
+
+// Classifier is a k-NN classifier over labeled training points. It is
+// immutable after construction and safe for concurrent use.
+type Classifier struct {
+	search Searcher
+	k      int
+	vote   VoteStrategy
+	// numClasses is 1 + the maximum label seen, used for vote counting.
+	numClasses int
+}
+
+// Config controls classifier construction.
+type Config struct {
+	// K is the number of neighbors to vote (odd per the paper; 3 in the
+	// reference implementation). Defaults to 3 when zero.
+	K int
+	// UseKDTree selects the k-d tree backend instead of brute force.
+	UseKDTree bool
+	// Vote selects the combination strategy; the zero value is the paper's
+	// majority vote.
+	Vote VoteStrategy
+}
+
+// NewClassifier indexes the training points (one row per point, all rows the
+// same dimension) with their class labels. Labels must be non-negative.
+func NewClassifier(points [][]float64, labels []int, cfg Config) (*Classifier, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("knn: no training points: %w", ErrBadInput)
+	}
+	if len(points) != len(labels) {
+		return nil, fmt.Errorf("knn: %d points but %d labels: %w", len(points), len(labels), ErrBadInput)
+	}
+	dim := len(points[0])
+	if dim == 0 {
+		return nil, fmt.Errorf("knn: zero-dimensional points: %w", ErrBadInput)
+	}
+	maxLabel := 0
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("knn: point %d has dimension %d, want %d: %w", i, len(p), dim, ErrBadInput)
+		}
+		if labels[i] < 0 {
+			return nil, fmt.Errorf("knn: negative label %d at point %d: %w", labels[i], i, ErrBadInput)
+		}
+		if labels[i] > maxLabel {
+			maxLabel = labels[i]
+		}
+	}
+	k := cfg.K
+	if k == 0 {
+		k = 3
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("knn: k = %d < 1: %w", k, ErrBadInput)
+	}
+
+	var s Searcher
+	if cfg.UseKDTree {
+		s = newKDTree(points, labels)
+	} else {
+		s = newBruteForce(points, labels)
+	}
+	return &Classifier{search: s, k: k, vote: cfg.Vote, numClasses: maxLabel + 1}, nil
+}
+
+// K returns the configured neighbor count.
+func (c *Classifier) K() int { return c.k }
+
+// Len returns the number of indexed training points.
+func (c *Classifier) Len() int { return c.search.Len() }
+
+// Classify returns the majority-vote label among the k nearest neighbors of
+// q. Vote ties break toward the class whose nearest member is closest to the
+// query, then toward the lower class index — both deterministic.
+func (c *Classifier) Classify(q []float64) (int, error) {
+	label, _, err := c.ClassifyNeighbors(q)
+	return label, err
+}
+
+// ClassifyNeighbors is Classify but additionally returns the neighbor set
+// that produced the vote, for callers that want to inspect or log it.
+func (c *Classifier) ClassifyNeighbors(q []float64) (int, []Neighbor, error) {
+	nbrs, err := c.search.Nearest(q, c.k)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(nbrs) == 0 {
+		return 0, nil, fmt.Errorf("knn: empty neighbor set: %w", ErrBadInput)
+	}
+	return vote(nbrs, c.numClasses, c.vote), nbrs, nil
+}
+
+// bruteForce is the linear-scan searcher.
+type bruteForce struct {
+	points [][]float64
+	labels []int
+}
+
+func newBruteForce(points [][]float64, labels []int) *bruteForce {
+	ps := make([][]float64, len(points))
+	for i, p := range points {
+		ps[i] = linalg.Clone(p)
+	}
+	ls := make([]int, len(labels))
+	copy(ls, labels)
+	return &bruteForce{points: ps, labels: ls}
+}
+
+func (b *bruteForce) Len() int { return len(b.points) }
+
+func (b *bruteForce) Nearest(q []float64, k int) ([]Neighbor, error) {
+	if len(q) != len(b.points[0]) {
+		return nil, fmt.Errorf("knn: query dimension %d, index dimension %d: %w",
+			len(q), len(b.points[0]), ErrBadInput)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("knn: k = %d < 1: %w", k, ErrBadInput)
+	}
+	if k > len(b.points) {
+		k = len(b.points)
+	}
+	// Maintain a small sorted candidate list; k is tiny (3 in the paper) so
+	// insertion into a k-slot array beats a heap.
+	cand := make([]Neighbor, 0, k)
+	for i, p := range b.points {
+		d := linalg.SquaredDistance(q, p)
+		if len(cand) == k && !lessNeighbor(d, i, cand[k-1]) {
+			continue
+		}
+		n := Neighbor{Index: i, Label: b.labels[i], Distance: d}
+		pos := sort.Search(len(cand), func(j int) bool {
+			return lessNeighbor(d, i, cand[j])
+		})
+		if len(cand) < k {
+			cand = append(cand, Neighbor{})
+		}
+		copy(cand[pos+1:], cand[pos:])
+		cand[pos] = n
+	}
+	finishDistances(cand)
+	return cand, nil
+}
+
+// lessNeighbor orders candidate (dist d, index i) before existing neighbor n.
+// Distances here are squared; ordering is preserved.
+func lessNeighbor(d float64, i int, n Neighbor) bool {
+	if d != n.Distance {
+		return d < n.Distance
+	}
+	return i < n.Index
+}
+
+// finishDistances converts the squared distances accumulated during search
+// into true Euclidean distances.
+func finishDistances(ns []Neighbor) {
+	for i := range ns {
+		ns[i].Distance = sqrt(ns[i].Distance)
+	}
+}

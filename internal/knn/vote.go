@@ -1,0 +1,118 @@
+package knn
+
+import (
+	"fmt"
+)
+
+// VoteStrategy selects how the neighbor set is combined into a class
+// decision. The paper uses plain majority voting (§5.1); its related work
+// (§2, reference [16]) surveys "different combination strategies such as
+// weighted voting and probability-based voting", which are provided here for
+// the combination-strategy ablation.
+type VoteStrategy int
+
+const (
+	// MajorityVote counts one vote per neighbor (the paper's rule). Ties
+	// break toward the class whose nearest member is closest to the query,
+	// then toward the lower class index.
+	MajorityVote VoteStrategy = iota
+	// DistanceWeightedVote weighs each neighbor by 1/(d+ε), so nearer
+	// neighbors dominate.
+	DistanceWeightedVote
+	// ProbabilityVote normalizes distance weights into a distribution and
+	// picks its argmax; use Probabilities to read the full distribution.
+	ProbabilityVote
+)
+
+func (v VoteStrategy) String() string {
+	switch v {
+	case MajorityVote:
+		return "majority"
+	case DistanceWeightedVote:
+		return "distance-weighted"
+	case ProbabilityVote:
+		return "probability"
+	}
+	return fmt.Sprintf("VoteStrategy(%d)", int(v))
+}
+
+// distanceEps regularizes 1/d weights for zero-distance neighbors.
+const distanceEps = 1e-9
+
+// vote combines a non-empty neighbor set under the strategy.
+func vote(nbrs []Neighbor, numClasses int, strategy VoteStrategy) int {
+	switch strategy {
+	case DistanceWeightedVote, ProbabilityVote:
+		w := classWeights(nbrs, numClasses)
+		best := -1
+		for cls, weight := range w {
+			if weight == 0 {
+				continue
+			}
+			if best == -1 || weight > w[best] {
+				best = cls
+			}
+		}
+		return best
+	default:
+		return majority(nbrs, numClasses)
+	}
+}
+
+// majority implements the paper's voting rule.
+func majority(nbrs []Neighbor, numClasses int) int {
+	votes := make([]int, numClasses)
+	closest := make([]float64, numClasses)
+	for i := range closest {
+		closest[i] = -1
+	}
+	for _, n := range nbrs {
+		votes[n.Label]++
+		if closest[n.Label] < 0 || n.Distance < closest[n.Label] {
+			closest[n.Label] = n.Distance
+		}
+	}
+	best := -1
+	for cls, v := range votes {
+		if v == 0 {
+			continue
+		}
+		switch {
+		case best == -1,
+			v > votes[best],
+			v == votes[best] && closest[cls] < closest[best]:
+			best = cls
+		}
+	}
+	return best
+}
+
+// classWeights accumulates 1/(d+ε) per class.
+func classWeights(nbrs []Neighbor, numClasses int) []float64 {
+	w := make([]float64, numClasses)
+	for _, n := range nbrs {
+		w[n.Label] += 1 / (n.Distance + distanceEps)
+	}
+	return w
+}
+
+// Probabilities returns the distance-weighted class distribution over the k
+// nearest neighbors of q: probabilities sum to 1 and index by class label.
+func (c *Classifier) Probabilities(q []float64) ([]float64, error) {
+	nbrs, err := c.search.Nearest(q, c.k)
+	if err != nil {
+		return nil, err
+	}
+	if len(nbrs) == 0 {
+		return nil, fmt.Errorf("knn: empty neighbor set: %w", ErrBadInput)
+	}
+	w := classWeights(nbrs, c.numClasses)
+	var total float64
+	for _, x := range w {
+		total += x
+	}
+	for i := range w {
+		w[i] /= total
+	}
+	return w, nil
+}

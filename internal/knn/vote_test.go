@@ -1,0 +1,135 @@
+package knn
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestVoteStrategyStrings(t *testing.T) {
+	cases := map[VoteStrategy]string{
+		MajorityVote:         "majority",
+		DistanceWeightedVote: "distance-weighted",
+		ProbabilityVote:      "probability",
+		VoteStrategy(42):     "VoteStrategy(42)",
+	}
+	for s, want := range cases {
+		if got := s.String(); !strings.Contains(got, want) {
+			t.Errorf("%d.String() = %q, want %q", int(s), got, want)
+		}
+	}
+}
+
+func TestDistanceWeightedOverridesMajority(t *testing.T) {
+	// Two distant class-0 neighbors vs one very close class-1 neighbor:
+	// majority picks 0, distance weighting picks 1.
+	pts := [][]float64{{0.1}, {10}, {11}}
+	labels := []int{1, 0, 0}
+	maj := mustClassifier(t, pts, labels, Config{K: 3, Vote: MajorityVote})
+	dw := mustClassifier(t, pts, labels, Config{K: 3, Vote: DistanceWeightedVote})
+
+	q := []float64{0}
+	gotMaj, err := maj.Classify(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotDW, err := dw.Classify(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMaj != 0 {
+		t.Errorf("majority = %d, want 0", gotMaj)
+	}
+	if gotDW != 1 {
+		t.Errorf("distance-weighted = %d, want 1", gotDW)
+	}
+}
+
+func TestProbabilityVoteMatchesDistanceWeighted(t *testing.T) {
+	pts := [][]float64{{0.5}, {2}, {3}, {9}}
+	labels := []int{1, 0, 0, 1}
+	p := mustClassifier(t, pts, labels, Config{K: 3, Vote: ProbabilityVote})
+	d := mustClassifier(t, pts, labels, Config{K: 3, Vote: DistanceWeightedVote})
+	for _, q := range [][]float64{{0}, {2.5}, {8}} {
+		a, err := p.Classify(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := d.Classify(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Errorf("q=%v: probability %d != distance-weighted %d", q, a, b)
+		}
+	}
+}
+
+func TestProbabilities(t *testing.T) {
+	pts := [][]float64{{0}, {1}, {2}, {100}}
+	labels := []int{0, 1, 1, 2}
+	c := mustClassifier(t, pts, labels, Config{K: 3})
+	probs, err := c.Probabilities([]float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probs) != 3 {
+		t.Fatalf("probs = %v", probs)
+	}
+	var sum float64
+	for _, p := range probs {
+		if p < 0 || p > 1 {
+			t.Fatalf("probability out of range: %v", probs)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("probabilities sum to %g", sum)
+	}
+	// Neighbor at distance 0 (class 0) must dominate.
+	if probs[0] <= probs[1] || probs[0] <= probs[2] {
+		t.Errorf("zero-distance class not dominant: %v", probs)
+	}
+	// Class 2's point is not among the 3 nearest: probability 0.
+	if probs[2] != 0 {
+		t.Errorf("distant class probability = %g, want 0", probs[2])
+	}
+	if _, err := c.Probabilities([]float64{1, 2}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestZeroDistanceNeighborsDoNotBlowUp(t *testing.T) {
+	pts := [][]float64{{1}, {1}, {5}}
+	labels := []int{0, 0, 1}
+	c := mustClassifier(t, pts, labels, Config{K: 3, Vote: DistanceWeightedVote})
+	got, err := c.Classify([]float64{1}) // two exact matches
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("exact-match vote = %d, want 0", got)
+	}
+	probs, err := c.Probabilities([]float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range probs {
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			t.Fatalf("probabilities = %v", probs)
+		}
+	}
+}
+
+func TestMajorityIsDefaultStrategy(t *testing.T) {
+	pts := [][]float64{{0.1}, {10}, {11}}
+	labels := []int{1, 0, 0}
+	c := mustClassifier(t, pts, labels, Config{K: 3})
+	got, err := c.Classify([]float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("default strategy is not majority: got %d", got)
+	}
+}

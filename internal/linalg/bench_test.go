@@ -1,0 +1,80 @@
+package linalg
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkSymEigen(b *testing.B) {
+	for _, n := range []int{5, 16, 32} {
+		rng := rand.New(rand.NewSource(1))
+		a := randomPSD(rng, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := SymEigen(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTopEigen2(b *testing.B) {
+	for _, n := range []int{5, 16, 32} {
+		rng := rand.New(rand.NewSource(1))
+		a := randomPSD(rng, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := TopEigen(a, 2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkLevinsonDurbin(b *testing.B) {
+	for _, p := range []int{5, 16, 64} {
+		r := make([]float64, p+1)
+		for k := range r {
+			r[k] = 1.0 / float64(1+k)
+		}
+		r[0] = 2
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := LevinsonDurbin(r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSolveVsLevinson(b *testing.B) {
+	// Quantifies the O(p²) vs O(p³) gap for Yule–Walker systems.
+	const p = 32
+	r := make([]float64, p+1)
+	for k := range r {
+		r[k] = 1.0 / float64(1+k)
+	}
+	r[0] = 2
+	toep, err := ToeplitzFromAutocov(r, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("gauss", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Solve(toep, r[1:p+1]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("levinson", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := LevinsonDurbin(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

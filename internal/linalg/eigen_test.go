@@ -1,0 +1,171 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSymEigenDiagonal(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{3, 0, 0}, {0, 1, 0}, {0, 0, 2}})
+	ed, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 2, 1}
+	for i, w := range want {
+		if !almostEqual(ed.Values[i], w, 1e-10) {
+			t.Fatalf("eigenvalues = %v, want %v", ed.Values, want)
+		}
+	}
+}
+
+func TestSymEigenKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1 with eigenvectors (1,1)/√2 and
+	// (1,-1)/√2.
+	a := mustFromRows(t, [][]float64{{2, 1}, {1, 2}})
+	ed, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(ed.Values[0], 3, 1e-10) || !almostEqual(ed.Values[1], 1, 1e-10) {
+		t.Fatalf("eigenvalues = %v", ed.Values)
+	}
+	v0 := ed.Vectors.Col(0)
+	if !almostEqual(math.Abs(v0[0]), 1/math.Sqrt2, 1e-9) || !almostEqual(math.Abs(v0[1]), 1/math.Sqrt2, 1e-9) {
+		t.Fatalf("first eigenvector = %v", v0)
+	}
+	// Components of v0 must share a sign (eigvec of eigenvalue 3 is (1,1)).
+	if v0[0]*v0[1] <= 0 {
+		t.Fatalf("first eigenvector direction wrong: %v", v0)
+	}
+}
+
+func TestSymEigenRejectsAsymmetric(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{1, 2}, {5, 1}})
+	if _, err := SymEigen(a); !errors.Is(err, ErrNotSymmetric) {
+		t.Fatalf("err = %v, want ErrNotSymmetric", err)
+	}
+}
+
+func TestSymEigenRejectsRectangular(t *testing.T) {
+	if _, err := SymEigen(NewMatrix(2, 3)); !errors.Is(err, ErrDimension) {
+		t.Fatal("SymEigen accepted a rectangular matrix")
+	}
+}
+
+func TestSymEigenEmpty(t *testing.T) {
+	ed, err := SymEigen(NewMatrix(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ed.Values) != 0 {
+		t.Fatal("empty matrix should have no eigenvalues")
+	}
+}
+
+// randomSymmetric builds a random symmetric matrix A = QᵀDQ-ish by
+// symmetrizing a random matrix.
+func randomSymmetric(rng *rand.Rand, n int) *Matrix {
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64() * 5
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	return a
+}
+
+func TestSymEigenProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		a := randomSymmetric(rng, n)
+		ed, err := SymEigen(a)
+		if err != nil {
+			return false
+		}
+		// 1. Values sorted descending.
+		if !sort.SliceIsSorted(ed.Values, func(i, j int) bool { return ed.Values[i] > ed.Values[j] }) {
+			return false
+		}
+		// 2. Trace preserved: sum of eigenvalues == trace(A).
+		var trace, sum float64
+		for i := 0; i < n; i++ {
+			trace += a.At(i, i)
+			sum += ed.Values[i]
+		}
+		if !almostEqual(trace, sum, 1e-7*(1+math.Abs(trace))) {
+			return false
+		}
+		// 3. Columns orthonormal.
+		for i := 0; i < n; i++ {
+			vi := ed.Vectors.Col(i)
+			if !almostEqual(Norm2(vi), 1, 1e-7) {
+				return false
+			}
+			for j := i + 1; j < n; j++ {
+				if !almostEqual(Dot(vi, ed.Vectors.Col(j)), 0, 1e-7) {
+					return false
+				}
+			}
+		}
+		// 4. A·v = λ·v for each pair.
+		for i := 0; i < n; i++ {
+			v := ed.Vectors.Col(i)
+			av, err := a.MulVec(v)
+			if err != nil {
+				return false
+			}
+			for k := range av {
+				if !almostEqual(av[k], ed.Values[i]*v[k], 1e-6*(1+math.Abs(ed.Values[i]))) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSymEigenDeterministicSign(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{4, 1, 0}, {1, 3, 1}, {0, 1, 2}})
+	ed1, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ed2, err := SymEigen(a.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		v1, v2 := ed1.Vectors.Col(i), ed2.Vectors.Col(i)
+		for k := range v1 {
+			if v1[k] != v2[k] {
+				t.Fatal("eigenvectors are not deterministic across runs")
+			}
+		}
+	}
+}
+
+func TestSymEigenDoesNotMutateInput(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{2, 1}, {1, 2}})
+	orig := a.Clone()
+	if _, err := SymEigen(a); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if a.At(i, j) != orig.At(i, j) {
+				t.Fatal("SymEigen mutated its input")
+			}
+		}
+	}
+}

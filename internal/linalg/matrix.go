@@ -1,0 +1,268 @@
+package linalg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Matrix is a dense row-major matrix of float64.
+//
+// The zero value is an empty 0x0 matrix. Use NewMatrix or FromRows to build
+// one. Methods that return a Matrix allocate fresh storage; in-place variants
+// are provided where the hot paths in this repository need them.
+type Matrix struct {
+	rows, cols int
+	data       []float64 // len == rows*cols, row-major
+}
+
+// NewMatrix returns a zeroed rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: NewMatrix negative dimension %dx%d", rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows. The data is
+// copied. An empty input yields a 0x0 matrix.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0), nil
+	}
+	cols := len(rows[0])
+	m := NewMatrix(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("linalg: FromRows ragged input: row %d has %d cols, want %d: %w",
+				i, len(r), cols, ErrDimension)
+		}
+		copy(m.data[i*cols:(i+1)*cols], r)
+	}
+	return m, nil
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = 1
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 {
+	m.boundsCheck(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) {
+	m.boundsCheck(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+func (m *Matrix) boundsCheck(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("linalg: index (%d,%d) out of range for %dx%d matrix", i, j, m.rows, m.cols))
+	}
+}
+
+// Row returns a view (not a copy) of row i. Mutating the returned slice
+// mutates the matrix.
+func (m *Matrix) Row(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("linalg: row %d out of range for %dx%d matrix", i, m.rows, m.cols))
+	}
+	return m.data[i*m.cols : (i+1)*m.cols]
+}
+
+// Col returns a copy of column j.
+func (m *Matrix) Col(j int) []float64 {
+	if j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("linalg: col %d out of range for %dx%d matrix", j, m.rows, m.cols))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = m.data[i*m.cols+j]
+	}
+	return out
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Matrix) T() *Matrix {
+	t := NewMatrix(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, v := range row {
+			t.data[j*t.cols+i] = v
+		}
+	}
+	return t
+}
+
+// Mul returns the matrix product m·b.
+func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
+	if m.cols != b.rows {
+		return nil, fmt.Errorf("linalg: Mul %dx%d by %dx%d: %w", m.rows, m.cols, b.rows, b.cols, ErrDimension)
+	}
+	out := NewMatrix(m.rows, b.cols)
+	// ikj loop order: stream through b's rows for locality.
+	for i := 0; i < m.rows; i++ {
+		arow := m.data[i*m.cols : (i+1)*m.cols]
+		orow := out.data[i*out.cols : (i+1)*out.cols]
+		for k, aik := range arow {
+			if aik == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bkj := range brow {
+				orow[j] += aik * bkj
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns the matrix-vector product m·x.
+func (m *Matrix) MulVec(x []float64) ([]float64, error) {
+	if m.cols != len(x) {
+		return nil, fmt.Errorf("linalg: MulVec %dx%d by vector of %d: %w", m.rows, m.cols, len(x), ErrDimension)
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = Dot(m.data[i*m.cols:(i+1)*m.cols], x)
+	}
+	return out, nil
+}
+
+// Add returns m + b.
+func (m *Matrix) Add(b *Matrix) (*Matrix, error) {
+	if m.rows != b.rows || m.cols != b.cols {
+		return nil, fmt.Errorf("linalg: Add %dx%d and %dx%d: %w", m.rows, m.cols, b.rows, b.cols, ErrDimension)
+	}
+	out := m.Clone()
+	for i, v := range b.data {
+		out.data[i] += v
+	}
+	return out, nil
+}
+
+// Sub returns m - b.
+func (m *Matrix) Sub(b *Matrix) (*Matrix, error) {
+	if m.rows != b.rows || m.cols != b.cols {
+		return nil, fmt.Errorf("linalg: Sub %dx%d and %dx%d: %w", m.rows, m.cols, b.rows, b.cols, ErrDimension)
+	}
+	out := m.Clone()
+	for i, v := range b.data {
+		out.data[i] -= v
+	}
+	return out, nil
+}
+
+// ScaleInPlace multiplies every element by alpha.
+func (m *Matrix) ScaleInPlace(alpha float64) {
+	for i := range m.data {
+		m.data[i] *= alpha
+	}
+}
+
+// IsSymmetric reports whether m is square and symmetric within tol.
+func (m *Matrix) IsSymmetric(tol float64) bool {
+	if m.rows != m.cols {
+		return false
+	}
+	for i := 0; i < m.rows; i++ {
+		for j := i + 1; j < m.cols; j++ {
+			d := m.data[i*m.cols+j] - m.data[j*m.cols+i]
+			if d < -tol || d > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ColumnMeans returns the mean of each column. For a 0-row matrix it returns
+// a zero vector of length Cols.
+func (m *Matrix) ColumnMeans() []float64 {
+	means := make([]float64, m.cols)
+	if m.rows == 0 {
+		return means
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, v := range row {
+			means[j] += v
+		}
+	}
+	inv := 1 / float64(m.rows)
+	for j := range means {
+		means[j] *= inv
+	}
+	return means
+}
+
+// Covariance returns the sample covariance matrix (cols×cols) of the rows of
+// m, using the unbiased 1/(n-1) normalization. It requires at least two rows.
+func (m *Matrix) Covariance() (*Matrix, error) {
+	if m.rows < 2 {
+		return nil, fmt.Errorf("linalg: Covariance needs >= 2 rows, have %d: %w", m.rows, ErrDimension)
+	}
+	means := m.ColumnMeans()
+	cov := NewMatrix(m.cols, m.cols)
+	for r := 0; r < m.rows; r++ {
+		row := m.data[r*m.cols : (r+1)*m.cols]
+		for i := 0; i < m.cols; i++ {
+			di := row[i] - means[i]
+			if di == 0 {
+				continue
+			}
+			crow := cov.data[i*m.cols:]
+			for j := i; j < m.cols; j++ {
+				crow[j] += di * (row[j] - means[j])
+			}
+		}
+	}
+	inv := 1 / float64(m.rows-1)
+	for i := 0; i < m.cols; i++ {
+		for j := i; j < m.cols; j++ {
+			v := cov.data[i*m.cols+j] * inv
+			cov.data[i*m.cols+j] = v
+			cov.data[j*m.cols+i] = v
+		}
+	}
+	return cov, nil
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%dx%d[", m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%.6g", m.data[i*m.cols+j])
+		}
+	}
+	b.WriteByte(']')
+	return b.String()
+}

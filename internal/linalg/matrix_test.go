@@ -1,0 +1,254 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustFromRows(t *testing.T, rows [][]float64) *Matrix {
+	t.Helper()
+	m, err := FromRows(rows)
+	if err != nil {
+		t.Fatalf("FromRows: %v", err)
+	}
+	return m
+}
+
+func TestFromRowsRagged(t *testing.T) {
+	_, err := FromRows([][]float64{{1, 2}, {3}})
+	if !errors.Is(err, ErrDimension) {
+		t.Fatalf("ragged FromRows error = %v, want ErrDimension", err)
+	}
+}
+
+func TestFromRowsEmpty(t *testing.T) {
+	m, err := FromRows(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 0 || m.Cols() != 0 {
+		t.Fatalf("empty FromRows gave %dx%d", m.Rows(), m.Cols())
+	}
+}
+
+func TestAtSetRowCol(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Fatal("Set/At roundtrip failed")
+	}
+	row := m.Row(1)
+	row[0] = 5 // Row is a view
+	if m.At(1, 0) != 5 {
+		t.Error("Row should be a mutable view")
+	}
+	col := m.Col(0)
+	col[0] = 42 // Col is a copy
+	if m.At(0, 0) == 42 {
+		t.Error("Col should be a copy")
+	}
+}
+
+func TestIdentityMul(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{1, 2}, {3, 4}})
+	i2 := Identity(2)
+	prod, err := a.Mul(i2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 2; r++ {
+		for c := 0; c < 2; c++ {
+			if prod.At(r, c) != a.At(r, c) {
+				t.Fatalf("A·I != A at (%d,%d)", r, c)
+			}
+		}
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{1, 2, 3}, {4, 5, 6}})
+	b := mustFromRows(t, [][]float64{{7, 8}, {9, 10}, {11, 12}})
+	got, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{58, 64}, {139, 154}}
+	for r := range want {
+		for c := range want[r] {
+			if got.At(r, c) != want[r][c] {
+				t.Fatalf("Mul[%d][%d] = %g, want %g", r, c, got.At(r, c), want[r][c])
+			}
+		}
+	}
+}
+
+func TestMulDimensionError(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(2, 3)
+	if _, err := a.Mul(b); !errors.Is(err, ErrDimension) {
+		t.Fatalf("Mul shape error = %v, want ErrDimension", err)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{1, 2}, {3, 4}})
+	got, err := a.MulVec([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 3 || got[1] != 7 {
+		t.Fatalf("MulVec = %v", got)
+	}
+	if _, err := a.MulVec([]float64{1}); !errors.Is(err, ErrDimension) {
+		t.Fatal("MulVec accepted wrong-length vector")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(6), 1+rng.Intn(6)
+		m := NewMatrix(rows, cols)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				m.Set(i, j, rng.NormFloat64())
+			}
+		}
+		tt := m.T().T()
+		if tt.Rows() != rows || tt.Cols() != cols {
+			return false
+		}
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				if tt.At(i, j) != m.At(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddSubMatrix(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{1, 2}, {3, 4}})
+	b := mustFromRows(t, [][]float64{{4, 3}, {2, 1}})
+	sum, err := a.Add(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.At(0, 0) != 5 || sum.At(1, 1) != 5 {
+		t.Errorf("Add wrong: %v", sum)
+	}
+	diff, err := sum.Sub(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 2; r++ {
+		for c := 0; c < 2; c++ {
+			if diff.At(r, c) != a.At(r, c) {
+				t.Fatal("Add then Sub is not identity")
+			}
+		}
+	}
+}
+
+func TestColumnMeans(t *testing.T) {
+	m := mustFromRows(t, [][]float64{{1, 10}, {3, 20}})
+	means := m.ColumnMeans()
+	if means[0] != 2 || means[1] != 15 {
+		t.Fatalf("ColumnMeans = %v", means)
+	}
+}
+
+func TestCovarianceKnown(t *testing.T) {
+	// Perfectly correlated columns: covariance matrix is rank 1.
+	m := mustFromRows(t, [][]float64{{1, 2}, {2, 4}, {3, 6}})
+	cov, err := m.Covariance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// var(col0) = 1, var(col1) = 4, cov = 2.
+	if !almostEqual(cov.At(0, 0), 1, 1e-12) ||
+		!almostEqual(cov.At(1, 1), 4, 1e-12) ||
+		!almostEqual(cov.At(0, 1), 2, 1e-12) ||
+		!almostEqual(cov.At(1, 0), 2, 1e-12) {
+		t.Fatalf("Covariance = %v", cov)
+	}
+}
+
+func TestCovarianceSymmetricPSDProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 2+rng.Intn(20), 1+rng.Intn(6)
+		m := NewMatrix(rows, cols)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				m.Set(i, j, rng.NormFloat64()*10)
+			}
+		}
+		cov, err := m.Covariance()
+		if err != nil {
+			return false
+		}
+		if !cov.IsSymmetric(1e-9) {
+			return false
+		}
+		// Positive semi-definite: xᵀCx >= 0 for random x.
+		x := make([]float64, cols)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		cx, err := cov.MulVec(x)
+		if err != nil {
+			return false
+		}
+		return Dot(x, cx) >= -1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCovarianceTooFewRows(t *testing.T) {
+	m := NewMatrix(1, 3)
+	if _, err := m.Covariance(); !errors.Is(err, ErrDimension) {
+		t.Fatalf("Covariance on 1 row err = %v, want ErrDimension", err)
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	sym := mustFromRows(t, [][]float64{{1, 2}, {2, 3}})
+	if !sym.IsSymmetric(0) {
+		t.Error("symmetric matrix reported asymmetric")
+	}
+	asym := mustFromRows(t, [][]float64{{1, 2}, {2.1, 3}})
+	if asym.IsSymmetric(1e-3) {
+		t.Error("asymmetric matrix reported symmetric")
+	}
+	rect := NewMatrix(2, 3)
+	if rect.IsSymmetric(math.Inf(1)) {
+		t.Error("rectangular matrix cannot be symmetric")
+	}
+}
+
+func TestCloneMatrixIndependence(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{1, 2}, {3, 4}})
+	c := a.Clone()
+	c.Set(0, 0, 99)
+	if a.At(0, 0) != 1 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestStringSmoke(t *testing.T) {
+	m := mustFromRows(t, [][]float64{{1, 2}})
+	if s := m.String(); s == "" {
+		t.Error("String returned empty")
+	}
+}

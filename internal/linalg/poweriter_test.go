@@ -1,0 +1,172 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomPSD builds a random positive semi-definite matrix BᵀB.
+func randomPSD(rng *rand.Rand, n int) *Matrix {
+	b := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b.Set(i, j, rng.NormFloat64())
+		}
+	}
+	bt := b.T()
+	a, _ := bt.Mul(b)
+	return a
+}
+
+func TestTopEigenMatchesJacobi(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		k := 1 + rng.Intn(n)
+		a := randomPSD(rng, n)
+
+		full, err := SymEigen(a)
+		if err != nil {
+			return false
+		}
+		top, err := TopEigen(a, k)
+		if err != nil {
+			return false
+		}
+		if len(top.Values) != k {
+			return false
+		}
+		for j := 0; j < k; j++ {
+			want := full.Values[j]
+			if math.Abs(top.Values[j]-want) > 1e-6*(1+math.Abs(want)) {
+				// Power iteration can struggle to split near-equal
+				// eigenvalues; accept if the value matches either
+				// neighbor of a cluster.
+				ok := false
+				for _, w := range full.Values {
+					if math.Abs(top.Values[j]-w) <= 1e-6*(1+math.Abs(w)) {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					return false
+				}
+			}
+			// Residual check: ||A v − λ v|| small.
+			v := top.Vectors.Col(j)
+			av, err := a.MulVec(v)
+			if err != nil {
+				return false
+			}
+			for i := range av {
+				av[i] -= top.Values[j] * v[i]
+			}
+			if Norm2(av) > 1e-5*(1+math.Abs(top.Values[j])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopEigenOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomPSD(rng, 8)
+	ed, err := TopEigen(a, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		vi := ed.Vectors.Col(i)
+		if math.Abs(Norm2(vi)-1) > 1e-8 {
+			t.Errorf("column %d norm %g", i, Norm2(vi))
+		}
+		for j := i + 1; j < 3; j++ {
+			if d := Dot(vi, ed.Vectors.Col(j)); math.Abs(d) > 1e-8 {
+				t.Errorf("columns %d,%d not orthogonal: %g", i, j, d)
+			}
+		}
+	}
+	// Values descending.
+	for i := 1; i < 3; i++ {
+		if ed.Values[i] > ed.Values[i-1]+1e-12 {
+			t.Errorf("values not descending: %v", ed.Values)
+		}
+	}
+}
+
+func TestTopEigenDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randomPSD(rng, 6)
+	e1, err := TopEigen(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := TopEigen(a.Clone(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 2; j++ {
+		if e1.Values[j] != e2.Values[j] {
+			t.Fatal("values not deterministic")
+		}
+		for i := 0; i < 6; i++ {
+			if e1.Vectors.At(i, j) != e2.Vectors.At(i, j) {
+				t.Fatal("vectors not deterministic")
+			}
+		}
+	}
+}
+
+func TestTopEigenErrors(t *testing.T) {
+	if _, err := TopEigen(NewMatrix(2, 3), 1); !errors.Is(err, ErrDimension) {
+		t.Error("rectangular accepted")
+	}
+	if _, err := TopEigen(Identity(3), 0); !errors.Is(err, ErrDimension) {
+		t.Error("k=0 accepted")
+	}
+	asym := mustFromRows(t, [][]float64{{1, 2}, {5, 1}})
+	if _, err := TopEigen(asym, 1); !errors.Is(err, ErrNotSymmetric) {
+		t.Error("asymmetric accepted")
+	}
+}
+
+func TestTopEigenKClamped(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randomPSD(rng, 3)
+	ed, err := TopEigen(a, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ed.Values) != 3 {
+		t.Errorf("values = %d, want clamped to 3", len(ed.Values))
+	}
+}
+
+func TestTopEigenRankDeficient(t *testing.T) {
+	// Rank-1 matrix: second eigenvalue is 0; iteration must still converge.
+	v := []float64{1, 2, 3}
+	a := NewMatrix(3, 3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			a.Set(i, j, v[i]*v[j])
+		}
+	}
+	ed, err := TopEigen(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ed.Values[0]-14) > 1e-8 { // ‖v‖² = 14
+		t.Errorf("lead eigenvalue = %g, want 14", ed.Values[0])
+	}
+	if math.Abs(ed.Values[1]) > 1e-8 {
+		t.Errorf("null eigenvalue = %g, want 0", ed.Values[1])
+	}
+}

@@ -1,0 +1,154 @@
+// Package linalg provides the dense linear algebra kernels used by the
+// LARPredictor reproduction: vector arithmetic, a dense matrix type,
+// symmetric eigendecomposition (cyclic Jacobi), Gaussian elimination with
+// partial pivoting, Cholesky factorization, and a Levinson–Durbin solver for
+// the symmetric Toeplitz systems arising in Yule–Walker AR fitting.
+//
+// Everything is implemented from scratch on float64 slices; there are no
+// external dependencies. The matrix type is row-major and small-matrix
+// oriented — the workloads in this repository are covariance matrices of
+// prediction windows (tens of columns), so cache-blocked or SIMD kernels are
+// deliberately out of scope.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrDimension is returned when operands have incompatible shapes.
+var ErrDimension = errors.New("linalg: dimension mismatch")
+
+// Dot returns the inner product of a and b.
+// It panics if the lengths differ, mirroring the behaviour of slice indexing.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: Dot length mismatch %d != %d", len(a), len(b)))
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v, computed with scaling to avoid
+// premature overflow/underflow for extreme magnitudes.
+func Norm2(v []float64) float64 {
+	var scale, ssq float64
+	ssq = 1
+	for _, x := range v {
+		if x == 0 {
+			continue
+		}
+		ax := math.Abs(x)
+		if scale < ax {
+			r := scale / ax
+			ssq = 1 + ssq*r*r
+			scale = ax
+		} else {
+			r := ax / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// Distance returns the Euclidean distance between a and b.
+func Distance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: Distance length mismatch %d != %d", len(a), len(b)))
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// SquaredDistance returns the squared Euclidean distance between a and b.
+// It is the preferred comparison key for nearest-neighbor search because it
+// avoids the square root while preserving ordering.
+func SquaredDistance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: SquaredDistance length mismatch %d != %d", len(a), len(b)))
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// AXPY computes y += alpha*x in place.
+func AXPY(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("linalg: AXPY length mismatch %d != %d", len(x), len(y)))
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Scale multiplies every element of v by alpha in place.
+func Scale(alpha float64, v []float64) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}
+
+// Add returns a new slice holding a + b element-wise.
+func Add(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: Add length mismatch %d != %d", len(a), len(b)))
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// Sub returns a new slice holding a - b element-wise.
+func Sub(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: Sub length mismatch %d != %d", len(a), len(b)))
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean of v, or 0 for an empty slice.
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// Clone returns a copy of v.
+func Clone(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}
+
+// AllFinite reports whether every element of v is finite (no NaN or Inf).
+func AllFinite(v []float64) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}

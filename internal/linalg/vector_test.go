@@ -1,0 +1,153 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestDot(t *testing.T) {
+	cases := []struct {
+		a, b []float64
+		want float64
+	}{
+		{[]float64{}, []float64{}, 0},
+		{[]float64{1}, []float64{2}, 2},
+		{[]float64{1, 2, 3}, []float64{4, 5, 6}, 32},
+		{[]float64{-1, 0, 1}, []float64{1, 100, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Dot(c.a, c.b); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Dot(%v,%v) = %g, want %g", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dot with mismatched lengths did not panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestNorm2(t *testing.T) {
+	if got := Norm2([]float64{3, 4}); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("Norm2(3,4) = %g, want 5", got)
+	}
+	if got := Norm2(nil); got != 0 {
+		t.Errorf("Norm2(nil) = %g, want 0", got)
+	}
+	// Scaling should prevent overflow for huge components.
+	big := math.MaxFloat64 / 4
+	got := Norm2([]float64{big, big})
+	if math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Errorf("Norm2 overflowed for large inputs: %g", got)
+	}
+}
+
+func TestDistanceAxioms(t *testing.T) {
+	// Property: distance is symmetric, non-negative, zero iff identical,
+	// and satisfies the triangle inequality.
+	f := func(a, b, c [4]float64) bool {
+		av, bv, cv := a[:], b[:], c[:]
+		dab := Distance(av, bv)
+		dba := Distance(bv, av)
+		if dab != dba || dab < 0 {
+			return false
+		}
+		if Distance(av, av) != 0 {
+			return false
+		}
+		dac := Distance(av, cv)
+		dcb := Distance(cv, bv)
+		return dab <= dac+dcb+1e-9*(1+dab)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSquaredDistanceMatchesDistance(t *testing.T) {
+	f := func(a, b [5]float64) bool {
+		d := Distance(a[:], b[:])
+		sq := SquaredDistance(a[:], b[:])
+		if math.IsInf(sq, 0) || math.IsInf(d, 0) {
+			return true // overflow regime: ordering is all we care about
+		}
+		return almostEqual(d*d, sq, 1e-6*(1+sq))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAXPYAndScale(t *testing.T) {
+	y := []float64{1, 2, 3}
+	AXPY(2, []float64{1, 1, 1}, y)
+	want := []float64{3, 4, 5}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("AXPY result %v, want %v", y, want)
+		}
+	}
+	Scale(0.5, y)
+	want = []float64{1.5, 2, 2.5}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("Scale result %v, want %v", y, want)
+		}
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	a := []float64{1, 2}
+	b := []float64{3, 5}
+	sum := Add(a, b)
+	diff := Sub(b, a)
+	if sum[0] != 4 || sum[1] != 7 {
+		t.Errorf("Add = %v", sum)
+	}
+	if diff[0] != 2 || diff[1] != 3 {
+		t.Errorf("Sub = %v", diff)
+	}
+	// Inputs untouched.
+	if a[0] != 1 || b[0] != 3 {
+		t.Error("Add/Sub mutated inputs")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %g", got)
+	}
+	if got := Mean([]float64{2, 4, 6}); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("Mean = %g, want 4", got)
+	}
+}
+
+func TestAllFinite(t *testing.T) {
+	if !AllFinite([]float64{0, -1, 1e300}) {
+		t.Error("AllFinite rejected finite slice")
+	}
+	if AllFinite([]float64{0, math.NaN()}) {
+		t.Error("AllFinite accepted NaN")
+	}
+	if AllFinite([]float64{math.Inf(1)}) {
+		t.Error("AllFinite accepted +Inf")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := []float64{1, 2, 3}
+	c := Clone(a)
+	c[0] = 99
+	if a[0] != 1 {
+		t.Error("Clone shares storage with input")
+	}
+}

@@ -1,0 +1,67 @@
+package monitor
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"github.com/acis-lab/larpredictor/internal/vmtrace"
+)
+
+// Status is the JSON document served by the status handler.
+type Status struct {
+	// SimulatedTime is the agent's current clock.
+	SimulatedTime time.Time `json:"simulated_time"`
+	// Samples is the number of raw samples collected so far.
+	Samples int64 `json:"samples"`
+	// VMs lists the monitored virtual machines.
+	VMs []vmtrace.VMID `json:"vms"`
+	// SampleInterval and ConsolidationInterval echo the configuration.
+	SampleInterval        string `json:"sample_interval"`
+	ConsolidationInterval string `json:"consolidation_interval"`
+	// Extra carries application-level state (monitord adds prediction
+	// counts and QA results here).
+	Extra any `json:"extra,omitempty"`
+}
+
+// Status returns a snapshot of the agent's state.
+func (a *Agent) Status() Status {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	vms := make([]vmtrace.VMID, len(a.cfg.VMs))
+	copy(vms, a.cfg.VMs)
+	return Status{
+		SimulatedTime:         a.now,
+		Samples:               a.samples,
+		VMs:                   vms,
+		SampleInterval:        a.cfg.SampleInterval.String(),
+		ConsolidationInterval: a.cfg.ConsolidationInterval.String(),
+	}
+}
+
+// NewStatusHandler serves the agent's status as JSON at any path, plus a
+// trivial liveness response for HEAD requests. extra, when non-nil, is
+// invoked per request and attached to the document — monitord uses it to
+// publish pipeline counters.
+func NewStatusHandler(a *Agent, extra func() any) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodHead {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		st := a.Status()
+		if extra != nil {
+			st.Extra = extra()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(st); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

@@ -1,0 +1,112 @@
+package monitor
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/acis-lab/larpredictor/internal/vmtrace"
+)
+
+func TestStatusSnapshot(t *testing.T) {
+	cfg := testConfig(vmtrace.VM1, vmtrace.VM2)
+	a, err := NewAgent(cfg, constSampler(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Run(30 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	st := a.Status()
+	if len(st.VMs) != 2 {
+		t.Errorf("VMs = %v", st.VMs)
+	}
+	if st.Samples != 30*2*12 {
+		t.Errorf("samples = %d", st.Samples)
+	}
+	if !st.SimulatedTime.Equal(cfg.Start.Add(30 * time.Minute)) {
+		t.Errorf("time = %v", st.SimulatedTime)
+	}
+	if st.SampleInterval != "1m0s" || st.ConsolidationInterval != "5m0s" {
+		t.Errorf("intervals = %q %q", st.SampleInterval, st.ConsolidationInterval)
+	}
+}
+
+func TestStatusHandler(t *testing.T) {
+	a, err := NewAgent(testConfig(vmtrace.VM3), constSampler(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Run(10 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	h := NewStatusHandler(a, func() any {
+		return map[string]int{"predictions": 7}
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Samples != 10*12 {
+		t.Errorf("samples = %d", st.Samples)
+	}
+	extra, ok := st.Extra.(map[string]any)
+	if !ok || extra["predictions"] != float64(7) {
+		t.Errorf("extra = %#v", st.Extra)
+	}
+
+	// HEAD is a liveness probe.
+	headResp, err := http.Head(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	headResp.Body.Close()
+	if headResp.StatusCode != http.StatusOK {
+		t.Errorf("HEAD status = %d", headResp.StatusCode)
+	}
+
+	// Other methods rejected.
+	postResp, err := http.Post(srv.URL, "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	postResp.Body.Close()
+	if postResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST status = %d", postResp.StatusCode)
+	}
+}
+
+func TestStatusHandlerNoExtra(t *testing.T) {
+	a, err := NewAgent(testConfig(vmtrace.VM5), constSampler(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	NewStatusHandler(a, nil).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("code = %d", rec.Code)
+	}
+	var st Status
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Extra != nil {
+		t.Errorf("extra = %#v, want nil", st.Extra)
+	}
+}

@@ -1,0 +1,270 @@
+package monitor
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/acis-lab/larpredictor/internal/rrd"
+	"github.com/acis-lab/larpredictor/internal/vmtrace"
+)
+
+// constSampler returns a fixed value for every sample.
+func constSampler(v float64) Sampler {
+	return func(vmtrace.VMID, vmtrace.Metric, time.Time) (float64, bool) { return v, true }
+}
+
+func testConfig(vms ...vmtrace.VMID) Config {
+	cfg := DefaultConfig(vms...)
+	cfg.Retention = 24 * time.Hour
+	return cfg
+}
+
+func TestNewAgentValidation(t *testing.T) {
+	base := testConfig(vmtrace.VM1)
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"no vms", func(c *Config) { c.VMs = nil }},
+		{"zero sample", func(c *Config) { c.SampleInterval = 0 }},
+		{"zero consolidation", func(c *Config) { c.ConsolidationInterval = 0 }},
+		{"misaligned", func(c *Config) { c.SampleInterval = 7 * time.Second }},
+		{"tiny retention", func(c *Config) { c.Retention = time.Minute }},
+	}
+	for _, c := range cases {
+		cfg := base
+		c.mut(&cfg)
+		if _, err := NewAgent(cfg, constSampler(1)); err == nil {
+			t.Errorf("%s: config accepted", c.name)
+		}
+	}
+	if _, err := NewAgent(base, nil); err == nil {
+		t.Error("nil sampler accepted")
+	}
+}
+
+func TestAgentCollectsAndProfiles(t *testing.T) {
+	cfg := testConfig(vmtrace.VM2)
+	a, err := NewAgent(cfg, constSampler(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two hours of monitoring = 24 five-minute rows.
+	if err := a.Run(2 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Now().Sub(cfg.Start); got != 2*time.Hour {
+		t.Errorf("clock advanced %v", got)
+	}
+	if a.Samples() != 120*12 { // 120 ticks × 12 metrics
+		t.Errorf("samples = %d", a.Samples())
+	}
+	s, err := a.Profile(Query{
+		VM: vmtrace.VM2, Metric: vmtrace.CPUUsedSec,
+		Start: cfg.Start, End: cfg.Start.Add(2 * time.Hour),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Interval != 5*time.Minute {
+		t.Errorf("interval = %v", s.Interval)
+	}
+	if s.Len() < 20 {
+		t.Errorf("profiled %d rows, want ~23", s.Len())
+	}
+	for i, v := range s.Values {
+		if math.Abs(v-7) > 1e-9 {
+			t.Fatalf("row %d = %g, want 7", i, v)
+		}
+	}
+	if s.Name != "VM2_CPU_usedsec" {
+		t.Errorf("name = %q", s.Name)
+	}
+}
+
+func TestAgentConsolidatesOneMinuteSamplesToFiveMinuteAverages(t *testing.T) {
+	// Sample value = minute index; each 5-minute row is the average of the
+	// five 1-minute samples it covers.
+	cfg := testConfig(vmtrace.VM3)
+	tick := 0.0
+	sampler := func(vmtrace.VMID, vmtrace.Metric, time.Time) (float64, bool) {
+		return tick, true
+	}
+	a, err := NewAgent(cfg, sampler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		tick = float64(i)
+		if err := a.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := a.Profile(Query{
+		VM: vmtrace.VM3, Metric: vmtrace.MemSize,
+		Start: cfg.Start, End: cfg.Start.Add(30 * time.Minute),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() < 4 {
+		t.Fatalf("rows = %d", s.Len())
+	}
+	// Each row averages 5 consecutive integers; consecutive rows differ by
+	// 5. The first row is short (the very first update only seeds the RRD
+	// clock), so start the check at the second pair.
+	for i := 2; i < s.Len(); i++ {
+		if math.Abs((s.At(i)-s.At(i-1))-5) > 1e-9 {
+			t.Fatalf("rows not 5-minute averages: %v", s.Values)
+		}
+	}
+}
+
+func TestProfileUnknownVMAndMetric(t *testing.T) {
+	a, err := NewAgent(testConfig(vmtrace.VM1), constSampler(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Profile(Query{VM: "VM9"}); !errors.Is(err, ErrUnknownVM) {
+		t.Errorf("unknown VM err = %v", err)
+	}
+	if _, err := a.Profile(Query{VM: vmtrace.VM1, Metric: "bogus"}); !errors.Is(err, ErrNoData) {
+		t.Errorf("unknown metric err = %v", err)
+	}
+}
+
+func TestProfileEmptyWindow(t *testing.T) {
+	cfg := testConfig(vmtrace.VM1)
+	a, err := NewAgent(cfg, constSampler(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Run(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	_, err = a.Profile(Query{
+		VM: vmtrace.VM1, Metric: vmtrace.CPUUsedSec,
+		Start: cfg.Start.Add(100 * time.Hour), End: cfg.Start.Add(101 * time.Hour),
+	})
+	if !errors.Is(err, ErrNoData) {
+		t.Errorf("future window err = %v", err)
+	}
+}
+
+func TestProfileForwardFillsGaps(t *testing.T) {
+	// Sampler fails for a stretch: the heartbeat turns it into unknown rows
+	// which Profile must forward-fill.
+	cfg := testConfig(vmtrace.VM4)
+	minute := 0
+	sampler := func(vmtrace.VMID, vmtrace.Metric, time.Time) (float64, bool) {
+		minute++
+		if minute > 300*12 && minute < 420*12 { // a ~2h outage (12 metrics/tick)
+			return 0, false
+		}
+		return 42, true
+	}
+	a, err := NewAgent(cfg, sampler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Run(10 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	s, err := a.Profile(Query{
+		VM: vmtrace.VM4, Metric: vmtrace.NIC1RX,
+		Start: cfg.Start, End: cfg.Start.Add(10 * time.Hour),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range s.Values {
+		if math.IsNaN(v) {
+			t.Fatalf("row %d still NaN after forward fill", i)
+		}
+	}
+	if s.Len() < 100 {
+		t.Errorf("rows = %d", s.Len())
+	}
+}
+
+func TestProfileMaxArchive(t *testing.T) {
+	cfg := testConfig(vmtrace.VM5)
+	a, err := NewAgent(cfg, constSampler(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Run(4 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	s, err := a.Profile(Query{
+		VM: vmtrace.VM5, Metric: vmtrace.VD1Read, CF: rrd.Max,
+		Start: cfg.Start, End: cfg.Start.Add(4 * time.Hour),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Interval != time.Hour {
+		t.Errorf("max archive interval = %v, want 1h", s.Interval)
+	}
+}
+
+func TestTraceSamplerEndToEnd(t *testing.T) {
+	// Full integration: synthetic traces → agent → profiler, with the
+	// profiled series tracking the source trace.
+	traces := vmtrace.StandardTraceSet(21)
+	cfg := testConfig(vmtrace.VM2)
+	a, err := NewAgent(cfg, TraceSampler(traces))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Run(12 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Profile(Query{
+		VM: vmtrace.VM2, Metric: vmtrace.CPUUsedSec,
+		Start: cfg.Start, End: cfg.Start.Add(12 * time.Hour),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := traces.Get(vmtrace.VM2, vmtrace.CPUUsedSec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() < 100 {
+		t.Fatalf("profiled only %d rows", got.Len())
+	}
+	// A gauge update at time t covers the minute preceding t, so each
+	// 5-minute row blends the trace interval it ends in with its
+	// predecessor. The row must therefore lie within the span of those two
+	// adjacent source values.
+	for i := 1; i < got.Len()-1; i++ {
+		rowTime := got.TimeAt(i)
+		srcIdx := int(rowTime.Sub(src.Start) / src.Interval)
+		if srcIdx < 1 || srcIdx >= src.Len() {
+			continue
+		}
+		lo, hi := src.At(srcIdx-1), src.At(srcIdx)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		tol := 1e-6 * (1 + math.Abs(hi))
+		if got.At(i) < lo-tol || got.At(i) > hi+tol {
+			t.Fatalf("row %d (%v) = %g outside source span [%g, %g]",
+				i, rowTime, got.At(i), lo, hi)
+		}
+	}
+}
+
+func TestTraceSamplerOutOfRange(t *testing.T) {
+	traces := vmtrace.StandardTraceSet(1)
+	s := TraceSampler(traces)
+	if _, ok := s(vmtrace.VM1, vmtrace.CPUUsedSec, time.Date(1990, 1, 1, 0, 0, 0, 0, time.UTC)); ok {
+		t.Error("sampled before trace start")
+	}
+	if _, ok := s("VM9", vmtrace.CPUUsedSec, time.Now()); ok {
+		t.Error("sampled unknown VM")
+	}
+}

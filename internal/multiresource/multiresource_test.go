@@ -1,0 +1,238 @@
+package multiresource
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/acis-lab/larpredictor/internal/predictors"
+)
+
+// coupledSeries generates (cpu, mem) where cpu_t depends on mem_{t-1}:
+// mem is an AR(1) process and cpu = own-AR + gamma·mem_{t-1} + noise.
+func coupledSeries(seed int64, n int, gamma float64) (cpu, mem []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	cpu = make([]float64, n)
+	mem = make([]float64, n)
+	for i := 1; i < n; i++ {
+		mem[i] = 0.8*mem[i-1] + rng.NormFloat64()
+		cpu[i] = 0.4*cpu[i-1] + gamma*mem[i-1] + 0.5*rng.NormFloat64()
+	}
+	return cpu, mem
+}
+
+func testMSE(t *testing.T, m *Model, cpu, mem []float64, start int) float64 {
+	t.Helper()
+	var ss float64
+	cnt := 0
+	for i := start; i < len(cpu)-1; i++ {
+		pred, err := m.Predict(cpu[:i+1], mem[:i+1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := pred - cpu[i+1]
+		ss += d * d
+		cnt++
+	}
+	return ss / float64(cnt)
+}
+
+func TestCrossResourceBeatsSingleResourceWhenCoupled(t *testing.T) {
+	cpu, mem := coupledSeries(1, 4000, 0.7)
+	half := len(cpu) / 2
+
+	cross := New(3, 3)
+	if err := cross.Fit(cpu[:half], mem[:half]); err != nil {
+		t.Fatal(err)
+	}
+	single := New(3, 0)
+	if err := single.Fit(cpu[:half], mem[:half]); err != nil {
+		t.Fatal(err)
+	}
+
+	crossMSE := testMSE(t, cross, cpu, mem, half)
+	singleMSE := testMSE(t, single, cpu, mem, half)
+	if crossMSE >= singleMSE {
+		t.Errorf("cross-resource MSE %.4f not below single-resource %.4f on coupled series",
+			crossMSE, singleMSE)
+	}
+	if g := cross.CrossGain(); g < 0.2 {
+		t.Errorf("cross gain %.3f too small for strongly coupled series", g)
+	}
+}
+
+func TestCrossResourceHarmlessWhenUncoupled(t *testing.T) {
+	cpu, _ := coupledSeries(2, 4000, 0) // gamma = 0: no coupling
+	rng := rand.New(rand.NewSource(3))
+	noise := make([]float64, len(cpu))
+	for i := range noise {
+		noise[i] = rng.NormFloat64()
+	}
+	half := len(cpu) / 2
+
+	cross := New(3, 3)
+	if err := cross.Fit(cpu[:half], noise[:half]); err != nil {
+		t.Fatal(err)
+	}
+	single := New(3, 0)
+	if err := single.Fit(cpu[:half], noise[:half]); err != nil {
+		t.Fatal(err)
+	}
+	crossMSE := testMSE(t, cross, cpu, noise, half)
+	singleMSE := testMSE(t, single, cpu, noise, half)
+	// The useless auxiliary must cost at most a small overfitting penalty.
+	if crossMSE > 1.05*singleMSE {
+		t.Errorf("uncoupled auxiliary cost too much: %.4f vs %.4f", crossMSE, singleMSE)
+	}
+	if g := cross.CrossGain(); g > 0.25 {
+		t.Errorf("cross gain %.3f on pure-noise auxiliary", g)
+	}
+}
+
+func TestCrossBeatsYuleWalkerAROnCoupledSeries(t *testing.T) {
+	// The headline comparison from Liang et al.: multi-resource beats the
+	// standard single-series AR when cross-correlation is real.
+	cpu, mem := coupledSeries(4, 4000, 0.7)
+	half := len(cpu) / 2
+
+	cross := New(3, 3)
+	if err := cross.Fit(cpu[:half], mem[:half]); err != nil {
+		t.Fatal(err)
+	}
+	ar := predictors.NewAR(3)
+	if err := ar.Fit(cpu[:half]); err != nil {
+		t.Fatal(err)
+	}
+
+	var crossSS, arSS float64
+	cnt := 0
+	for i := half; i < len(cpu)-1; i++ {
+		cp, err := cross.Predict(cpu[:i+1], mem[:i+1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		ap, err := ar.Predict(cpu[i-2 : i+1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		target := cpu[i+1]
+		crossSS += (cp - target) * (cp - target)
+		arSS += (ap - target) * (ap - target)
+		cnt++
+	}
+	if crossSS >= arSS {
+		t.Errorf("cross-resource MSE %.4f not below Yule-Walker AR %.4f",
+			crossSS/float64(cnt), arSS/float64(cnt))
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	m := New(2, 1)
+	if err := m.Fit([]float64{1, 2, 3}, []float64{1, 2}); !errors.Is(err, ErrBadInput) {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := m.Predict([]float64{1, 2}, []float64{1, 2}); !errors.Is(err, ErrNotFitted) {
+		t.Error("unfitted Predict did not error")
+	}
+}
+
+func TestFallbackOnShortData(t *testing.T) {
+	m := New(3, 3)
+	if err := m.Fit([]float64{1, 2, 3, 4}, []float64{4, 3, 2, 1}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Predict([]float64{5, 6, 7}, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 7 {
+		t.Errorf("fallback = %g, want LAST", got)
+	}
+	if m.CrossGain() != 0 {
+		t.Error("fallback model claims cross gain")
+	}
+}
+
+func TestPredictWindowTooShort(t *testing.T) {
+	cpu, mem := coupledSeries(5, 400, 0.5)
+	m := New(3, 3)
+	if err := m.Fit(cpu, mem); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Predict(cpu[:2], mem[:10]); !errors.Is(err, ErrBadInput) {
+		t.Error("short target window accepted")
+	}
+	if _, err := m.Predict(cpu[:10], mem[:2]); !errors.Is(err, ErrBadInput) {
+		t.Error("short aux window accepted")
+	}
+}
+
+func TestCollinearAuxiliaryIsStable(t *testing.T) {
+	// aux == target: perfectly collinear design. The ridge epsilon must
+	// keep the solve stable and predictions finite.
+	cpu, _ := coupledSeries(6, 2000, 0)
+	m := New(3, 3)
+	if err := m.Fit(cpu, cpu); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := m.Predict(cpu[:100], cpu[:100])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(pred) || math.IsInf(pred, 0) {
+		t.Fatalf("collinear prediction = %g", pred)
+	}
+}
+
+func TestCrossCorrelation(t *testing.T) {
+	// x leads z by exactly one step: corr(z_t, x_{t-1}) = 1.
+	x := make([]float64, 100)
+	z := make([]float64, 100)
+	rng := rand.New(rand.NewSource(7))
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	for i := 1; i < len(z); i++ {
+		z[i] = x[i-1]
+	}
+	rho, err := CrossCorrelation(z[1:], x[1:], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho < 0.95 {
+		t.Errorf("lead-lag cross-correlation = %g, want ~1", rho)
+	}
+	rho0, err := CrossCorrelation(z[1:], x[1:], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rho0) > 0.3 {
+		t.Errorf("contemporaneous correlation = %g, want ~0", rho0)
+	}
+	// Errors.
+	if _, err := CrossCorrelation([]float64{1}, []float64{1, 2}, 0); !errors.Is(err, ErrBadInput) {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := CrossCorrelation(z, x, 1000); !errors.Is(err, ErrBadInput) {
+		t.Error("excess lag accepted")
+	}
+	// Constant series: zero by convention.
+	rho, err = CrossCorrelation([]float64{1, 1, 1}, []float64{1, 2, 3}, 0)
+	if err != nil || rho != 0 {
+		t.Errorf("constant-series correlation = %g, err %v", rho, err)
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for _, c := range []struct{ p, q int }{{0, 1}, {1, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", c.p, c.q)
+				}
+			}()
+			New(c.p, c.q)
+		}()
+	}
+}

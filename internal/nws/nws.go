@@ -1,0 +1,204 @@
+// Package nws reimplements the predictor-selection scheme of the Network
+// Weather Service (paper §2, reference [30]), the baseline the LARPredictor
+// is evaluated against: every expert in the pool runs in parallel on every
+// step, a cumulative Mean Square Error is tracked per expert, and the expert
+// with the lowest error-to-date is the one whose forecast is published.
+//
+// Two variants are provided, matching the paper's Figure 6 comparison:
+//
+//   - Cum.MSE   — errors accumulate over the entire history.
+//   - W-Cum.MSE — errors accumulate over a sliding window of recent steps
+//     (window 2 in the paper's experiment).
+package nws
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/acis-lab/larpredictor/internal/predictors"
+	"github.com/acis-lab/larpredictor/internal/timeseries"
+)
+
+// ErrNoPool is returned when a selector is constructed without predictors.
+var ErrNoPool = errors.New("nws: empty predictor pool")
+
+// Selector is a mix-of-experts forecaster with cumulative-MSE selection.
+// It is stateful — each Step folds one observation into the per-expert error
+// statistics — and not safe for concurrent use.
+type Selector struct {
+	pool   *predictors.Pool
+	window int // 0 = cumulative over all history
+
+	// cumulative statistics (window == 0)
+	sumSq []float64
+	count int
+
+	// sliding statistics (window > 0): ring buffer of recent squared errors
+	recent [][]float64 // recent[i] is the ring for expert i
+	next   int
+	filled int
+}
+
+// NewCumulativeMSE returns the classic NWS selector: lowest cumulative MSE
+// over the whole history wins.
+func NewCumulativeMSE(pool *predictors.Pool) (*Selector, error) {
+	return newSelector(pool, 0)
+}
+
+// NewWindowedMSE returns the fixed-window variant: lowest MSE over the last
+// `window` steps wins. The paper's experiment uses window = 2.
+func NewWindowedMSE(pool *predictors.Pool, window int) (*Selector, error) {
+	if window < 1 {
+		return nil, fmt.Errorf("nws: window %d < 1", window)
+	}
+	return newSelector(pool, window)
+}
+
+func newSelector(pool *predictors.Pool, window int) (*Selector, error) {
+	if pool == nil || pool.Size() == 0 {
+		return nil, ErrNoPool
+	}
+	s := &Selector{pool: pool, window: window}
+	if window == 0 {
+		s.sumSq = make([]float64, pool.Size())
+	} else {
+		s.recent = make([][]float64, pool.Size())
+		for i := range s.recent {
+			s.recent[i] = make([]float64, window)
+		}
+	}
+	return s, nil
+}
+
+// Pool returns the selector's expert pool.
+func (s *Selector) Pool() *predictors.Pool { return s.pool }
+
+// StepResult reports one selection step.
+type StepResult struct {
+	// Selected is the pool index of the expert whose forecast was published
+	// for this step (chosen from error statistics before this step's
+	// observation was seen).
+	Selected int
+	// Prediction is the published forecast.
+	Prediction float64
+	// All holds every expert's forecast, in pool order.
+	All []float64
+}
+
+// Step publishes a forecast for the observation that follows window, then
+// folds that observation into every expert's error statistics. This mirrors
+// NWS operation: the selection for step t is based on errors from steps
+// < t; all experts run in parallel regardless of which is selected.
+func (s *Selector) Step(window []float64, observed float64) (StepResult, error) {
+	all, err := s.pool.PredictAll(window)
+	if err != nil {
+		return StepResult{}, err
+	}
+	sel := s.selectExpert()
+	// Fold this step's errors in.
+	if s.window == 0 {
+		for i, p := range all {
+			d := p - observed
+			s.sumSq[i] += d * d
+		}
+		s.count++
+	} else {
+		for i, p := range all {
+			d := p - observed
+			s.recent[i][s.next] = d * d
+		}
+		s.next = (s.next + 1) % s.window
+		if s.filled < s.window {
+			s.filled++
+		}
+	}
+	return StepResult{Selected: sel, Prediction: all[sel], All: all}, nil
+}
+
+// selectExpert returns the pool index with the lowest current error
+// statistic. With no history yet, every expert ties at zero and the lowest
+// index wins, matching the deterministic tie-break used pool-wide.
+func (s *Selector) selectExpert() int {
+	best, bestErr := 0, s.errStat(0)
+	for i := 1; i < s.pool.Size(); i++ {
+		if e := s.errStat(i); e < bestErr {
+			best, bestErr = i, e
+		}
+	}
+	return best
+}
+
+// errStat returns expert i's current selection statistic (mean squared
+// error over the tracked horizon).
+func (s *Selector) errStat(i int) float64 {
+	if s.window == 0 {
+		if s.count == 0 {
+			return 0
+		}
+		return s.sumSq[i] / float64(s.count)
+	}
+	if s.filled == 0 {
+		return 0
+	}
+	var sum float64
+	for j := 0; j < s.filled; j++ {
+		sum += s.recent[i][j]
+	}
+	return sum / float64(s.filled)
+}
+
+// Reset clears all accumulated error statistics.
+func (s *Selector) Reset() {
+	if s.window == 0 {
+		for i := range s.sumSq {
+			s.sumSq[i] = 0
+		}
+		s.count = 0
+		return
+	}
+	for i := range s.recent {
+		for j := range s.recent[i] {
+			s.recent[i][j] = 0
+		}
+	}
+	s.next, s.filled = 0, 0
+}
+
+// RunResult is the outcome of running a selector over a framed series.
+type RunResult struct {
+	// Selected[i] is the expert chosen for frame i.
+	Selected []int
+	// Predictions[i] is the published forecast for frame i.
+	Predictions []float64
+	// Targets[i] is the observed value for frame i.
+	Targets []float64
+	// MSE is the mean squared error of the published forecasts.
+	MSE float64
+}
+
+// Run steps the selector through every frame in order and aggregates the
+// published-forecast error. Frames must be in time order; the selector's
+// existing statistics are retained (call Reset first for a cold start).
+func (s *Selector) Run(frames []timeseries.Frame) (RunResult, error) {
+	res := RunResult{
+		Selected:    make([]int, len(frames)),
+		Predictions: make([]float64, len(frames)),
+		Targets:     make([]float64, len(frames)),
+	}
+	var sumSq float64
+	for i, f := range frames {
+		step, err := s.Step(f.Window, f.Target)
+		if err != nil {
+			return RunResult{}, fmt.Errorf("nws: frame %d: %w", i, err)
+		}
+		res.Selected[i] = step.Selected
+		res.Predictions[i] = step.Prediction
+		res.Targets[i] = f.Target
+		d := step.Prediction - f.Target
+		sumSq += d * d
+	}
+	if len(frames) > 0 {
+		res.MSE = sumSq / float64(len(frames))
+	}
+	return res, nil
+}

@@ -1,0 +1,112 @@
+package preddb
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// persistence format: magic header, version, gob stream — same scheme as
+// internal/rrd so operators can identify the files.
+var persistMagic = [8]byte{'L', 'A', 'R', 'P', 'P', 'D', 'B', '1'}
+
+const persistVersion uint32 = 1
+
+// ErrBadFormat is returned by Load for unrecognized input.
+var ErrBadFormat = errors.New("preddb: unrecognized database format")
+
+// snapshot is the serialized form.
+type snapshot struct {
+	Keys []Key
+	Rows [][]Record
+}
+
+// Save serializes the database. It holds the read lock for the duration.
+func (db *DB) Save(w io.Writer) error {
+	if _, err := w.Write(persistMagic[:]); err != nil {
+		return fmt.Errorf("preddb: write magic: %w", err)
+	}
+	var ver [4]byte
+	ver[0] = byte(persistVersion)
+	ver[1] = byte(persistVersion >> 8)
+	ver[2] = byte(persistVersion >> 16)
+	ver[3] = byte(persistVersion >> 24)
+	if _, err := w.Write(ver[:]); err != nil {
+		return fmt.Errorf("preddb: write version: %w", err)
+	}
+
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	snap := snapshot{}
+	for k, rows := range db.rows {
+		snap.Keys = append(snap.Keys, k)
+		cp := make([]Record, len(rows))
+		copy(cp, rows)
+		snap.Rows = append(snap.Rows, cp)
+	}
+	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+		return fmt.Errorf("preddb: encode: %w", err)
+	}
+	return nil
+}
+
+// Load deserializes a database written by Save.
+func Load(r io.Reader) (*DB, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("preddb: read magic: %w", err)
+	}
+	if magic != persistMagic {
+		return nil, ErrBadFormat
+	}
+	var ver [4]byte
+	if _, err := io.ReadFull(r, ver[:]); err != nil {
+		return nil, fmt.Errorf("preddb: read version: %w", err)
+	}
+	v := uint32(ver[0]) | uint32(ver[1])<<8 | uint32(ver[2])<<16 | uint32(ver[3])<<24
+	if v != persistVersion {
+		return nil, fmt.Errorf("preddb: version %d unsupported: %w", v, ErrBadFormat)
+	}
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("preddb: decode: %w", err)
+	}
+	if len(snap.Keys) != len(snap.Rows) {
+		return nil, fmt.Errorf("preddb: corrupt snapshot (%d keys, %d row sets): %w",
+			len(snap.Keys), len(snap.Rows), ErrBadFormat)
+	}
+	db := New()
+	for i, k := range snap.Keys {
+		db.rows[k] = snap.Rows[i]
+	}
+	return db, nil
+}
+
+// Prune drops records older than cutoff for every key, returning how many
+// records were removed. The prediction DB grows forever otherwise; the
+// paper's RRD bounds raw samples the same way.
+func (db *DB) Prune(cutoff time.Time) int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	removed := 0
+	for k, rows := range db.rows {
+		i := 0
+		for i < len(rows) && rows[i].Time.Before(cutoff) {
+			i++
+		}
+		if i == 0 {
+			continue
+		}
+		removed += i
+		if i == len(rows) {
+			delete(db.rows, k)
+			continue
+		}
+		kept := make([]Record, len(rows)-i)
+		copy(kept, rows[i:])
+		db.rows[k] = kept
+	}
+	return removed
+}

@@ -1,0 +1,89 @@
+package preddb
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db := New()
+	for i := 0; i < 10; i++ {
+		db.PutObservation(key1, at(i), float64(i))
+		db.PutPrediction(key1, at(i), float64(i)+0.5, "AR")
+		db.PutObservation(key2, at(i), float64(2*i))
+	}
+
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Keys()) != 2 {
+		t.Fatalf("keys = %v", loaded.Keys())
+	}
+	a := db.Range(key1, at(0), at(9))
+	b := loaded.Range(key1, at(0), at(9))
+	if len(a) != len(b) {
+		t.Fatalf("records %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Loaded DB keeps working.
+	loaded.PutObservation(key1, at(10), 99)
+	if loaded.Len(key1) != 11 {
+		t.Error("loaded DB rejected new writes")
+	}
+	mse, n, err := loaded.AuditMSE(key1, 5)
+	if err != nil || n != 5 || mse != 0.25 {
+		t.Errorf("audit on loaded DB: mse=%g n=%d err=%v", mse, n, err)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("garbage data here......"))); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("garbage err = %v", err)
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+	var buf bytes.Buffer
+	buf.Write(persistMagic[:])
+	buf.Write([]byte{9, 9, 9, 9})
+	if _, err := Load(&buf); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("bad version err = %v", err)
+	}
+}
+
+func TestPrune(t *testing.T) {
+	db := New()
+	for i := 0; i < 10; i++ {
+		db.PutObservation(key1, at(i), float64(i))
+	}
+	db.PutObservation(key2, at(0), 1) // fully-pruned key
+
+	removed := db.Prune(at(5))
+	if removed != 6 { // key1 rows 0..4 plus key2 row 0
+		t.Errorf("removed = %d, want 6", removed)
+	}
+	if db.Len(key1) != 5 {
+		t.Errorf("key1 rows = %d, want 5", db.Len(key1))
+	}
+	if db.Len(key2) != 0 {
+		t.Error("fully-pruned key still has rows")
+	}
+	recs := db.Range(key1, at(0), at(9))
+	if len(recs) != 5 || !recs[0].Time.Equal(at(5)) {
+		t.Errorf("surviving records = %+v", recs)
+	}
+	// Pruning nothing.
+	if n := db.Prune(at(0)); n != 0 {
+		t.Errorf("no-op prune removed %d", n)
+	}
+}

@@ -1,0 +1,85 @@
+package predictors
+
+import (
+	"fmt"
+
+	"github.com/acis-lab/larpredictor/internal/timeseries"
+)
+
+// adaptiveWindow implements the NWS adaptive-window strategy shared by the
+// mean and median variants: for each candidate trailing length w, score how
+// well an aggregate over the w samples *preceding* the final window sample
+// would have predicted that final sample, pick the w with the smallest
+// error, and predict with that length over the true trailing samples.
+type adaptiveWindow struct {
+	name      string
+	maxWindow int
+	aggregate func(v []float64) float64
+}
+
+func (a *adaptiveWindow) Name() string        { return a.name }
+func (a *adaptiveWindow) Order() int          { return 2 } // need 1 sample to score + 1 to aggregate
+func (a *adaptiveWindow) Fit([]float64) error { return nil }
+
+func (a *adaptiveWindow) Predict(window []float64) (float64, error) {
+	if err := checkWindow(a.name, window, a.Order()); err != nil {
+		return 0, err
+	}
+	n := len(window)
+	target := window[n-1] // score candidates by how well they predict this
+	history := window[:n-1]
+
+	maxW := a.maxWindow
+	if maxW > len(history) {
+		maxW = len(history)
+	}
+	bestW, bestErr := 1, absErr(a.aggregate(history[len(history)-1:]), target)
+	for w := 2; w <= maxW; w++ {
+		e := absErr(a.aggregate(history[len(history)-w:]), target)
+		if e < bestErr {
+			bestW, bestErr = w, e
+		}
+	}
+	// Predict the next value with the winning window length over the real
+	// trailing samples (which include the scoring target).
+	if bestW > n {
+		bestW = n
+	}
+	return a.aggregate(window[n-bestW:]), nil
+}
+
+// AdaptiveWindowAvg is the NWS adaptive-window mean expert.
+type AdaptiveWindowAvg struct {
+	adaptiveWindow
+}
+
+// NewAdaptiveWindowAvg returns an adaptive-window mean predictor that
+// considers trailing lengths up to maxWindow. It panics if maxWindow < 1.
+func NewAdaptiveWindowAvg(maxWindow int) *AdaptiveWindowAvg {
+	if maxWindow < 1 {
+		panic(fmt.Sprintf("predictors: ADAPT_AVG max window %d < 1", maxWindow))
+	}
+	return &AdaptiveWindowAvg{adaptiveWindow{
+		name:      "ADAPT_AVG",
+		maxWindow: maxWindow,
+		aggregate: timeseries.Mean,
+	}}
+}
+
+// AdaptiveWindowMedian is the NWS adaptive-window median expert.
+type AdaptiveWindowMedian struct {
+	adaptiveWindow
+}
+
+// NewAdaptiveWindowMedian returns an adaptive-window median predictor that
+// considers trailing lengths up to maxWindow. It panics if maxWindow < 1.
+func NewAdaptiveWindowMedian(maxWindow int) *AdaptiveWindowMedian {
+	if maxWindow < 1 {
+		panic(fmt.Sprintf("predictors: ADAPT_MEDIAN max window %d < 1", maxWindow))
+	}
+	return &AdaptiveWindowMedian{adaptiveWindow{
+		name:      "ADAPT_MEDIAN",
+		maxWindow: maxWindow,
+		aggregate: median,
+	}}
+}

@@ -1,0 +1,44 @@
+package predictors
+
+import "fmt"
+
+// ExpSmooth is simple exponential smoothing, another member of the NWS
+// forecaster suite:
+//
+//	s_t = α·z_t + (1-α)·s_{t-1},  ẑ_{t+1} = s_t
+//
+// The smoothed state is recomputed over the supplied window on every call,
+// which keeps the predictor stateless and safe for concurrent use.
+type ExpSmooth struct {
+	alpha float64
+}
+
+// NewExpSmooth returns an exponential-smoothing predictor with smoothing
+// factor alpha in (0, 1]. It panics on an out-of-range alpha.
+func NewExpSmooth(alpha float64) *ExpSmooth {
+	if alpha <= 0 || alpha > 1 {
+		panic(fmt.Sprintf("predictors: EXP_SMOOTH alpha %g outside (0,1]", alpha))
+	}
+	return &ExpSmooth{alpha: alpha}
+}
+
+// Name implements Predictor.
+func (*ExpSmooth) Name() string { return "EXP_SMOOTH" }
+
+// Order implements Predictor.
+func (*ExpSmooth) Order() int { return 1 }
+
+// Fit implements Predictor; alpha is fixed at construction.
+func (*ExpSmooth) Fit([]float64) error { return nil }
+
+// Predict implements Predictor.
+func (e *ExpSmooth) Predict(window []float64) (float64, error) {
+	if err := checkWindow(e.Name(), window, e.Order()); err != nil {
+		return 0, err
+	}
+	s := window[0]
+	for _, z := range window[1:] {
+		s = e.alpha*z + (1-e.alpha)*s
+	}
+	return s, nil
+}

@@ -1,0 +1,26 @@
+package predictors
+
+// Last is the LAST model (paper Eq. 2): it predicts the next value to equal
+// the most recent observation, Z_t = Z_{t-1}. It excels on smooth traces
+// (the paper's memory-size series) and is the cheapest expert in the pool.
+type Last struct{}
+
+// NewLast returns a LAST predictor.
+func NewLast() *Last { return &Last{} }
+
+// Name implements Predictor.
+func (*Last) Name() string { return "LAST" }
+
+// Order implements Predictor: LAST needs a single trailing sample.
+func (*Last) Order() int { return 1 }
+
+// Fit implements Predictor; LAST has no parameters.
+func (*Last) Fit([]float64) error { return nil }
+
+// Predict implements Predictor.
+func (l *Last) Predict(window []float64) (float64, error) {
+	if err := checkWindow(l.Name(), window, l.Order()); err != nil {
+		return 0, err
+	}
+	return window[len(window)-1], nil
+}

@@ -1,0 +1,65 @@
+package predictors
+
+import "github.com/acis-lab/larpredictor/internal/timeseries"
+
+// RunAvg is the running-average expert from the NWS forecaster suite: the
+// prediction is the mean of all samples in the supplied window (which, fed a
+// growing history, is the cumulative mean). It differs from SWAvg in that it
+// has no fixed window length — it uses everything it is given.
+type RunAvg struct{}
+
+// NewRunAvg returns a running-average predictor.
+func NewRunAvg() *RunAvg { return &RunAvg{} }
+
+// Name implements Predictor.
+func (*RunAvg) Name() string { return "RUN_AVG" }
+
+// Order implements Predictor.
+func (*RunAvg) Order() int { return 1 }
+
+// Fit implements Predictor; RUN_AVG has no parameters.
+func (*RunAvg) Fit([]float64) error { return nil }
+
+// Predict implements Predictor: the mean of the whole window.
+func (r *RunAvg) Predict(window []float64) (float64, error) {
+	if err := checkWindow(r.Name(), window, r.Order()); err != nil {
+		return 0, err
+	}
+	return timeseries.Mean(window), nil
+}
+
+// MeanPredictor predicts the training-series mean for every future value —
+// the window-mean model of Dinda's study, a useful sanity floor for the
+// pool-size ablation.
+type MeanPredictor struct {
+	fitted bool
+	mean   float64
+}
+
+// NewMeanPredictor returns an unfitted MEAN model.
+func NewMeanPredictor() *MeanPredictor { return &MeanPredictor{} }
+
+// Name implements Predictor.
+func (*MeanPredictor) Name() string { return "MEAN" }
+
+// Order implements Predictor. MEAN ignores the window but still requires a
+// non-empty one so pool bookkeeping stays uniform.
+func (*MeanPredictor) Order() int { return 1 }
+
+// Fit implements Predictor.
+func (m *MeanPredictor) Fit(train []float64) error {
+	m.mean = timeseries.Mean(train)
+	m.fitted = true
+	return nil
+}
+
+// Predict implements Predictor.
+func (m *MeanPredictor) Predict(window []float64) (float64, error) {
+	if !m.fitted {
+		return 0, ErrNotFitted
+	}
+	if err := checkWindow(m.Name(), window, m.Order()); err != nil {
+		return 0, err
+	}
+	return m.mean, nil
+}

@@ -1,0 +1,51 @@
+package predictors
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SWMedian is the sliding-window median expert from the NWS forecaster
+// suite: the prediction is the median of the last m observations. Medians
+// resist the transient spikes that corrupt window means on bursty traces.
+type SWMedian struct {
+	m int
+}
+
+// NewSWMedian returns a sliding-window median predictor over m samples.
+// It panics if m < 1.
+func NewSWMedian(m int) *SWMedian {
+	if m < 1 {
+		panic(fmt.Sprintf("predictors: SW_MEDIAN window %d < 1", m))
+	}
+	return &SWMedian{m: m}
+}
+
+// Name implements Predictor.
+func (*SWMedian) Name() string { return "SW_MEDIAN" }
+
+// Order implements Predictor.
+func (s *SWMedian) Order() int { return s.m }
+
+// Fit implements Predictor; SW_MEDIAN has no parameters.
+func (*SWMedian) Fit([]float64) error { return nil }
+
+// Predict implements Predictor.
+func (s *SWMedian) Predict(window []float64) (float64, error) {
+	if err := checkWindow(s.Name(), window, s.m); err != nil {
+		return 0, err
+	}
+	return median(window[len(window)-s.m:]), nil
+}
+
+// median returns the median of v without modifying it.
+func median(v []float64) float64 {
+	tmp := make([]float64, len(v))
+	copy(tmp, v)
+	sort.Float64s(tmp)
+	n := len(tmp)
+	if n%2 == 1 {
+		return tmp[n/2]
+	}
+	return (tmp[n/2-1] + tmp[n/2]) / 2
+}

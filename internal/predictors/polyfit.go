@@ -1,0 +1,85 @@
+package predictors
+
+import (
+	"fmt"
+
+	"github.com/acis-lab/larpredictor/internal/linalg"
+)
+
+// PolyFit is the polynomial-fitting model of Zhang et al. (paper §2, [35]):
+// a degree-d polynomial is least-squares fitted to the last m samples
+// (abscissae 0..m-1) and evaluated at m to extrapolate one step ahead.
+//
+// The normal equations are solved with Gaussian elimination; if they are
+// singular (e.g. a constant window with degree > 0 and heavy cancellation)
+// the model degrades gracefully to last-value prediction.
+type PolyFit struct {
+	degree int
+	m      int
+}
+
+// NewPolyFit returns a polynomial extrapolation predictor of the given
+// degree over windows of m samples. It panics unless 1 <= degree < m.
+func NewPolyFit(degree, m int) *PolyFit {
+	if degree < 1 {
+		panic(fmt.Sprintf("predictors: POLY_FIT degree %d < 1", degree))
+	}
+	if m <= degree {
+		panic(fmt.Sprintf("predictors: POLY_FIT window %d must exceed degree %d", m, degree))
+	}
+	return &PolyFit{degree: degree, m: m}
+}
+
+// Name implements Predictor.
+func (*PolyFit) Name() string { return "POLY_FIT" }
+
+// Order implements Predictor.
+func (p *PolyFit) Order() int { return p.m }
+
+// Fit implements Predictor; the polynomial is refit per window.
+func (*PolyFit) Fit([]float64) error { return nil }
+
+// Predict implements Predictor.
+func (p *PolyFit) Predict(window []float64) (float64, error) {
+	if err := checkWindow(p.Name(), window, p.m); err != nil {
+		return 0, err
+	}
+	tail := window[len(window)-p.m:]
+
+	// Build the normal equations XᵀX c = Xᵀy for the Vandermonde system
+	// with x = 0..m-1. Dimensions are (degree+1)², tiny.
+	k := p.degree + 1
+	xtx := linalg.NewMatrix(k, k)
+	xty := make([]float64, k)
+	for i, y := range tail {
+		// powers[j] = x^j
+		x := float64(i)
+		pow := 1.0
+		powers := make([]float64, k)
+		for j := 0; j < k; j++ {
+			powers[j] = pow
+			pow *= x
+		}
+		for r := 0; r < k; r++ {
+			xty[r] += powers[r] * y
+			for c := 0; c < k; c++ {
+				xtx.Set(r, c, xtx.At(r, c)+powers[r]*powers[c])
+			}
+		}
+	}
+	coef, err := linalg.Solve(xtx, xty)
+	if err != nil {
+		// Degenerate window: fall back to last value.
+		return tail[len(tail)-1], nil
+	}
+	// Evaluate at x = m (one step past the window) via Horner.
+	x := float64(p.m)
+	val := coef[k-1]
+	for j := k - 2; j >= 0; j-- {
+		val = val*x + coef[j]
+	}
+	if !linalg.AllFinite([]float64{val}) {
+		return tail[len(tail)-1], nil
+	}
+	return val, nil
+}

@@ -1,0 +1,41 @@
+package predictors
+
+import "fmt"
+
+// SWAvg is the sliding-window average model (paper Eq. 3): the prediction is
+// the mean of the last m observations.
+type SWAvg struct {
+	m int
+}
+
+// NewSWAvg returns a sliding-window average predictor over windows of m
+// samples. It panics if m < 1; window sizes are construction-time constants
+// in this system and a zero window is a programming error.
+func NewSWAvg(m int) *SWAvg {
+	if m < 1 {
+		panic(fmt.Sprintf("predictors: SW_AVG window %d < 1", m))
+	}
+	return &SWAvg{m: m}
+}
+
+// Name implements Predictor.
+func (*SWAvg) Name() string { return "SW_AVG" }
+
+// Order implements Predictor.
+func (s *SWAvg) Order() int { return s.m }
+
+// Fit implements Predictor; SW_AVG has no parameters.
+func (*SWAvg) Fit([]float64) error { return nil }
+
+// Predict implements Predictor: the mean of the trailing m samples.
+func (s *SWAvg) Predict(window []float64) (float64, error) {
+	if err := checkWindow(s.Name(), window, s.m); err != nil {
+		return 0, err
+	}
+	tail := window[len(window)-s.m:]
+	var sum float64
+	for _, v := range tail {
+		sum += v
+	}
+	return sum / float64(s.m), nil
+}

@@ -1,0 +1,44 @@
+package predictors
+
+import "fmt"
+
+// Tendency is the tendency-based model of Yang et al. (paper §2, [32]):
+// the next value is predicted by following the direction of the most recent
+// change. If the series is rising, an increment proportional to the last
+// step is added to the current measurement; if falling, subtracted; if flat,
+// the current value is kept.
+//
+//	ẑ_t = z_{t-1} + β·(z_{t-1} - z_{t-2})
+type Tendency struct {
+	beta float64
+}
+
+// NewTendency returns a tendency predictor with step gain beta in (0, 2].
+// The original formulation adds a fraction of the observed change; beta = 1
+// is pure linear extrapolation, beta = 0.5 the conservative variant. It
+// panics on an out-of-range beta.
+func NewTendency(beta float64) *Tendency {
+	if beta <= 0 || beta > 2 {
+		panic(fmt.Sprintf("predictors: TENDENCY beta %g outside (0,2]", beta))
+	}
+	return &Tendency{beta: beta}
+}
+
+// Name implements Predictor.
+func (*Tendency) Name() string { return "TENDENCY" }
+
+// Order implements Predictor: it needs the last two samples.
+func (*Tendency) Order() int { return 2 }
+
+// Fit implements Predictor; beta is fixed at construction.
+func (*Tendency) Fit([]float64) error { return nil }
+
+// Predict implements Predictor.
+func (t *Tendency) Predict(window []float64) (float64, error) {
+	if err := checkWindow(t.Name(), window, t.Order()); err != nil {
+		return 0, err
+	}
+	n := len(window)
+	cur, prev := window[n-1], window[n-2]
+	return cur + t.beta*(cur-prev), nil
+}

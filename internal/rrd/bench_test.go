@@ -1,0 +1,51 @@
+package rrd
+
+import (
+	"math"
+	"testing"
+)
+
+func benchDB(b *testing.B) *RRD {
+	b.Helper()
+	db, err := New(60,
+		[]DS{{Name: "g", Type: Gauge, Heartbeat: 300, Min: math.NaN(), Max: math.NaN()}},
+		[]RRASpec{
+			{CF: Average, XFF: 0.5, Steps: 1, Rows: 2048},
+			{CF: Max, XFF: 0.5, Steps: 12, Rows: 512},
+		})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+func BenchmarkUpdate(b *testing.B) {
+	db := benchDB(b)
+	if err := db.Update(0, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Update(int64(60*(i+1)), float64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFetch(b *testing.B) {
+	db := benchDB(b)
+	if err := db.Update(0, 0); err != nil {
+		b.Fatal(err)
+	}
+	for i := 1; i <= 2000; i++ {
+		if err := db.Update(int64(60*i), float64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Fetch(Average, 0, 2000*60); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

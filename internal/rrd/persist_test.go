@@ -1,0 +1,116 @@
+package rrd
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	r := mustRRD(t, 60,
+		[]DS{gaugeDS("cpu"), {Name: "net", Type: Counter, Heartbeat: 300, Min: math.NaN(), Max: math.NaN()}},
+		[]RRASpec{
+			{CF: Average, XFF: 0.5, Steps: 1, Rows: 20},
+			{CF: Max, XFF: 0.5, Steps: 5, Rows: 10},
+		})
+	if err := r.Update(0, 0, 1000); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 17; i++ {
+		if err := r.Update(int64(60*i), float64(i), float64(1000+100*i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := r.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same fetch results before and after.
+	a, err := r.Fetch(Average, 0, 17*60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.Fetch(Average, 0, 17*60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(a.Rows), len(b.Rows))
+	}
+	for i := range a.Rows {
+		if a.Rows[i].End != b.Rows[i].End {
+			t.Fatal("row timestamps differ")
+		}
+		for j := range a.Rows[i].Values {
+			av, bv := a.Rows[i].Values[j], b.Rows[i].Values[j]
+			if av != bv && !(math.IsNaN(av) && math.IsNaN(bv)) {
+				t.Fatalf("row %d ds %d: %g vs %g", i, j, av, bv)
+			}
+		}
+	}
+
+	// The loaded DB must continue accepting updates, preserving in-flight
+	// PDP/CDP state: push to the next Max row and compare end-to-end.
+	for i := 18; i <= 20; i++ {
+		if err := loaded.Update(int64(60*i), float64(i), float64(1000+100*i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Update(int64(60*i), float64(i), float64(1000+100*i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	am, err := r.Fetch(Max, 0, 20*60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, err := loaded.Fetch(Max, 0, 20*60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(am.Rows) != len(bm.Rows) {
+		t.Fatalf("max rows differ: %d vs %d", len(am.Rows), len(bm.Rows))
+	}
+	for i := range am.Rows {
+		if am.Rows[i].Values[0] != bm.Rows[i].Values[0] {
+			t.Fatalf("max row %d differs: %g vs %g", i, am.Rows[i].Values[0], bm.Rows[i].Values[0])
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not an rrd file at all"))); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("garbage err = %v, want ErrBadFormat", err)
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+	// Correct magic, wrong version.
+	var buf bytes.Buffer
+	buf.Write(persistMagic[:])
+	buf.Write([]byte{99, 0, 0, 0})
+	if _, err := Load(&buf); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("bad version err = %v, want ErrBadFormat", err)
+	}
+}
+
+func TestLoadTruncated(t *testing.T) {
+	r := simpleRRD(t)
+	if err := r.Update(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	if _, err := Load(bytes.NewReader(full[:len(full)/2])); err == nil {
+		t.Error("truncated input accepted")
+	}
+}

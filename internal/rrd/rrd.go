@@ -1,0 +1,483 @@
+// Package rrd is a from-scratch Round Robin Database, the fixed-footprint
+// time-series store the paper's monitoring pipeline writes vmkusage samples
+// into ("The collected data is stored in a Round Robin Database (RRD)",
+// paper §3.2). It follows the rrdtool model:
+//
+//   - one or more data sources (DS) with type GAUGE/COUNTER/DERIVE/ABSOLUTE,
+//     a heartbeat, and optional min/max sanity clamps;
+//   - a primary data point (PDP) per base step, built by time-weighted
+//     accumulation of updates;
+//   - one or more round-robin archives (RRA), each consolidating a fixed
+//     number of PDPs per row with AVERAGE/MIN/MAX/LAST and an xff
+//     unknown-data tolerance, into a fixed-length ring.
+//
+// Timestamps are Unix seconds. Unknown data is represented as NaN.
+package rrd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// DSType enumerates data-source semantics.
+type DSType int
+
+// Data-source types, following rrdtool.
+const (
+	// Gauge stores the value as-is (temperatures, load averages).
+	Gauge DSType = iota
+	// Counter stores the per-second rate of an ever-increasing counter,
+	// with 32/64-bit wrap detection (packet and byte counters).
+	Counter
+	// Derive is Counter without wrap handling; rates may be negative.
+	Derive
+	// Absolute divides each update by the elapsed interval (counters that
+	// reset on read).
+	Absolute
+)
+
+func (t DSType) String() string {
+	switch t {
+	case Gauge:
+		return "GAUGE"
+	case Counter:
+		return "COUNTER"
+	case Derive:
+		return "DERIVE"
+	case Absolute:
+		return "ABSOLUTE"
+	}
+	return fmt.Sprintf("DSType(%d)", int(t))
+}
+
+// CF enumerates consolidation functions.
+type CF int
+
+// Consolidation functions.
+const (
+	Average CF = iota
+	Min
+	Max
+	Last
+)
+
+func (c CF) String() string {
+	switch c {
+	case Average:
+		return "AVERAGE"
+	case Min:
+		return "MIN"
+	case Max:
+		return "MAX"
+	case Last:
+		return "LAST"
+	}
+	return fmt.Sprintf("CF(%d)", int(c))
+}
+
+// DS declares one data source.
+type DS struct {
+	// Name identifies the source within the database.
+	Name string
+	// Type selects the update semantics.
+	Type DSType
+	// Heartbeat is the maximum seconds between updates before the interval
+	// is treated as unknown.
+	Heartbeat int64
+	// Min and Max clamp sanity bounds; NaN disables a bound. Values outside
+	// become unknown.
+	Min, Max float64
+}
+
+// RRASpec declares one archive.
+type RRASpec struct {
+	// CF is the consolidation function.
+	CF CF
+	// XFF is the maximum fraction of unknown PDPs a consolidated row may
+	// contain before the row itself becomes unknown (0 <= XFF < 1).
+	XFF float64
+	// Steps is how many PDPs one row consolidates.
+	Steps int
+	// Rows is the ring length.
+	Rows int
+}
+
+// Resolution returns the archive's row duration for a base step.
+func (s RRASpec) Resolution(step int64) int64 { return step * int64(s.Steps) }
+
+// Errors returned by the database.
+var (
+	ErrBadConfig    = errors.New("rrd: invalid configuration")
+	ErrTimeTravel   = errors.New("rrd: update not after last update")
+	ErrWrongArity   = errors.New("rrd: wrong number of values")
+	ErrNoMatchingCF = errors.New("rrd: no archive with requested consolidation function")
+)
+
+// cdp accumulates PDPs toward one archive row for one data source.
+type cdp struct {
+	sum     float64 // Average: running sum; Min/Max/Last: running aggregate
+	known   int
+	unknown int
+}
+
+// rra is one archive's runtime state.
+type rra struct {
+	spec RRASpec
+	// ring[r][d] is row r's value for DS d. head is the next write slot;
+	// filled counts valid rows; lastRowEnd is the end timestamp of the most
+	// recently written row.
+	ring       [][]float64
+	head       int
+	filled     int
+	lastRowEnd int64
+	cdps       []cdp
+}
+
+// RRD is the database. Not safe for concurrent use; wrap with a mutex if
+// shared (internal/monitor does).
+type RRD struct {
+	step       int64
+	ds         []DS
+	rras       []*rra
+	lastUpdate int64
+	started    bool
+	lastRaw    []float64 // previous raw values, for Counter/Derive
+	pdpAccum   []float64
+	pdpKnown   []int64 // known seconds accumulated into the current PDP
+}
+
+// New creates a database with the given base step (seconds), data sources,
+// and archives. The first update's timestamp seeds the clock; PDPs align to
+// multiples of step.
+func New(step int64, sources []DS, archives []RRASpec) (*RRD, error) {
+	if step < 1 {
+		return nil, fmt.Errorf("rrd: step %d < 1: %w", step, ErrBadConfig)
+	}
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("rrd: no data sources: %w", ErrBadConfig)
+	}
+	seen := map[string]bool{}
+	for _, d := range sources {
+		if d.Name == "" {
+			return nil, fmt.Errorf("rrd: unnamed data source: %w", ErrBadConfig)
+		}
+		if seen[d.Name] {
+			return nil, fmt.Errorf("rrd: duplicate data source %q: %w", d.Name, ErrBadConfig)
+		}
+		seen[d.Name] = true
+		if d.Heartbeat < 1 {
+			return nil, fmt.Errorf("rrd: ds %q heartbeat %d < 1: %w", d.Name, d.Heartbeat, ErrBadConfig)
+		}
+	}
+	if len(archives) == 0 {
+		return nil, fmt.Errorf("rrd: no archives: %w", ErrBadConfig)
+	}
+	r := &RRD{
+		step:     step,
+		ds:       append([]DS(nil), sources...),
+		lastRaw:  make([]float64, len(sources)),
+		pdpAccum: make([]float64, len(sources)),
+		pdpKnown: make([]int64, len(sources)),
+	}
+	for _, spec := range archives {
+		if spec.Steps < 1 || spec.Rows < 1 {
+			return nil, fmt.Errorf("rrd: archive steps=%d rows=%d: %w", spec.Steps, spec.Rows, ErrBadConfig)
+		}
+		if spec.XFF < 0 || spec.XFF >= 1 {
+			return nil, fmt.Errorf("rrd: archive xff=%g outside [0,1): %w", spec.XFF, ErrBadConfig)
+		}
+		a := &rra{spec: spec, cdps: make([]cdp, len(sources))}
+		a.ring = make([][]float64, spec.Rows)
+		for i := range a.ring {
+			row := make([]float64, len(sources))
+			for j := range row {
+				row[j] = math.NaN()
+			}
+			a.ring[i] = row
+		}
+		r.rras = append(r.rras, a)
+	}
+	for i := range r.lastRaw {
+		r.lastRaw[i] = math.NaN()
+	}
+	return r, nil
+}
+
+// Step returns the base step in seconds.
+func (r *RRD) Step() int64 { return r.step }
+
+// Sources returns a copy of the data-source declarations.
+func (r *RRD) Sources() []DS { return append([]DS(nil), r.ds...) }
+
+// LastUpdate returns the timestamp of the most recent update (0 before the
+// first).
+func (r *RRD) LastUpdate() int64 {
+	if !r.started {
+		return 0
+	}
+	return r.lastUpdate
+}
+
+// DSIndex returns the index of the named data source, or -1.
+func (r *RRD) DSIndex(name string) int {
+	for i, d := range r.ds {
+		if d.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Update feeds one sample per data source at timestamp ts (Unix seconds).
+// Timestamps must be strictly increasing. Use math.NaN() for a missing
+// value.
+func (r *RRD) Update(ts int64, values ...float64) error {
+	if len(values) != len(r.ds) {
+		return fmt.Errorf("rrd: %d values for %d data sources: %w", len(values), len(r.ds), ErrWrongArity)
+	}
+	if !r.started {
+		// First update only establishes the clock and raw baselines.
+		r.lastUpdate = ts
+		copy(r.lastRaw, values)
+		r.started = true
+		return nil
+	}
+	if ts <= r.lastUpdate {
+		return fmt.Errorf("rrd: update at %d, last %d: %w", ts, r.lastUpdate, ErrTimeTravel)
+	}
+	elapsed := ts - r.lastUpdate
+
+	// Convert raw values to PDP-space rates/values.
+	rates := make([]float64, len(values))
+	for i, v := range values {
+		rates[i] = r.toRate(i, v, elapsed)
+	}
+
+	// Walk step boundaries from lastUpdate to ts, distributing each rate
+	// over the time it covers.
+	cursor := r.lastUpdate
+	for cursor < ts {
+		boundary := (cursor/r.step + 1) * r.step
+		segEnd := boundary
+		if ts < segEnd {
+			segEnd = ts
+		}
+		seg := segEnd - cursor
+		for i, rate := range rates {
+			if !math.IsNaN(rate) {
+				r.pdpAccum[i] += rate * float64(seg)
+				r.pdpKnown[i] += seg
+			}
+		}
+		if segEnd == boundary {
+			r.finalizePDP(boundary)
+		}
+		cursor = segEnd
+	}
+
+	r.lastUpdate = ts
+	copy(r.lastRaw, values)
+	return nil
+}
+
+// toRate converts a raw update to the PDP value space per DS type and
+// applies heartbeat and min/max checks.
+func (r *RRD) toRate(i int, v float64, elapsed int64) float64 {
+	d := r.ds[i]
+	if elapsed > d.Heartbeat || math.IsNaN(v) {
+		return math.NaN()
+	}
+	var rate float64
+	switch d.Type {
+	case Gauge:
+		rate = v
+	case Counter:
+		prev := r.lastRaw[i]
+		if math.IsNaN(prev) {
+			return math.NaN()
+		}
+		delta := v - prev
+		if delta < 0 {
+			// Counter wrap: try 32-bit then 64-bit wrap.
+			delta += 1 << 32
+			if delta < 0 {
+				delta += float64(1<<63) * 2 // 2^64 as float
+			}
+			if delta < 0 {
+				return math.NaN()
+			}
+		}
+		rate = delta / float64(elapsed)
+	case Derive:
+		prev := r.lastRaw[i]
+		if math.IsNaN(prev) {
+			return math.NaN()
+		}
+		rate = (v - prev) / float64(elapsed)
+	case Absolute:
+		rate = v / float64(elapsed)
+	default:
+		return math.NaN()
+	}
+	if !math.IsNaN(d.Min) && rate < d.Min {
+		return math.NaN()
+	}
+	if !math.IsNaN(d.Max) && rate > d.Max {
+		return math.NaN()
+	}
+	return rate
+}
+
+// finalizePDP closes the primary data point ending at the given boundary and
+// feeds it to every archive.
+func (r *RRD) finalizePDP(boundary int64) {
+	pdp := make([]float64, len(r.ds))
+	for i := range r.ds {
+		// rrdtool's rule: a PDP is known if at least half its interval had
+		// known data.
+		if r.pdpKnown[i]*2 >= r.step {
+			pdp[i] = r.pdpAccum[i] / float64(r.pdpKnown[i])
+		} else {
+			pdp[i] = math.NaN()
+		}
+		r.pdpAccum[i] = 0
+		r.pdpKnown[i] = 0
+	}
+	for _, a := range r.rras {
+		a.consume(pdp, boundary, r.step)
+	}
+}
+
+// consume folds one PDP (ending at boundary) into the archive's CDPs and
+// writes a row when the aligned consolidation interval completes.
+func (a *rra) consume(pdp []float64, boundary, step int64) {
+	for i, v := range pdp {
+		c := &a.cdps[i]
+		if math.IsNaN(v) {
+			c.unknown++
+		} else {
+			switch a.spec.CF {
+			case Average:
+				c.sum += v
+			case Min:
+				if c.known == 0 || v < c.sum {
+					c.sum = v
+				}
+			case Max:
+				if c.known == 0 || v > c.sum {
+					c.sum = v
+				}
+			case Last:
+				c.sum = v
+			}
+			c.known++
+		}
+	}
+	// A row completes when the boundary aligns with the archive resolution.
+	if (boundary/step)%int64(a.spec.Steps) != 0 {
+		return
+	}
+	row := a.ring[a.head]
+	for i := range a.cdps {
+		c := &a.cdps[i]
+		total := c.known + c.unknown
+		switch {
+		case total == 0,
+			float64(c.unknown) > a.spec.XFF*float64(a.spec.Steps):
+			row[i] = math.NaN()
+		case a.spec.CF == Average:
+			row[i] = c.sum / float64(c.known)
+		default:
+			row[i] = c.sum
+		}
+		a.cdps[i] = cdp{}
+	}
+	a.lastRowEnd = boundary
+	a.head = (a.head + 1) % a.spec.Rows
+	if a.filled < a.spec.Rows {
+		a.filled++
+	}
+}
+
+// Row is one fetched archive row.
+type Row struct {
+	// End is the timestamp (Unix seconds) at which the row's interval ends;
+	// the interval is (End-Resolution, End].
+	End int64
+	// Values holds one value per data source (NaN = unknown).
+	Values []float64
+}
+
+// FetchResult is the outcome of a Fetch.
+type FetchResult struct {
+	// CF is the consolidation function served.
+	CF CF
+	// Resolution is the row duration in seconds.
+	Resolution int64
+	// Rows are in chronological order.
+	Rows []Row
+}
+
+// Fetch returns consolidated rows with the given CF whose intervals
+// intersect [start, end]. Among archives with that CF it picks the finest
+// resolution whose retention still covers start; if none reaches back that
+// far, the longest-retention archive is used (rrdtool behaviour).
+func (r *RRD) Fetch(cf CF, start, end int64) (*FetchResult, error) {
+	if end < start {
+		return nil, fmt.Errorf("rrd: fetch end %d before start %d: %w", end, start, ErrBadConfig)
+	}
+	var candidates []*rra
+	for _, a := range r.rras {
+		if a.spec.CF == cf {
+			candidates = append(candidates, a)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("rrd: %s: %w", cf, ErrNoMatchingCF)
+	}
+	best := candidates[0]
+	bestCovers := covers(best, start, r.step)
+	for _, a := range candidates[1:] {
+		c := covers(a, start, r.step)
+		switch {
+		case c && !bestCovers:
+			best, bestCovers = a, true
+		case c == bestCovers:
+			res := a.spec.Resolution(r.step)
+			bestRes := best.spec.Resolution(r.step)
+			if (c && res < bestRes) || (!c && retention(a, r.step) > retention(best, r.step)) {
+				best = a
+			}
+		}
+	}
+
+	resolution := best.spec.Resolution(r.step)
+	var rows []Row
+	// Oldest row first: rows end at lastRowEnd - i*resolution, i = filled-1..0.
+	for i := best.filled - 1; i >= 0; i-- {
+		endTS := best.lastRowEnd - int64(i)*resolution
+		if endTS <= start || endTS-resolution >= end {
+			continue
+		}
+		pos := (best.head - 1 - i + 2*best.spec.Rows) % best.spec.Rows
+		vals := make([]float64, len(best.ring[pos]))
+		copy(vals, best.ring[pos])
+		rows = append(rows, Row{End: endTS, Values: vals})
+	}
+	return &FetchResult{CF: cf, Resolution: resolution, Rows: rows}, nil
+}
+
+// covers reports whether archive a's retention reaches back to start.
+func covers(a *rra, start, step int64) bool {
+	if a.filled == 0 {
+		return false
+	}
+	oldest := a.lastRowEnd - int64(a.filled)*a.spec.Resolution(step)
+	return oldest <= start
+}
+
+// retention returns the archive's total time span in seconds.
+func retention(a *rra, step int64) int64 {
+	return int64(a.spec.Rows) * a.spec.Resolution(step)
+}

@@ -1,0 +1,453 @@
+package rrd
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func gaugeDS(name string) DS {
+	return DS{Name: name, Type: Gauge, Heartbeat: 600, Min: math.NaN(), Max: math.NaN()}
+}
+
+func mustRRD(t *testing.T, step int64, ds []DS, rras []RRASpec) *RRD {
+	t.Helper()
+	r, err := New(step, ds, rras)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func simpleRRD(t *testing.T) *RRD {
+	return mustRRD(t, 60,
+		[]DS{gaugeDS("cpu")},
+		[]RRASpec{{CF: Average, XFF: 0.5, Steps: 1, Rows: 100}})
+}
+
+func TestNewValidation(t *testing.T) {
+	ds := []DS{gaugeDS("x")}
+	rras := []RRASpec{{CF: Average, XFF: 0.5, Steps: 1, Rows: 10}}
+	cases := []struct {
+		name string
+		step int64
+		ds   []DS
+		rras []RRASpec
+	}{
+		{"zero step", 0, ds, rras},
+		{"no ds", 60, nil, rras},
+		{"unnamed ds", 60, []DS{{Heartbeat: 60}}, rras},
+		{"dup ds", 60, []DS{gaugeDS("a"), gaugeDS("a")}, rras},
+		{"bad heartbeat", 60, []DS{{Name: "a", Heartbeat: 0}}, rras},
+		{"no rra", 60, ds, nil},
+		{"bad steps", 60, ds, []RRASpec{{CF: Average, Steps: 0, Rows: 10}}},
+		{"bad rows", 60, ds, []RRASpec{{CF: Average, Steps: 1, Rows: 0}}},
+		{"bad xff", 60, ds, []RRASpec{{CF: Average, XFF: 1, Steps: 1, Rows: 10}}},
+	}
+	for _, c := range cases {
+		if _, err := New(c.step, c.ds, c.rras); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("%s: err = %v, want ErrBadConfig", c.name, err)
+		}
+	}
+}
+
+func TestUpdateArityAndOrdering(t *testing.T) {
+	r := simpleRRD(t)
+	if err := r.Update(1000, 1, 2); !errors.Is(err, ErrWrongArity) {
+		t.Errorf("arity err = %v", err)
+	}
+	if err := r.Update(1000, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Update(1000, 1); !errors.Is(err, ErrTimeTravel) {
+		t.Errorf("same-timestamp err = %v", err)
+	}
+	if err := r.Update(999, 1); !errors.Is(err, ErrTimeTravel) {
+		t.Errorf("backwards err = %v", err)
+	}
+	if r.LastUpdate() != 1000 {
+		t.Errorf("LastUpdate = %d", r.LastUpdate())
+	}
+}
+
+func TestGaugeStepAlignedUpdates(t *testing.T) {
+	r := simpleRRD(t)
+	// First update at a boundary seeds the clock; following updates land
+	// exactly on boundaries so PDP == value.
+	if err := r.Update(600, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 5; i++ {
+		if err := r.Update(600+60*i, float64(10*i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := r.Fetch(Average, 600, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("fetched %d rows: %+v", len(res.Rows), res.Rows)
+	}
+	for i, row := range res.Rows {
+		want := float64(10 * (i + 1))
+		if math.Abs(row.Values[0]-want) > 1e-9 {
+			t.Errorf("row %d = %g, want %g", i, row.Values[0], want)
+		}
+		if row.End != 600+60*int64(i+1) {
+			t.Errorf("row %d end = %d", i, row.End)
+		}
+	}
+}
+
+func TestGaugeSubStepAveraging(t *testing.T) {
+	// Two half-step updates: the PDP is the time-weighted average.
+	r := simpleRRD(t)
+	if err := r.Update(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Update(30, 10); err != nil { // covers (0,30] at 10
+		t.Fatal(err)
+	}
+	if err := r.Update(60, 20); err != nil { // covers (30,60] at 20
+		t.Fatal(err)
+	}
+	res, err := r.Fetch(Average, 0, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %+v", res.Rows)
+	}
+	if got := res.Rows[0].Values[0]; math.Abs(got-15) > 1e-9 {
+		t.Errorf("PDP = %g, want time-weighted 15", got)
+	}
+}
+
+func TestCounterRates(t *testing.T) {
+	r := mustRRD(t, 60,
+		[]DS{{Name: "pkts", Type: Counter, Heartbeat: 600, Min: math.NaN(), Max: math.NaN()}},
+		[]RRASpec{{CF: Average, XFF: 0.5, Steps: 1, Rows: 10}})
+	if err := r.Update(0, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Update(60, 1600); err != nil { // +600 over 60s = 10/s
+		t.Fatal(err)
+	}
+	res, err := r.Fetch(Average, 0, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0].Values[0]; math.Abs(got-10) > 1e-9 {
+		t.Errorf("counter rate = %g, want 10", got)
+	}
+}
+
+func TestCounterWrap32(t *testing.T) {
+	r := mustRRD(t, 60,
+		[]DS{{Name: "c", Type: Counter, Heartbeat: 600, Min: math.NaN(), Max: math.NaN()}},
+		[]RRASpec{{CF: Average, XFF: 0.5, Steps: 1, Rows: 10}})
+	max32 := float64(1<<32) - 1
+	if err := r.Update(0, max32-50); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Update(60, 50); err != nil { // wrapped: delta = 101
+		t.Fatal(err)
+	}
+	res, err := r.Fetch(Average, 0, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 101.0 / 60
+	if got := res.Rows[0].Values[0]; math.Abs(got-want) > 1e-6 {
+		t.Errorf("wrapped rate = %g, want %g", got, want)
+	}
+}
+
+func TestDeriveNegativeRate(t *testing.T) {
+	r := mustRRD(t, 60,
+		[]DS{{Name: "d", Type: Derive, Heartbeat: 600, Min: math.NaN(), Max: math.NaN()}},
+		[]RRASpec{{CF: Average, XFF: 0.5, Steps: 1, Rows: 10}})
+	if err := r.Update(0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Update(60, 40); err != nil { // -60 over 60s = -1/s
+		t.Fatal(err)
+	}
+	res, err := r.Fetch(Average, 0, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0].Values[0]; math.Abs(got+1) > 1e-9 {
+		t.Errorf("derive rate = %g, want -1", got)
+	}
+}
+
+func TestAbsolute(t *testing.T) {
+	r := mustRRD(t, 60,
+		[]DS{{Name: "a", Type: Absolute, Heartbeat: 600, Min: math.NaN(), Max: math.NaN()}},
+		[]RRASpec{{CF: Average, XFF: 0.5, Steps: 1, Rows: 10}})
+	if err := r.Update(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Update(60, 120); err != nil { // 120 events / 60s = 2/s
+		t.Fatal(err)
+	}
+	res, err := r.Fetch(Average, 0, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0].Values[0]; math.Abs(got-2) > 1e-9 {
+		t.Errorf("absolute rate = %g, want 2", got)
+	}
+}
+
+func TestHeartbeatGapProducesNaN(t *testing.T) {
+	r := mustRRD(t, 60,
+		[]DS{{Name: "g", Type: Gauge, Heartbeat: 90, Min: math.NaN(), Max: math.NaN()}},
+		[]RRASpec{{CF: Average, XFF: 0.3, Steps: 1, Rows: 10}})
+	if err := r.Update(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Update(60, 1); err != nil {
+		t.Fatal(err)
+	}
+	// 5-minute gap >> heartbeat: intervening PDPs must be unknown.
+	if err := r.Update(360, 1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Fetch(Average, 0, 360)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if !math.IsNaN(res.Rows[3].Values[0]) {
+		t.Errorf("gap row = %g, want NaN", res.Rows[3].Values[0])
+	}
+	if math.IsNaN(res.Rows[0].Values[0]) {
+		t.Error("pre-gap row should be known")
+	}
+}
+
+func TestMinMaxClamp(t *testing.T) {
+	r := mustRRD(t, 60,
+		[]DS{{Name: "g", Type: Gauge, Heartbeat: 600, Min: 0, Max: 100}},
+		[]RRASpec{{CF: Average, XFF: 0.4, Steps: 1, Rows: 10}})
+	if err := r.Update(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Update(60, 500); err != nil { // above Max → unknown
+		t.Fatal(err)
+	}
+	res, err := r.Fetch(Average, 0, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(res.Rows[0].Values[0]) {
+		t.Errorf("out-of-range value = %g, want NaN", res.Rows[0].Values[0])
+	}
+}
+
+func TestConsolidationFunctions(t *testing.T) {
+	r := mustRRD(t, 60,
+		[]DS{gaugeDS("g")},
+		[]RRASpec{
+			{CF: Average, XFF: 0.5, Steps: 5, Rows: 10},
+			{CF: Min, XFF: 0.5, Steps: 5, Rows: 10},
+			{CF: Max, XFF: 0.5, Steps: 5, Rows: 10},
+			{CF: Last, XFF: 0.5, Steps: 5, Rows: 10},
+		})
+	if err := r.Update(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	vals := []float64{10, 30, 20, 50, 40}
+	for i, v := range vals {
+		if err := r.Update(int64(60*(i+1)), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check := func(cf CF, want float64) {
+		t.Helper()
+		res, err := r.Fetch(cf, 0, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 1 {
+			t.Fatalf("%s rows = %d", cf, len(res.Rows))
+		}
+		if got := res.Rows[0].Values[0]; math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s = %g, want %g", cf, got, want)
+		}
+	}
+	check(Average, 30)
+	check(Min, 10)
+	check(Max, 50)
+	check(Last, 40)
+}
+
+func TestXFFTolerance(t *testing.T) {
+	// 5-step consolidation with xff 0.5: 2 unknown of 5 is fine, 3 is not.
+	build := func(unknowns int) float64 {
+		r := mustRRD(t, 60,
+			[]DS{{Name: "g", Type: Gauge, Heartbeat: 61, Min: math.NaN(), Max: math.NaN()}},
+			[]RRASpec{{CF: Average, XFF: 0.5, Steps: 5, Rows: 10}})
+		if err := r.Update(0, 0); err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i <= 5; i++ {
+			v := 10.0
+			if i <= unknowns {
+				v = math.NaN()
+			}
+			if err := r.Update(int64(60*i), v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := r.Fetch(Average, 0, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Rows[0].Values[0]
+	}
+	if v := build(2); math.IsNaN(v) || math.Abs(v-10) > 1e-9 {
+		t.Errorf("2/5 unknown → %g, want 10", v)
+	}
+	if v := build(3); !math.IsNaN(v) {
+		t.Errorf("3/5 unknown → %g, want NaN", v)
+	}
+}
+
+func TestRingWrapAround(t *testing.T) {
+	r := mustRRD(t, 60,
+		[]DS{gaugeDS("g")},
+		[]RRASpec{{CF: Average, XFF: 0.5, Steps: 1, Rows: 3}})
+	if err := r.Update(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		if err := r.Update(int64(60*i), float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := r.Fetch(Average, 0, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (ring capacity)", len(res.Rows))
+	}
+	// Only the newest 3 survive: values 8, 9, 10.
+	for i, want := range []float64{8, 9, 10} {
+		if got := res.Rows[i].Values[0]; math.Abs(got-want) > 1e-9 {
+			t.Errorf("row %d = %g, want %g", i, got, want)
+		}
+	}
+}
+
+func TestFetchSelectsFinestCoveringArchive(t *testing.T) {
+	r := mustRRD(t, 60,
+		[]DS{gaugeDS("g")},
+		[]RRASpec{
+			{CF: Average, XFF: 0.5, Steps: 1, Rows: 5},  // fine, short retention
+			{CF: Average, XFF: 0.5, Steps: 5, Rows: 50}, // coarse, long retention
+		})
+	if err := r.Update(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 50; i++ {
+		if err := r.Update(int64(60*i), float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Recent range: fine archive covers it.
+	res, err := r.Fetch(Average, 50*60-4*60, 50*60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resolution != 60 {
+		t.Errorf("recent fetch resolution = %d, want 60", res.Resolution)
+	}
+	// Old range: only the coarse archive reaches back.
+	res, err = r.Fetch(Average, 0, 50*60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resolution != 300 {
+		t.Errorf("deep fetch resolution = %d, want 300", res.Resolution)
+	}
+}
+
+func TestFetchNoMatchingCF(t *testing.T) {
+	r := simpleRRD(t)
+	if _, err := r.Fetch(Max, 0, 100); !errors.Is(err, ErrNoMatchingCF) {
+		t.Errorf("err = %v, want ErrNoMatchingCF", err)
+	}
+	if _, err := r.Fetch(Average, 100, 0); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("inverted range err = %v", err)
+	}
+}
+
+func TestAverageConservationProperty(t *testing.T) {
+	// For gauge data with step-aligned updates and a 1-step archive, the
+	// mean of fetched rows equals the mean of the inputs (conservation of
+	// mass under consolidation).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, err := New(10,
+			[]DS{{Name: "g", Type: Gauge, Heartbeat: 100, Min: math.NaN(), Max: math.NaN()}},
+			[]RRASpec{{CF: Average, XFF: 0, Steps: 1, Rows: 1000}})
+		if err != nil {
+			return false
+		}
+		if err := r.Update(0, 0); err != nil {
+			return false
+		}
+		n := 10 + rng.Intn(100)
+		var sum float64
+		for i := 1; i <= n; i++ {
+			v := rng.Float64() * 100
+			sum += v
+			if err := r.Update(int64(10*i), v); err != nil {
+				return false
+			}
+		}
+		res, err := r.Fetch(Average, 0, int64(10*n))
+		if err != nil || len(res.Rows) != n {
+			return false
+		}
+		var got float64
+		for _, row := range res.Rows {
+			got += row.Values[0]
+		}
+		return math.Abs(got-sum) < 1e-6*(1+math.Abs(sum))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultiDS(t *testing.T) {
+	r := mustRRD(t, 60,
+		[]DS{gaugeDS("a"), gaugeDS("b")},
+		[]RRASpec{{CF: Average, XFF: 0.5, Steps: 1, Rows: 10}})
+	if r.DSIndex("b") != 1 || r.DSIndex("zz") != -1 {
+		t.Error("DSIndex wrong")
+	}
+	if err := r.Update(0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Update(60, 10, 20); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Fetch(Average, 0, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0].Values[0] != 10 || res.Rows[0].Values[1] != 20 {
+		t.Errorf("multi-DS row = %v", res.Rows[0].Values)
+	}
+}

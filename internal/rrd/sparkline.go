@@ -1,0 +1,59 @@
+package rrd
+
+import (
+	"math"
+	"strings"
+)
+
+// sparkTicks are the eight block glyphs a sparkline is quantized to.
+var sparkTicks = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders one data source's values from a fetch result as a
+// compact unicode strip — the at-a-glance view monitord prints next to each
+// pipeline. Unknown samples render as spaces; a constant series renders at
+// mid height.
+func Sparkline(rows []Row, ds int) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, r := range rows {
+		if ds < 0 || ds >= len(r.Values) {
+			return ""
+		}
+		v := r.Values[ds]
+		if math.IsNaN(v) {
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	if math.IsInf(lo, 1) { // all unknown
+		return strings.Repeat(" ", len(rows))
+	}
+	span := hi - lo
+	for _, r := range rows {
+		v := r.Values[ds]
+		if math.IsNaN(v) {
+			b.WriteByte(' ')
+			continue
+		}
+		idx := len(sparkTicks) / 2
+		if span > 0 {
+			idx = int((v - lo) / span * float64(len(sparkTicks)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(sparkTicks) {
+				idx = len(sparkTicks) - 1
+			}
+		}
+		b.WriteRune(sparkTicks[idx])
+	}
+	return b.String()
+}

@@ -1,0 +1,85 @@
+package rrd
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func rowsOf(vals ...float64) []Row {
+	rows := make([]Row, len(vals))
+	for i, v := range vals {
+		rows[i] = Row{End: int64(i), Values: []float64{v}}
+	}
+	return rows
+}
+
+func TestSparklineShape(t *testing.T) {
+	s := Sparkline(rowsOf(0, 1, 2, 3, 4, 5, 6, 7), 0)
+	if utf8.RuneCountInString(s) != 8 {
+		t.Fatalf("sparkline %q has %d runes", s, utf8.RuneCountInString(s))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[7] != '█' {
+		t.Errorf("monotone ramp rendered %q", s)
+	}
+	// Monotone input → monotone glyph levels.
+	for i := 1; i < len(runes); i++ {
+		if strings.IndexRune(string(sparkTicks), runes[i]) < strings.IndexRune(string(sparkTicks), runes[i-1]) {
+			t.Fatalf("non-monotone sparkline %q", s)
+		}
+	}
+}
+
+func TestSparklineConstant(t *testing.T) {
+	s := Sparkline(rowsOf(5, 5, 5), 0)
+	if utf8.RuneCountInString(s) != 3 {
+		t.Fatalf("constant sparkline = %q", s)
+	}
+	r := []rune(s)
+	if r[0] != r[1] || r[1] != r[2] {
+		t.Errorf("constant series rendered unevenly: %q", s)
+	}
+}
+
+func TestSparklineUnknowns(t *testing.T) {
+	rows := rowsOf(1, math.NaN(), 3)
+	s := Sparkline(rows, 0)
+	if []rune(s)[1] != ' ' {
+		t.Errorf("NaN rendered as %q", s)
+	}
+	allNaN := rowsOf(math.NaN(), math.NaN())
+	if got := Sparkline(allNaN, 0); got != "  " {
+		t.Errorf("all-unknown = %q", got)
+	}
+}
+
+func TestSparklineEdgeCases(t *testing.T) {
+	if Sparkline(nil, 0) != "" {
+		t.Error("empty rows should render empty")
+	}
+	if Sparkline(rowsOf(1, 2), 5) != "" {
+		t.Error("out-of-range ds should render empty")
+	}
+}
+
+func TestSparklineFromFetch(t *testing.T) {
+	r := simpleRRD(t)
+	if err := r.Update(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		if err := r.Update(int64(60*i), float64(i%4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := r.Fetch(Average, 0, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Sparkline(res.Rows, 0)
+	if utf8.RuneCountInString(s) != len(res.Rows) {
+		t.Errorf("sparkline %q length mismatch", s)
+	}
+}

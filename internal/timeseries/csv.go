@@ -1,0 +1,160 @@
+package timeseries
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// csvTimeLayout is the timestamp format used in trace CSV files.
+const csvTimeLayout = time.RFC3339
+
+// WriteCSV writes the series to w as "timestamp,value" rows with a header.
+func WriteCSV(w io.Writer, s *Series) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"timestamp", s.Name}); err != nil {
+		return fmt.Errorf("timeseries: write csv header: %w", err)
+	}
+	for i, v := range s.Values {
+		rec := []string{
+			s.TimeAt(i).Format(csvTimeLayout),
+			strconv.FormatFloat(v, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("timeseries: write csv row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a two-column "timestamp,value" CSV produced by WriteCSV.
+// The series name is taken from the header's second column. The sampling
+// interval is inferred from the first two timestamps (time.Second if fewer
+// than two rows are present).
+func ReadCSV(r io.Reader) (*Series, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("timeseries: read csv header: %w", err)
+	}
+	name := header[1]
+	var (
+		values []float64
+		times  []time.Time
+	)
+	for row := 2; ; row++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("timeseries: read csv row %d: %w", row, err)
+		}
+		ts, err := time.Parse(csvTimeLayout, rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("timeseries: row %d: bad timestamp %q: %w", row, rec[0], err)
+		}
+		v, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("timeseries: row %d: bad value %q: %w", row, rec[1], err)
+		}
+		times = append(times, ts)
+		values = append(values, v)
+	}
+	s := &Series{Name: name, Values: values, Interval: time.Second, Start: time.Unix(0, 0).UTC()}
+	if len(times) > 0 {
+		s.Start = times[0]
+	}
+	if len(times) > 1 {
+		s.Interval = times[1].Sub(times[0])
+	}
+	return s, nil
+}
+
+// WriteMultiCSV writes several aligned series (same length) as one CSV with
+// a timestamp column followed by one column per series. It returns an error
+// if the series lengths differ.
+func WriteMultiCSV(w io.Writer, series []*Series) error {
+	if len(series) == 0 {
+		return ErrEmpty
+	}
+	n := series[0].Len()
+	header := make([]string, 0, len(series)+1)
+	header = append(header, "timestamp")
+	for _, s := range series {
+		if s.Len() != n {
+			return fmt.Errorf("timeseries: WriteMultiCSV: series %q has %d samples, want %d", s.Name, s.Len(), n)
+		}
+		header = append(header, s.Name)
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("timeseries: write csv header: %w", err)
+	}
+	rec := make([]string, len(series)+1)
+	for i := 0; i < n; i++ {
+		rec[0] = series[0].TimeAt(i).Format(csvTimeLayout)
+		for j, s := range series {
+			rec[j+1] = strconv.FormatFloat(s.Values[i], 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("timeseries: write csv row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadMultiCSV parses a CSV produced by WriteMultiCSV back into a slice of
+// series.
+func ReadMultiCSV(r io.Reader) ([]*Series, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("timeseries: read csv header: %w", err)
+	}
+	if len(header) < 2 {
+		return nil, fmt.Errorf("timeseries: multi csv needs >= 2 columns, have %d", len(header))
+	}
+	ncols := len(header) - 1
+	cols := make([][]float64, ncols)
+	var times []time.Time
+	for row := 2; ; row++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("timeseries: read csv row %d: %w", row, err)
+		}
+		ts, err := time.Parse(csvTimeLayout, rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("timeseries: row %d: bad timestamp %q: %w", row, rec[0], err)
+		}
+		times = append(times, ts)
+		for j := 0; j < ncols; j++ {
+			v, err := strconv.ParseFloat(rec[j+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("timeseries: row %d col %d: bad value %q: %w", row, j+1, rec[j+1], err)
+			}
+			cols[j] = append(cols[j], v)
+		}
+	}
+	start := time.Unix(0, 0).UTC()
+	interval := time.Second
+	if len(times) > 0 {
+		start = times[0]
+	}
+	if len(times) > 1 {
+		interval = times[1].Sub(times[0])
+	}
+	out := make([]*Series, ncols)
+	for j := 0; j < ncols; j++ {
+		out[j] = &Series{Name: header[j+1], Start: start, Interval: interval, Values: cols[j]}
+	}
+	return out, nil
+}

@@ -1,0 +1,100 @@
+package timeseries
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	start := time.Date(2026, 7, 4, 12, 0, 0, 0, time.UTC)
+	s := New("VM2_load15", start, 5*time.Minute, []float64{0.5, 1.25, -3})
+
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != s.Name {
+		t.Errorf("name = %q", got.Name)
+	}
+	if !got.Start.Equal(start) {
+		t.Errorf("start = %v", got.Start)
+	}
+	if got.Interval != s.Interval {
+		t.Errorf("interval = %v", got.Interval)
+	}
+	if got.Len() != 3 || got.At(1) != 1.25 || got.At(2) != -3 {
+		t.Errorf("values = %v", got.Values)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                            // no header
+		"timestamp,x\nnot-a-time,1\n", // bad timestamp
+		"timestamp,x\n1970-01-01T00:00:00Z,abc\n", // bad value
+		"timestamp,x\n1970-01-01T00:00:00Z\n",     // wrong column count
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: no error for %q", i, c)
+		}
+	}
+}
+
+func TestMultiCSVRoundTrip(t *testing.T) {
+	start := time.Date(2026, 7, 4, 0, 0, 0, 0, time.UTC)
+	a := New("cpu", start, time.Minute, []float64{1, 2, 3})
+	b := New("mem", start, time.Minute, []float64{10, 20, 30})
+
+	var buf bytes.Buffer
+	if err := WriteMultiCSV(&buf, []*Series{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMultiCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d series", len(got))
+	}
+	if got[0].Name != "cpu" || got[1].Name != "mem" {
+		t.Errorf("names = %q %q", got[0].Name, got[1].Name)
+	}
+	if got[1].At(2) != 30 {
+		t.Errorf("mem[2] = %g", got[1].At(2))
+	}
+	if got[0].Interval != time.Minute {
+		t.Errorf("interval = %v", got[0].Interval)
+	}
+}
+
+func TestWriteMultiCSVMismatchedLengths(t *testing.T) {
+	a := FromValues("a", []float64{1, 2})
+	b := FromValues("b", []float64{1})
+	var buf bytes.Buffer
+	if err := WriteMultiCSV(&buf, []*Series{a, b}); err == nil {
+		t.Error("accepted mismatched lengths")
+	}
+	if err := WriteMultiCSV(&buf, nil); err == nil {
+		t.Error("accepted empty series list")
+	}
+}
+
+func TestReadMultiCSVErrors(t *testing.T) {
+	if _, err := ReadMultiCSV(strings.NewReader("")); err == nil {
+		t.Error("accepted empty input")
+	}
+	if _, err := ReadMultiCSV(strings.NewReader("timestamp\n")); err == nil {
+		t.Error("accepted single-column input")
+	}
+	bad := "timestamp,a\n1970-01-01T00:00:00Z,xyz\n"
+	if _, err := ReadMultiCSV(strings.NewReader(bad)); err == nil {
+		t.Error("accepted bad value")
+	}
+}

@@ -1,0 +1,33 @@
+package timeseries
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks that arbitrary input never panics the CSV reader and
+// that everything it accepts survives a write/read round trip.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("timestamp,x\n1970-01-01T00:00:00Z,1\n1970-01-01T00:00:01Z,2\n")
+	f.Add("timestamp,load\n2006-10-02T00:00:00Z,3.5\n")
+	f.Add("")
+	f.Add("timestamp,x\nnot-a-time,1\n")
+	f.Add("timestamp,x\n1970-01-01T00:00:00Z,NaN\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return // rejecting malformed input is fine; panicking is not
+		}
+		var buf strings.Builder
+		if err := WriteCSV(&buf, s); err != nil {
+			t.Fatalf("accepted series failed to write: %v", err)
+		}
+		back, err := ReadCSV(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.Len() != s.Len() {
+			t.Fatalf("round trip changed length: %d -> %d", s.Len(), back.Len())
+		}
+	})
+}

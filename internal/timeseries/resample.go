@@ -1,0 +1,67 @@
+package timeseries
+
+import (
+	"fmt"
+	"time"
+)
+
+// Resample downsamples a series by an integer factor, aggregating each
+// consecutive block of `factor` samples with the given aggregate function —
+// the same consolidation the monitoring pipeline performs (vmkusage: five
+// one-minute samples → one five-minute average). A trailing partial block is
+// aggregated over the samples it has.
+func Resample(s *Series, factor int, aggregate func([]float64) float64) (*Series, error) {
+	if factor < 1 {
+		return nil, fmt.Errorf("timeseries: resample factor %d < 1", factor)
+	}
+	if s.Len() == 0 {
+		return nil, ErrEmpty
+	}
+	if aggregate == nil {
+		aggregate = Mean
+	}
+	out := make([]float64, 0, (s.Len()+factor-1)/factor)
+	for i := 0; i < s.Len(); i += factor {
+		j := i + factor
+		if j > s.Len() {
+			j = s.Len()
+		}
+		out = append(out, aggregate(s.Values[i:j]))
+	}
+	return &Series{
+		Name:     s.Name,
+		Start:    s.Start,
+		Interval: time.Duration(factor) * s.Interval,
+		Values:   out,
+	}, nil
+}
+
+// Max returns the maximum of v (0 for an empty slice), an aggregate for
+// Resample.
+func Max(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	mx := v[0]
+	for _, x := range v[1:] {
+		if x > mx {
+			mx = x
+		}
+	}
+	return mx
+}
+
+// Min returns the minimum of v (0 for an empty slice), an aggregate for
+// Resample.
+func Min(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	mn := v[0]
+	for _, x := range v[1:] {
+		if x < mn {
+			mn = x
+		}
+	}
+	return mn
+}

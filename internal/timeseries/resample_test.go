@@ -1,0 +1,95 @@
+package timeseries
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestResampleMean(t *testing.T) {
+	s := New("x", time.Unix(0, 0).UTC(), time.Minute, []float64{1, 3, 5, 7, 9, 11})
+	r, err := Resample(s, 2, nil) // nil → Mean
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 6, 10}
+	if r.Len() != 3 {
+		t.Fatalf("resampled %d values", r.Len())
+	}
+	for i := range want {
+		if r.At(i) != want[i] {
+			t.Fatalf("values = %v", r.Values)
+		}
+	}
+	if r.Interval != 2*time.Minute {
+		t.Errorf("interval = %v", r.Interval)
+	}
+	if r.Name != "x" || !r.Start.Equal(s.Start) {
+		t.Error("metadata not preserved")
+	}
+}
+
+func TestResamplePartialTail(t *testing.T) {
+	s := FromValues("x", []float64{2, 4, 6, 8, 10})
+	r, err := Resample(s, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 3 || r.At(2) != 10 {
+		t.Fatalf("values = %v", r.Values)
+	}
+}
+
+func TestResampleAggregates(t *testing.T) {
+	s := FromValues("x", []float64{3, 1, 4, 1, 5, 9})
+	mx, err := Resample(s, 3, Max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mx.At(0) != 4 || mx.At(1) != 9 {
+		t.Errorf("max = %v", mx.Values)
+	}
+	mn, err := Resample(s, 3, Min)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mn.At(0) != 1 || mn.At(1) != 1 {
+		t.Errorf("min = %v", mn.Values)
+	}
+}
+
+func TestResampleFactorOne(t *testing.T) {
+	s := FromValues("x", []float64{1, 2, 3})
+	r, err := Resample(s, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.Values {
+		if r.At(i) != s.At(i) {
+			t.Fatal("factor-1 resample changed values")
+		}
+	}
+}
+
+func TestResampleErrors(t *testing.T) {
+	s := FromValues("x", []float64{1})
+	if _, err := Resample(s, 0, nil); err == nil {
+		t.Error("factor 0 accepted")
+	}
+	empty := FromValues("x", nil)
+	if _, err := Resample(empty, 2, nil); !errors.Is(err, ErrEmpty) {
+		t.Error("empty series accepted")
+	}
+}
+
+func TestMaxMinHelpers(t *testing.T) {
+	if Max(nil) != 0 || Min(nil) != 0 {
+		t.Error("empty Max/Min should be 0")
+	}
+	if Max([]float64{-5, -2, -9}) != -2 {
+		t.Error("Max wrong")
+	}
+	if Min([]float64{5, 2, 9}) != 2 {
+		t.Error("Min wrong")
+	}
+}

@@ -1,0 +1,121 @@
+// Package timeseries provides the time-series primitives used throughout the
+// LARPredictor reproduction: a timestamped Series type, summary statistics,
+// autocovariance/autocorrelation estimation, z-score normalization with
+// reusable coefficients (the paper normalizes test data "using the
+// normalization coefficient derived from the training phase"), sliding-window
+// framing, train/test splitting including the paper's repeated random-split
+// cross-validation, and CSV import/export.
+package timeseries
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// ErrEmpty is returned when an operation requires a non-empty series.
+var ErrEmpty = errors.New("timeseries: empty series")
+
+// ErrShort is returned when a series is too short for the requested
+// operation (e.g. framing with a window longer than the series).
+var ErrShort = errors.New("timeseries: series too short")
+
+// Point is a single timestamped observation.
+type Point struct {
+	Time  time.Time
+	Value float64
+}
+
+// Series is an ordered sequence of values at (nominally) equally spaced
+// time intervals, as defined in Section 4 of the paper. Timestamps are
+// optional: a Series constructed FromValues carries a synthetic zero-based
+// clock with a 1-unit step so positional operations still work.
+type Series struct {
+	// Name identifies the series, conventionally "<vm>_<metric>"
+	// (e.g. "VM2_load15").
+	Name string
+	// Interval is the nominal sampling interval.
+	Interval time.Duration
+	// Start is the timestamp of the first sample.
+	Start time.Time
+	// Values holds the observations in time order.
+	Values []float64
+}
+
+// New returns a Series with the given metadata and a copy of values.
+func New(name string, start time.Time, interval time.Duration, values []float64) *Series {
+	v := make([]float64, len(values))
+	copy(v, values)
+	return &Series{Name: name, Interval: interval, Start: start, Values: v}
+}
+
+// FromValues wraps a raw value slice in a Series with a synthetic clock.
+// The slice is copied.
+func FromValues(name string, values []float64) *Series {
+	return New(name, time.Unix(0, 0).UTC(), time.Second, values)
+}
+
+// Len returns the number of observations.
+func (s *Series) Len() int { return len(s.Values) }
+
+// TimeAt returns the timestamp of observation i.
+func (s *Series) TimeAt(i int) time.Time {
+	return s.Start.Add(time.Duration(i) * s.Interval)
+}
+
+// At returns observation i.
+func (s *Series) At(i int) float64 { return s.Values[i] }
+
+// Clone returns a deep copy of the series.
+func (s *Series) Clone() *Series {
+	return New(s.Name, s.Start, s.Interval, s.Values)
+}
+
+// Slice returns a new Series covering observations [lo, hi). The underlying
+// values are copied and the start time advanced accordingly.
+func (s *Series) Slice(lo, hi int) (*Series, error) {
+	if lo < 0 || hi > len(s.Values) || lo > hi {
+		return nil, fmt.Errorf("timeseries: Slice[%d:%d] of %d samples: %w", lo, hi, len(s.Values), ErrShort)
+	}
+	out := New(s.Name, s.TimeAt(lo), s.Interval, s.Values[lo:hi])
+	return out, nil
+}
+
+// Points materializes the series as timestamped points.
+func (s *Series) Points() []Point {
+	pts := make([]Point, len(s.Values))
+	for i, v := range s.Values {
+		pts[i] = Point{Time: s.TimeAt(i), Value: v}
+	}
+	return pts
+}
+
+// IsConstant reports whether every observation equals the first (within
+// eps). Constant series are a degenerate case for normalization and AR
+// fitting and several callers branch on it.
+func (s *Series) IsConstant(eps float64) bool {
+	if len(s.Values) == 0 {
+		return true
+	}
+	first := s.Values[0]
+	for _, v := range s.Values[1:] {
+		if math.Abs(v-first) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate returns an error if the series contains NaN or Inf values.
+func (s *Series) Validate() error {
+	for i, v := range s.Values {
+		if math.IsNaN(v) {
+			return fmt.Errorf("timeseries: %s: NaN at index %d", s.Name, i)
+		}
+		if math.IsInf(v, 0) {
+			return fmt.Errorf("timeseries: %s: Inf at index %d", s.Name, i)
+		}
+	}
+	return nil
+}

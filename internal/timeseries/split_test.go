@@ -1,0 +1,103 @@
+package timeseries
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestSplitAt(t *testing.T) {
+	v := []float64{0, 1, 2, 3, 4}
+	s, err := SplitAt(v, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Train) != 2 || len(s.Test) != 3 || s.Cut != 2 {
+		t.Fatalf("split = %+v", s)
+	}
+	if s.Train[1] != 1 || s.Test[0] != 2 {
+		t.Fatal("split halves wrong")
+	}
+	if _, err := SplitAt(v, 0); err == nil {
+		t.Error("accepted cut 0")
+	}
+	if _, err := SplitAt(v, 5); err == nil {
+		t.Error("accepted cut == len")
+	}
+}
+
+func TestSplitFraction(t *testing.T) {
+	v := make([]float64, 100)
+	s, err := SplitFraction(v, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cut != 50 {
+		t.Errorf("cut = %d, want 50", s.Cut)
+	}
+	if _, err := SplitFraction(v, 0); err == nil {
+		t.Error("accepted fraction 0")
+	}
+	if _, err := SplitFraction(v, 1); err == nil {
+		t.Error("accepted fraction 1")
+	}
+	// Tiny series: clamped to valid cut.
+	s, err = SplitFraction([]float64{1, 2}, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cut != 1 {
+		t.Errorf("tiny series cut = %d, want 1", s.Cut)
+	}
+}
+
+func TestRandomSplitsProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	v := make([]float64, 288) // 24h at 5-min interval
+	const m = 5
+	splits, err := RandomSplits(v, 10, m, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(splits) != 10 {
+		t.Fatalf("got %d folds, want 10", len(splits))
+	}
+	distinct := map[int]bool{}
+	for _, s := range splits {
+		if len(s.Train) <= m+1 || len(s.Test) <= m+1 {
+			t.Fatalf("fold with unframeable half: train=%d test=%d", len(s.Train), len(s.Test))
+		}
+		frac := float64(s.Cut) / float64(len(v))
+		if frac < 0.35 || frac > 0.65 {
+			t.Fatalf("cut fraction %g outside middle band", frac)
+		}
+		distinct[s.Cut] = true
+	}
+	if len(distinct) < 2 {
+		t.Error("random splits are not random")
+	}
+}
+
+func TestRandomSplitsTooShort(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := RandomSplits(make([]float64, 10), 10, 16, rng); !errors.Is(err, ErrShort) {
+		t.Fatalf("err = %v, want ErrShort", err)
+	}
+}
+
+func TestRandomSplitsDeterministicForSeed(t *testing.T) {
+	v := make([]float64, 200)
+	a, err := RandomSplits(v, 5, 5, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomSplits(v, 5, 5, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Cut != b[i].Cut {
+			t.Fatal("same seed produced different folds")
+		}
+	}
+}

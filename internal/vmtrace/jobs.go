@@ -1,0 +1,118 @@
+package vmtrace
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// JobClass describes one class in a batch-job mix.
+type JobClass struct {
+	// Fraction of all jobs belonging to this class (fractions should sum
+	// to ~1).
+	Fraction float64
+	// MinDur and MaxDur bound the class's uniformly drawn job duration.
+	MinDur, MaxDur time.Duration
+	// Load is the CPU demand one running job of this class contributes
+	// (1.0 = one fully busy virtual CPU).
+	Load float64
+}
+
+// PaperJobMix is the VM1 workload of the paper's §7: "total 310 jobs were
+// executed varying with a mix of 93.55% short running jobs (1-2 seconds),
+// 3.87% medium running jobs (2-10 minutes), and 2.58% long running jobs
+// (45-50 minutes)" over a 7-day trace.
+func PaperJobMix() []JobClass {
+	return []JobClass{
+		{Fraction: 0.9355, MinDur: 1 * time.Second, MaxDur: 2 * time.Second, Load: 0.9},
+		{Fraction: 0.0387, MinDur: 2 * time.Minute, MaxDur: 10 * time.Minute, Load: 0.8},
+		{Fraction: 0.0258, MinDur: 45 * time.Minute, MaxDur: 50 * time.Minute, Load: 0.7},
+	}
+}
+
+// BatchJobs simulates a batch queue (the PBS head node of VM1): TotalJobs
+// arrive at uniformly random times across the trace, run for a
+// class-dependent duration, and contribute CPU demand while active. The
+// generated series is the average CPU demand in each sample interval.
+type BatchJobs struct {
+	// TotalJobs arrive over the whole trace (310 in the paper).
+	TotalJobs int
+	// Mix is the job-class mix; see PaperJobMix.
+	Mix []JobClass
+	// Interval is the sample interval the demand is averaged over.
+	Interval time.Duration
+	// Background is an additive idle-load floor with jitter.
+	Background, Jitter float64
+}
+
+// Generate implements Process. It draws each job's class, arrival, and
+// duration, then integrates per-sample CPU demand.
+func (b BatchJobs) Generate(n int, rng *rand.Rand) []float64 {
+	type job struct {
+		start, end float64 // in sample units
+		load       float64
+	}
+	span := float64(n)
+	jobs := make([]job, 0, b.TotalJobs)
+	for j := 0; j < b.TotalJobs; j++ {
+		cls := b.drawClass(rng)
+		start := rng.Float64() * span
+		durSamples := b.drawDuration(cls, rng)
+		jobs = append(jobs, job{start: start, end: start + durSamples, load: cls.Load})
+	}
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].start < jobs[k].start })
+
+	v := make([]float64, n)
+	for _, jb := range jobs {
+		lo := int(jb.start)
+		hi := int(jb.end)
+		if hi >= n {
+			hi = n - 1
+		}
+		for i := lo; i <= hi && i < n; i++ {
+			// Fraction of sample i covered by [start, end).
+			cover := overlap(float64(i), float64(i+1), jb.start, jb.end)
+			v[i] += jb.load * cover
+		}
+	}
+	for i := range v {
+		v[i] += b.Background + b.Jitter*rng.NormFloat64()
+		if v[i] < 0 {
+			v[i] = 0
+		}
+	}
+	return v
+}
+
+func (b BatchJobs) drawClass(rng *rand.Rand) JobClass {
+	x := rng.Float64()
+	var cum float64
+	for _, c := range b.Mix {
+		cum += c.Fraction
+		if x < cum {
+			return c
+		}
+	}
+	return b.Mix[len(b.Mix)-1]
+}
+
+// drawDuration returns a uniformly drawn duration in sample units.
+func (b BatchJobs) drawDuration(c JobClass, rng *rand.Rand) float64 {
+	d := c.MinDur + time.Duration(rng.Float64()*float64(c.MaxDur-c.MinDur))
+	return float64(d) / float64(b.Interval)
+}
+
+// overlap returns the length of the intersection of [a0,a1) and [b0,b1).
+func overlap(a0, a1, b0, b1 float64) float64 {
+	lo, hi := a0, a1
+	if b0 > lo {
+		lo = b0
+	}
+	if b1 < hi {
+		hi = b1
+	}
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}

@@ -1,0 +1,104 @@
+package vmtrace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// strongQL returns the calibrated strong-regime process used by the trace
+// set, at unit scale.
+func strongQL() QuietLoud {
+	return QuietLoud{
+		PQuietToLoud: 0.030, PLoudToQuiet: 0.035,
+		MinDwell: 16, Attack: 4, MixDrift: 0.6,
+		Mean: 100, Swing: 20, Period: 48,
+		QuietJitter: 0.3, LoudAmp: 50, LoudOffset: 130,
+	}
+}
+
+func TestGenerateLabeledConsistentWithGenerate(t *testing.T) {
+	q := strongQL()
+	a := q.Generate(288, rand.New(rand.NewSource(3)))
+	b, labels := q.GenerateLabeled(288, rand.New(rand.NewSource(3)))
+	if len(b) != 288 || len(labels) != 288 {
+		t.Fatalf("lengths %d/%d", len(b), len(labels))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Generate and GenerateLabeled diverge for the same seed")
+		}
+	}
+}
+
+func TestLabeledRegimesSeparateLevels(t *testing.T) {
+	q := strongQL()
+	vals, labels := q.GenerateLabeled(2000, rand.New(rand.NewSource(4)))
+	var quietSum, loudSum float64
+	var quietN, loudN int
+	for i, v := range vals {
+		if labels[i] {
+			loudSum += v
+			loudN++
+		} else {
+			quietSum += v
+			quietN++
+		}
+	}
+	if quietN == 0 || loudN == 0 {
+		t.Fatalf("degenerate regime occupancy: quiet=%d loud=%d", quietN, loudN)
+	}
+	quietMean := quietSum / float64(quietN)
+	loudMean := loudSum / float64(loudN)
+	// The loud offset is 1.3×mean; the regime means must be well separated.
+	if loudMean-quietMean < 0.5*q.LoudOffset {
+		t.Errorf("regime means too close: quiet %g loud %g", quietMean, loudMean)
+	}
+}
+
+func TestLabeledMinDwellRespected(t *testing.T) {
+	q := strongQL()
+	_, labels := q.GenerateLabeled(5000, rand.New(rand.NewSource(5)))
+	run := 1
+	for i := 1; i < len(labels); i++ {
+		if labels[i] == labels[i-1] {
+			run++
+			continue
+		}
+		if run < q.MinDwell {
+			t.Fatalf("dwell of %d below MinDwell %d at %d", run, q.MinDwell, i)
+		}
+		run = 1
+	}
+}
+
+func TestLabeledMixDriftSkewsOccupancy(t *testing.T) {
+	q := strongQL()
+	q.MixDrift = 0.9
+	_, labels := q.GenerateLabeled(4000, rand.New(rand.NewSource(6)))
+	half := len(labels) / 2
+	early, late := 0, 0
+	for i, l := range labels {
+		if !l {
+			continue
+		}
+		if i < half {
+			early++
+		} else {
+			late++
+		}
+	}
+	if late <= early {
+		t.Errorf("mix drift did not skew loud occupancy: early=%d late=%d", early, late)
+	}
+}
+
+func TestLabeledValuesFiniteNonNegativeAfterClamp(t *testing.T) {
+	q := strongQL()
+	vals, _ := q.GenerateLabeled(1000, rand.New(rand.NewSource(7)))
+	for i, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("value[%d] = %g", i, v)
+		}
+	}
+}

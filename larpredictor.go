@@ -1,0 +1,146 @@
+// Package larpredictor is the public API of the LARPredictor library, a Go
+// reproduction of "Adaptive Predictor Integration for System Performance
+// Prediction" (Zhang & Figueiredo, IPPS 2007).
+//
+// The Learning Aided Adaptive Resource Predictor (LARPredictor) integrates a
+// pool of time-series prediction experts — LAST, a Yule–Walker-fitted AR
+// model, and a sliding-window average in the paper's configuration — and
+// *learns* which expert suits the workload of the moment. During training,
+// every expert runs in parallel on every window of the training series and
+// the per-window winner becomes a class label; windows are normalized,
+// PCA-projected to two dimensions, and indexed by a k-NN classifier. At
+// prediction time the classifier forecasts the best expert for the current
+// window and only that expert runs.
+//
+// # Quick start
+//
+//	cfg := larpredictor.DefaultConfig(5) // window m=5, PCA n=2, 3-NN
+//	p, err := larpredictor.New(cfg)
+//	if err != nil { ... }
+//	if err := p.Train(history); err != nil { ... }
+//	pred, err := p.Forecast(history[len(history)-5:])
+//	fmt.Println(pred.Value, pred.SelectedName)
+//
+// For streaming workloads, NewOnline wraps the predictor with incremental
+// observation, automatic initial training, and QA-triggered retraining. For
+// benchmarking, Evaluate scores the predictor against the perfect-selection
+// oracle (P-LAR), every single expert, and the Network Weather Service
+// cumulative-MSE baseline (package-level NewCumulativeMSE / NewWindowedMSE).
+package larpredictor
+
+import (
+	"github.com/acis-lab/larpredictor/internal/core"
+	"github.com/acis-lab/larpredictor/internal/predictors"
+	"github.com/acis-lab/larpredictor/internal/timeseries"
+)
+
+// Core predictor types, re-exported from the implementation packages. The
+// aliases make the internal implementations usable through this package
+// without exposing the internal import paths.
+type (
+	// Config parameterizes a LARPredictor; see DefaultConfig.
+	Config = core.Config
+	// LARPredictor is the trained adaptive predictor.
+	LARPredictor = core.LARPredictor
+	// Prediction is a single forecast with the expert that produced it.
+	Prediction = core.Prediction
+	// EvalResult is the outcome of Evaluate on a test series.
+	EvalResult = core.EvalResult
+	// OnlineConfig parameterizes the streaming predictor.
+	OnlineConfig = core.OnlineConfig
+	// Online is the streaming predictor with QA-driven retraining.
+	Online = core.Online
+
+	// Predictor is the one-step-ahead expert interface; implement it to
+	// add custom experts to a Pool.
+	Predictor = predictors.Predictor
+	// Pool is an ordered mix-of-experts.
+	Pool = predictors.Pool
+
+	// Normalizer holds z-score normalization coefficients.
+	Normalizer = timeseries.Normalizer
+	// Series is a timestamped, equally-spaced series of observations.
+	Series = timeseries.Series
+)
+
+// Sentinel errors re-exported for errors.Is tests.
+var (
+	// ErrNotTrained is returned when forecasting before Train.
+	ErrNotTrained = core.ErrNotTrained
+	// ErrBadConfig is returned for invalid configuration.
+	ErrBadConfig = core.ErrBadConfig
+	// ErrNotReady is returned by Online.Forecast before initial training.
+	ErrNotReady = core.ErrNotReady
+	// ErrWindowTooShort is returned when a prediction window has fewer
+	// samples than the predictor order.
+	ErrWindowTooShort = predictors.ErrWindowTooShort
+	// ErrUnknownPredictor is returned by NewPredictor for unknown names.
+	ErrUnknownPredictor = predictors.ErrUnknownPredictor
+)
+
+// DefaultConfig returns the paper's configuration for a window size m:
+// PCA to 2 components, 3 nearest neighbors, and the {LAST, AR(m), SW_AVG(m)}
+// expert pool. The paper uses m = 5 for 24-hour traces sampled every five
+// minutes and m = 16 for a 7-day trace sampled every thirty minutes.
+func DefaultConfig(windowSize int) Config {
+	return core.DefaultConfig(windowSize)
+}
+
+// New validates the configuration and returns an untrained LARPredictor.
+func New(cfg Config) (*LARPredictor, error) {
+	return core.New(cfg)
+}
+
+// NewOnline returns a streaming predictor: feed observations with Observe,
+// read forecasts with Forecast. It trains itself after cfg.TrainSize
+// observations and retrains when the QA audit-window MSE exceeds
+// cfg.MSEThreshold.
+func NewOnline(cfg OnlineConfig) (*Online, error) {
+	return core.NewOnline(cfg)
+}
+
+// PaperPool returns the paper's three-expert pool {LAST, AR(m), SW_AVG(m)}.
+func PaperPool(windowSize int) *Pool {
+	return predictors.PaperPool(windowSize)
+}
+
+// ExtendedPool returns the eight-expert pool: the paper pool plus running
+// average, sliding-window median, exponential smoothing, the tendency model
+// of Yang et al., and polynomial extrapolation.
+func ExtendedPool(windowSize int) *Pool {
+	return predictors.ExtendedPool(windowSize)
+}
+
+// NewPool builds a pool from arbitrary experts, including user
+// implementations of Predictor. Pool order defines the class labels.
+func NewPool(experts ...Predictor) *Pool {
+	return predictors.NewPool(experts...)
+}
+
+// RegisterPredictor adds a named expert factory to the global registry used
+// by NewPredictor.
+func RegisterPredictor(name string, factory func() Predictor) {
+	predictors.Register(name, func() predictors.Predictor { return factory() })
+}
+
+// NewPredictor constructs a registered expert by name ("LAST", "AR",
+// "SW_AVG", "SW_MEDIAN", "EXP_SMOOTH", "TENDENCY", ...).
+func NewPredictor(name string) (Predictor, error) {
+	return predictors.NewByName(name)
+}
+
+// FitNormalizer estimates z-score coefficients from a training series.
+func FitNormalizer(train []float64) Normalizer {
+	return timeseries.FitNormalizer(train)
+}
+
+// NewSeries wraps values in a named Series with a synthetic clock; use the
+// timeseries helpers via the Series methods for slicing and validation.
+func NewSeries(name string, values []float64) *Series {
+	return timeseries.FromValues(name, values)
+}
+
+// MSE returns the mean squared error between predictions and observations.
+func MSE(pred, obs []float64) (float64, error) {
+	return timeseries.MSE(pred, obs)
+}
