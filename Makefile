@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test race vet ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-enabled test run; includes the monitord chaos/supervision tests,
+# which exercise the concurrent per-pipeline supervisor.
+race:
+	$(GO) test -race ./...
+
+ci: vet build race

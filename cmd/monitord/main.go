@@ -10,19 +10,32 @@
 //	monitord -duration 24h -vms VM2,VM4
 //
 // A day of simulated monitoring replays in a few seconds of wall time.
+//
+// Every (VM, metric) pipeline is supervised independently: pipelines run
+// concurrently, a panicking or terminally Failed pipeline is quarantined and
+// restarted with fresh state after a cooldown, and one bad stream can never
+// take down the rest of the daemon. The -faults flag injects deterministic
+// faults (dropouts, NaN bursts, spikes, stuck-at, clock gaps) into selected
+// streams for chaos testing; see internal/faults for the spec grammar:
+//
+//	monitord -duration 48h -faults 'spike:p=0.02,mag=40,on=VM3/*'
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"github.com/acis-lab/larpredictor/internal/core"
+	"github.com/acis-lab/larpredictor/internal/faults"
 	"github.com/acis-lab/larpredictor/internal/monitor"
 	"github.com/acis-lab/larpredictor/internal/preddb"
 	"github.com/acis-lab/larpredictor/internal/rrd"
@@ -31,15 +44,18 @@ import (
 
 func main() {
 	var (
-		seed     = flag.Int64("seed", 2007, "workload seed")
-		duration = flag.Duration("duration", 24*time.Hour, "simulated monitoring duration")
-		vmsFlag  = flag.String("vms", "VM2,VM3,VM4,VM5", "comma-separated VMs to monitor")
-		window   = flag.Int("window", 5, "prediction window size m")
-		train    = flag.Int("train", 60, "consolidated samples before initial training")
-		audit    = flag.Int("audit", 12, "QA audit window (scored predictions)")
-		thresh   = flag.Float64("threshold", 2.0, "QA normalized-MSE retrain threshold")
-		quiet    = flag.Bool("quiet", false, "suppress per-hour progress")
-		listen   = flag.String("listen", "", "serve a JSON status endpoint on this address (e.g. :8080) while running")
+		seed      = flag.Int64("seed", 2007, "workload seed")
+		duration  = flag.Duration("duration", 24*time.Hour, "simulated monitoring duration")
+		vmsFlag   = flag.String("vms", "VM2,VM3,VM4,VM5", "comma-separated VMs to monitor")
+		window    = flag.Int("window", 5, "prediction window size m")
+		train     = flag.Int("train", 60, "consolidated samples before initial training")
+		audit     = flag.Int("audit", 12, "QA audit window (scored predictions)")
+		thresh    = flag.Float64("threshold", 2.0, "QA normalized-MSE retrain threshold")
+		quiet     = flag.Bool("quiet", false, "suppress per-hour progress")
+		listen    = flag.String("listen", "", "serve a JSON status endpoint on this address (e.g. :8080) while running")
+		faultSpec = flag.String("faults", "", "fault-injection spec, e.g. 'spike:p=0.02,mag=40,on=VM3/*;dropout:p=0.05' (see internal/faults)")
+		faultSeed = flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
+		cooldown  = flag.Duration("cooldown", 2*time.Hour, "simulated quarantine before restarting a panicked or Failed pipeline")
 	)
 	flag.Parse()
 
@@ -47,14 +63,53 @@ func main() {
 	for _, v := range strings.Split(*vmsFlag, ",") {
 		vms = append(vms, vmtrace.VMID(strings.TrimSpace(v)))
 	}
-	if err := run(os.Stdout, *seed, *duration, vms, *window, *train, *audit, *thresh, *quiet, *listen); err != nil {
+	opts := options{
+		seed:      *seed,
+		duration:  *duration,
+		vms:       vms,
+		window:    *window,
+		trainSize: *train,
+		auditWin:  *audit,
+		threshold: *thresh,
+		quiet:     *quiet,
+		listen:    *listen,
+		faultSpec: *faultSpec,
+		faultSeed: *faultSeed,
+		cooldown:  *cooldown,
+	}
+	if _, err := run(os.Stdout, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "monitord:", err)
 		os.Exit(1)
 	}
 }
 
+// options collects everything run needs; the zero-value hooks are inert.
+type options struct {
+	seed      int64
+	duration  time.Duration
+	vms       []vmtrace.VMID
+	window    int
+	trainSize int
+	auditWin  int
+	threshold float64
+	quiet     bool
+	listen    string
+	faultSpec string
+	faultSeed int64
+	cooldown  time.Duration
+
+	// addrReady, when set, receives the status listener's bound address
+	// once it is serving (tests use :0 and need the real port).
+	addrReady func(addr string)
+	// panicHook, when set, runs at the start of every pipeline processing
+	// slice. Tests use it to crash a chosen pipeline and exercise the
+	// supervisor's recovery path.
+	panicHook func(p *pipeline, hour int)
+}
+
 // pipeline binds one (vm, metric) series to its streaming predictor and
-// prediction-database key.
+// prediction-database key. Each pipeline is owned by exactly one goroutine
+// per processing slice; the supervisor aggregates after all slices join.
 type pipeline struct {
 	vm     vmtrace.VMID
 	metric vmtrace.Metric
@@ -68,59 +123,141 @@ type pipeline struct {
 	pendingFor  time.Time
 	hasPending  bool
 	predictions int
+
+	// Supervision state (accessed only by the supervisor loop).
+	quarantineUntil time.Time
+	panics          int
+	restarts        int
+	lastFault       string
 }
 
-// counters aggregates pipeline statistics for the status endpoint.
+// PipeStatus is the per-pipeline document published on the status endpoint
+// and in the run summary.
+type PipeStatus struct {
+	Key               string  `json:"key"`
+	Health            string  `json:"health"`
+	Predictions       int     `json:"predictions"`
+	Retrains          int     `json:"qa_retrains"`
+	RetrainFailures   int     `json:"retrain_failures"`
+	BreakerOpen       bool    `json:"breaker_open,omitempty"`
+	BreakerTrips      int     `json:"breaker_trips,omitempty"`
+	DegradedForecasts int     `json:"degraded_forecasts,omitempty"`
+	FallbackForecasts int     `json:"fallback_forecasts,omitempty"`
+	Panics            int     `json:"panics,omitempty"`
+	Restarts          int     `json:"restarts,omitempty"`
+	Quarantined       bool    `json:"quarantined,omitempty"`
+	LastFault         string  `json:"last_fault,omitempty"`
+	ScoredMSE         float64 `json:"scored_mse,omitempty"`
+	Scored            int     `json:"scored,omitempty"`
+	// Spark is a unicode strip of recent observations for the text report
+	// only; it is omitted from the JSON document.
+	Spark string `json:"-"`
+}
+
+// runSummary is the final report run returns; tests assert on it instead of
+// parsing the textual output.
+type runSummary struct {
+	Samples     int64
+	Predictions int
+	Retrains    int
+	Pipes       []PipeStatus
+}
+
+// pipe returns the status for a key, or nil.
+func (s *runSummary) pipe(key string) *PipeStatus {
+	for i := range s.Pipes {
+		if s.Pipes[i].Key == key {
+			return &s.Pipes[i]
+		}
+	}
+	return nil
+}
+
+// counters aggregates pipeline statistics for the status endpoint. It
+// decouples the HTTP handler from the supervisor loop: the loop publishes a
+// snapshot once per simulated hour.
 type counters struct {
 	mu          sync.Mutex
 	predictions int
 	retrains    int
+	pipes       []PipeStatus
 }
 
 func (c *counters) snapshot() any {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return map[string]int{
+	pipes := make([]PipeStatus, len(c.pipes))
+	copy(pipes, c.pipes)
+	return map[string]any{
 		"predictions": c.predictions,
 		"qa_retrains": c.retrains,
+		"pipelines":   pipes,
 	}
 }
 
-func run(out io.Writer, seed int64, duration time.Duration, vms []vmtrace.VMID, window, trainSize, auditWin int, threshold float64, quiet bool, listen string) error {
-	traces := vmtrace.StandardTraceSet(seed)
-	cfg := monitor.DefaultConfig(vms...)
-	agent, err := monitor.NewAgent(cfg, monitor.TraceSampler(traces))
+func (c *counters) publish(predictions, retrains int, pipes []PipeStatus) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.predictions = predictions
+	c.retrains = retrains
+	c.pipes = pipes
+}
+
+func newOnline(o options) (*core.Online, error) {
+	return core.NewOnline(core.OnlineConfig{
+		Predictor:    core.DefaultConfig(o.window),
+		TrainSize:    o.trainSize,
+		AuditWindow:  o.auditWin,
+		MSEThreshold: o.threshold,
+	})
+}
+
+func run(out io.Writer, o options) (*runSummary, error) {
+	if o.duration < 0 {
+		return nil, fmt.Errorf("negative duration %v", o.duration)
+	}
+	traces := vmtrace.StandardTraceSet(o.seed)
+	cfg := monitor.DefaultConfig(o.vms...)
+	sampler := monitor.TraceSampler(traces)
+	injectors, err := faults.ParseSpec(o.faultSpec, o.faultSeed, cfg.Start)
 	if err != nil {
-		return err
+		return nil, err
+	}
+	sampler = faults.Wrap(sampler, injectors...)
+	agent, err := monitor.NewAgent(cfg, sampler)
+	if err != nil {
+		return nil, err
 	}
 	db := preddb.New()
+	if o.cooldown <= 0 {
+		o.cooldown = 2 * time.Hour
+	}
 
 	var stats counters
-	if listen != "" {
-		srv := &http.Server{
-			Addr:    listen,
-			Handler: monitor.NewStatusHandler(agent, stats.snapshot),
+	var srv *http.Server
+	if o.listen != "" {
+		ln, err := net.Listen("tcp", o.listen)
+		if err != nil {
+			return nil, fmt.Errorf("status listener: %w", err)
 		}
+		srv = &http.Server{Handler: monitor.NewStatusHandler(agent, stats.snapshot)}
 		go func() {
-			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintln(os.Stderr, "monitord: status server:", err)
 			}
 		}()
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "monitord: status endpoint on %s\n", listen)
+		fmt.Fprintf(os.Stderr, "monitord: status endpoint on %s\n", ln.Addr())
+		if o.addrReady != nil {
+			o.addrReady(ln.Addr().String())
+		}
 	}
 
 	var pipes []*pipeline
-	for _, vm := range vms {
+	for _, vm := range o.vms {
 		for _, m := range vmtrace.Metrics() {
-			online, err := core.NewOnline(core.OnlineConfig{
-				Predictor:    core.DefaultConfig(window),
-				TrainSize:    trainSize,
-				AuditWindow:  auditWin,
-				MSEThreshold: threshold,
-			})
+			online, err := newOnline(o)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			pipes = append(pipes, &pipeline{
 				vm: vm, metric: m, online: online,
@@ -130,99 +267,238 @@ func run(out io.Writer, seed int64, duration time.Duration, vms []vmtrace.VMID, 
 		}
 	}
 
-	qa, err := preddb.NewAssuror(db, auditWin, threshold, nil)
+	qa, err := preddb.NewAssuror(db, o.auditWin, o.threshold, nil)
 	if err != nil {
-		return err
+		return nil, err
 	}
 
-	var totalRetrains, totalPredictions int
-	hours := int(duration / time.Hour)
+	hours := int(o.duration / time.Hour)
 	step := cfg.ConsolidationInterval
 
+	var totalRetrains, totalPredictions int
 	for h := 0; h < hours; h++ {
 		// Advance simulated time by one hour of 1-minute samples.
-		if err := agent.Run(time.Hour); err != nil {
-			return err
+		if _, err := agent.Run(time.Hour); err != nil {
+			return nil, err
 		}
 		now := agent.Now()
 
+		// Supervise: restart pipelines whose quarantine expired, then
+		// process the live ones concurrently. Each goroutine owns its
+		// pipeline exclusively; agent and db are internally locked.
+		var wg sync.WaitGroup
 		for _, p := range pipes {
-			// Profile any newly consolidated rows for this pipe.
-			s, err := agent.Profile(monitor.Query{
-				VM: p.vm, Metric: p.metric,
-				Start: p.lastSeen.Add(time.Second), End: now,
-			})
-			if err != nil {
-				continue // no data yet (warm-up)
-			}
-			for i := 0; i < s.Len(); i++ {
-				ts := s.TimeAt(i)
-				if !ts.After(p.lastSeen) {
+			if !p.quarantineUntil.IsZero() {
+				if now.Before(p.quarantineUntil) {
 					continue
 				}
-				v := s.At(i)
-				db.PutObservation(p.key, ts, v)
-				if p.hasPending && ts.Equal(p.pendingFor) {
-					// Forecast scored implicitly by the preddb QA.
-					p.hasPending = false
+				online, err := newOnline(o)
+				if err != nil {
+					return nil, err
 				}
-				if _, err := p.online.Observe(v); err != nil {
-					return fmt.Errorf("%s/%s: %w", p.vm, p.metric, err)
-				}
-				p.lastSeen = ts
-
-				if p.online.Trained() {
-					pred, err := p.online.Forecast()
-					if err != nil {
-						continue
-					}
-					p.pending = pred.Value
-					p.pendingFor = ts.Add(step)
-					p.hasPending = true
-					db.PutPrediction(p.key, p.pendingFor, pred.Value, pred.SelectedName)
-					p.predictions++
-					totalPredictions++
-				}
+				p.online = online
+				p.restarts++
+				p.quarantineUntil = time.Time{}
+				p.lastFault = ""
+				p.hasPending = false
+				// Skip the backlog: the poisoned window stays behind us.
+				p.lastSeen = now
+				continue // warm up from the next slice
 			}
+			wg.Add(1)
+			go func(p *pipeline) {
+				defer wg.Done()
+				supervise(p, agent, db, now, step, h, o)
+			}(p)
+		}
+		wg.Wait()
+
+		// Quarantine pipelines that panicked or failed this slice.
+		for _, p := range pipes {
+			if p.lastFault != "" && p.quarantineUntil.IsZero() {
+				p.quarantineUntil = now.Add(o.cooldown)
+			}
+		}
+
+		totalPredictions, totalRetrains = 0, 0
+		for _, p := range pipes {
+			totalPredictions += p.predictions
 			totalRetrains += p.online.Retrains()
 		}
-		stats.mu.Lock()
-		stats.predictions = totalPredictions
-		stats.retrains = totalRetrains
-		stats.mu.Unlock()
+		stats.publish(totalPredictions, totalRetrains, pipeStatuses(pipes, db, now))
 
 		fired := qa.AuditAll()
-		if !quiet {
+		if !o.quiet {
 			fmt.Fprintf(out, "[%s] simulated hour %2d: %d raw samples, %d predictions, %d keys flagged by QA\n",
 				now.Format("15:04"), h+1, agent.Samples(), totalPredictions, len(fired))
 		}
 	}
 
-	// Final report: per-pipe audit MSE.
-	fmt.Fprintf(out, "\nmonitord summary after %s simulated (%d VMs, %d pipelines)\n",
-		duration, len(vms), len(pipes))
-	fmt.Fprintf(out, "  raw samples collected: %d\n", agent.Samples())
-	fmt.Fprintf(out, "  predictions issued:    %d\n", totalPredictions)
-	reported := 0
+	summary := &runSummary{
+		Samples:     agent.Samples(),
+		Predictions: totalPredictions,
+		Retrains:    totalRetrains,
+		Pipes:       pipeStatuses(pipes, db, agent.Now()),
+	}
+	report(out, o, summary)
+
+	// Graceful shutdown: the final snapshot above is what late pollers see;
+	// Shutdown drains in-flight requests and closes the listener instead of
+	// leaking it past the run.
+	if srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "monitord: status shutdown:", err)
+		}
+	}
+	return summary, nil
+}
+
+// supervise runs one pipeline's processing slice behind panic recovery: a
+// panicking pipeline is recorded (and later quarantined) instead of taking
+// the daemon down.
+func supervise(p *pipeline, agent *monitor.Agent, db *preddb.DB, now time.Time, step time.Duration, hour int, o options) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panics++
+			p.lastFault = fmt.Sprintf("panic: %v", r)
+		}
+	}()
+	if o.panicHook != nil {
+		o.panicHook(p, hour)
+	}
+	process(p, agent, db, now, step)
+	if p.online.Health() == core.Failed {
+		p.lastFault = "health: Failed"
+		if err := p.online.LastError(); err != nil {
+			p.lastFault = fmt.Sprintf("health: Failed (%v)", err)
+		}
+	}
+}
+
+// process feeds one pipeline every consolidated row that landed since its
+// last slice and records the forecasts it issues.
+func process(p *pipeline, agent *monitor.Agent, db *preddb.DB, now time.Time, step time.Duration) {
+	s, err := agent.Profile(monitor.Query{
+		VM: p.vm, Metric: p.metric,
+		Start: p.lastSeen.Add(time.Second), End: now,
+	})
+	if err != nil {
+		return // no data yet (warm-up, or a stream silenced by faults)
+	}
+	for i := 0; i < s.Len(); i++ {
+		ts := s.TimeAt(i)
+		if !ts.After(p.lastSeen) {
+			continue
+		}
+		v := s.At(i)
+		db.PutObservation(p.key, ts, v)
+		if p.hasPending && ts.Equal(p.pendingFor) {
+			// Forecast scored implicitly by the preddb QA.
+			p.hasPending = false
+		}
+		// Observe absorbs retrain failures into the pipeline's health
+		// state; it no longer aborts the stream.
+		_, _ = p.online.Observe(v)
+		p.lastSeen = ts
+
+		pred, err := p.online.Forecast()
+		if err != nil {
+			continue // not ready, or terminally Failed (supervisor acts)
+		}
+		p.pending = pred.Value
+		p.pendingFor = ts.Add(step)
+		p.hasPending = true
+		db.PutPrediction(p.key, p.pendingFor, pred.Value, pred.SelectedName)
+		p.predictions++
+	}
+}
+
+// pipeStatuses snapshots every pipeline for the status endpoint and the
+// final summary. Called from the supervisor loop only, after all processing
+// goroutines have joined.
+func pipeStatuses(pipes []*pipeline, db *preddb.DB, now time.Time) []PipeStatus {
+	out := make([]PipeStatus, 0, len(pipes))
 	for _, p := range pipes {
-		mse, n, err := db.AuditMSE(p.key, 1<<30)
-		if err != nil || n == 0 {
+		hs := p.online.HealthStats()
+		st := PipeStatus{
+			Key:               p.key.String(),
+			Health:            hs.State.String(),
+			Predictions:       p.predictions,
+			Retrains:          hs.Retrains,
+			RetrainFailures:   hs.RetrainFailures,
+			BreakerOpen:       hs.BreakerOpen,
+			BreakerTrips:      hs.BreakerTrips,
+			DegradedForecasts: hs.DegradedForecasts,
+			FallbackForecasts: hs.FallbackForecasts,
+			Panics:            p.panics,
+			Restarts:          p.restarts,
+			Quarantined:       !p.quarantineUntil.IsZero() && now.Before(p.quarantineUntil),
+			LastFault:         p.lastFault,
+		}
+		if mse, n, err := db.AuditMSE(p.key, 1<<30); err == nil && n > 0 {
+			st.ScoredMSE, st.Scored = mse, n
+			st.Spark = observationSparkline(db, p.key, 32)
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// report renders the final textual summary.
+func report(out io.Writer, o options, s *runSummary) {
+	fmt.Fprintf(out, "\nmonitord summary after %s simulated (%d VMs, %d pipelines)\n",
+		o.duration, len(o.vms), len(s.Pipes))
+	fmt.Fprintf(out, "  raw samples collected: %d\n", s.Samples)
+	fmt.Fprintf(out, "  predictions issued:    %d\n", s.Predictions)
+	degraded := 0
+	for _, p := range s.Pipes {
+		if p.Health != core.Healthy.String() || p.BreakerTrips > 0 || p.Restarts > 0 {
+			degraded++
+		}
+	}
+	if degraded > 0 {
+		fmt.Fprintf(out, "  pipelines with incidents: %d\n", degraded)
+	}
+	// Troubled pipelines must never scroll out of view: list them ahead of
+	// the healthy ones before applying the line cap.
+	order := make([]*PipeStatus, 0, len(s.Pipes))
+	for i := range s.Pipes {
+		if s.Pipes[i].Health != core.Healthy.String() || s.Pipes[i].BreakerTrips > 0 {
+			order = append(order, &s.Pipes[i])
+		}
+	}
+	for i := range s.Pipes {
+		if s.Pipes[i].Health == core.Healthy.String() && s.Pipes[i].BreakerTrips == 0 {
+			order = append(order, &s.Pipes[i])
+		}
+	}
+	reported := 0
+	for _, p := range order {
+		if p.Scored == 0 {
 			continue
 		}
 		if reported < 12 {
-			fmt.Fprintf(out, "  %-28s %4d scored predictions, raw MSE %-10.4g %s\n",
-				p.key.String(), n, mse, observationSparkline(db, p.key, 32))
+			fmt.Fprintf(out, "  %-28s %-8s %4d scored predictions, raw MSE %-10.4g %s\n",
+				p.Key, p.Health, p.Scored, p.ScoredMSE, p.Spark)
 		}
 		reported++
 	}
 	if reported > 12 {
 		fmt.Fprintf(out, "  ... and %d more pipelines\n", reported-12)
 	}
-	return nil
+	for _, p := range s.Pipes {
+		if p.Panics > 0 || p.Restarts > 0 || p.Health == core.Failed.String() {
+			fmt.Fprintf(out, "  supervisor: %-28s %s panics=%d restarts=%d %s\n",
+				p.Key, p.Health, p.Panics, p.Restarts, p.LastFault)
+		}
+	}
 }
 
 // observationSparkline renders the last n observed values of a key as a
-// compact unicode strip for the summary report.
+// compact unicode strip for ad-hoc inspection.
 func observationSparkline(db *preddb.DB, key preddb.Key, n int) string {
 	recs := db.Range(key, time.Unix(0, 0), time.Unix(1<<40, 0))
 	var rows []rrd.Row

@@ -46,7 +46,7 @@ func TestFullPipelineEndToEnd(t *testing.T) {
 
 	// Simulate 20 hours, hour by hour, exactly as monitord does.
 	for h := 0; h < 20; h++ {
-		if err := agent.Run(time.Hour); err != nil {
+		if _, err := agent.Run(time.Hour); err != nil {
 			t.Fatal(err)
 		}
 		s, err := agent.Profile(monitor.Query{

@@ -250,6 +250,16 @@ func (l *LARPredictor) ExpertTrainRMSE() []float64 {
 	return out
 }
 
+// Forecast sources, reported in Prediction.Source. A healthy Online
+// predictor serves SourceLAR; the degraded-mode fallback chain serves
+// SourceSelector (windowed cumulative-MSE expert selection) and, at the
+// bottom of the ladder, SourceLastResort (last finite observation).
+const (
+	SourceLAR        = "LAR"
+	SourceSelector   = "W-CUM-MSE"
+	SourceLastResort = "LAST-RESORT"
+)
+
 // Prediction is one LARPredictor forecast.
 type Prediction struct {
 	// Value is the forecast in the original (denormalized) scale.
@@ -266,6 +276,11 @@ type Prediction struct {
 	// through the normalizer. Conservative schedulers provision at
 	// Value + c·StdEstimate.
 	StdEstimate float64
+	// Source identifies which rung of the fallback ladder produced the
+	// forecast (SourceLAR for a trained LARPredictor; see the Source*
+	// constants). Empty is equivalent to SourceLAR for callers predating
+	// the resilience layer.
+	Source string
 }
 
 // Forecast predicts the value following a raw trailing window of at least
@@ -294,6 +309,7 @@ func (l *LARPredictor) Forecast(window []float64) (Prediction, error) {
 		Selected:     sel,
 		SelectedName: l.pool.At(sel).Name(),
 		StdEstimate:  l.trainRMSE[sel] * l.norm.Std,
+		Source:       SourceLAR,
 	}, nil
 }
 

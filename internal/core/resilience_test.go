@@ -1,0 +1,439 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// resilienceCfg is a small, fast configuration for exercising the health
+// state machine: window 5, train on 20, audit 10.
+func resilienceCfg() OnlineConfig {
+	cfg := onlineCfg(5, 20)
+	return cfg
+}
+
+// feedCalm drives n observations of a highly predictable slow sinusoid,
+// forecasting first when the model is trained (so the QA audit stays fed).
+func feedCalm(t *testing.T, o *Online, n int, phase *int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if o.Trained() && o.Health() == Healthy {
+			if _, err := o.Forecast(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := o.Observe(10 * math.Sin(float64(*phase)*0.05)); err != nil {
+			t.Fatal(err)
+		}
+		*phase++
+	}
+}
+
+// TestOnlineFailedTrainArmsBackoff is the retrain-thrash regression test:
+// when every (re)train attempt fails — here because the training window
+// always contains a NaN — the predictor must back off exponentially and
+// eventually rest on the circuit breaker's probe schedule, not retry on
+// every observation. Observe must absorb the failures, and the predictor
+// must degrade visibly instead of silently staying Healthy.
+func TestOnlineFailedTrainArmsBackoff(t *testing.T) {
+	cfg := resilienceCfg()
+	cfg.FailureLimit = -1 // stay Degraded forever; Failed has its own test
+	o, err := NewOnline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	for i := 0; i < n; i++ {
+		v := 10 * math.Sin(float64(i)*0.05)
+		if i%10 == 9 {
+			v = math.NaN() // the 20-sample train window always holds one
+		}
+		if _, err := o.Observe(v); err != nil {
+			t.Fatalf("observation %d: Observe returned %v; train failures must be absorbed", i, err)
+		}
+	}
+	hs := o.HealthStats()
+	if hs.RetrainFailures < 2 {
+		t.Fatalf("only %d retrain failures; the failing window was never retried", hs.RetrainFailures)
+	}
+	// The regression: without backoff the predictor retries on (nearly)
+	// every observation once the first attempt fails — hundreds of
+	// attempts. Exponential backoff plus the breaker's probe schedule
+	// bounds it to a handful.
+	if hs.RetrainFailures > 15 {
+		t.Errorf("%d retrain attempts over %d observations: failed train did not arm backoff",
+			hs.RetrainFailures, n)
+	}
+	if hs.BreakerTrips == 0 {
+		t.Error("breaker never tripped despite persistent train failures")
+	}
+	if !hs.BreakerOpen {
+		t.Error("breaker not open while failures persist")
+	}
+	if got := o.Health(); got != Degraded && got != Fallback {
+		t.Errorf("health = %s, want Degraded or Fallback", got)
+	}
+	if o.LastError() == nil {
+		t.Error("LastError lost the train failure")
+	}
+	if hs.NextAttemptIn <= 0 {
+		t.Error("no backoff armed after a failed attempt")
+	}
+	// Degraded, not dead: forecasts still flow from the fallback ladder.
+	p, err := o.Forecast()
+	if err != nil {
+		t.Fatalf("Forecast while degraded: %v", err)
+	}
+	if p.Source == SourceLAR {
+		t.Errorf("degraded forecast claims Source %q", p.Source)
+	}
+}
+
+// TestOnlineFailureBudgetTerminal drives the predictor past FailureLimit
+// consecutive failed retrains and checks the terminal Failed contract.
+func TestOnlineFailureBudgetTerminal(t *testing.T) {
+	cfg := resilienceCfg()
+	cfg.BreakerThreshold = 2
+	cfg.FailureLimit = 3
+	cfg.ProbeSpacing = 15
+	o, err := NewOnline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 400 && o.Health() != Failed; i++ {
+		v := 10 * math.Sin(float64(i)*0.05)
+		if i%10 == 9 {
+			v = math.NaN()
+		}
+		if _, err := o.Observe(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if o.Health() != Failed {
+		t.Fatalf("health = %s after exhausting the failure budget, want Failed", o.Health())
+	}
+	if _, err := o.Forecast(); !errors.Is(err, ErrFailed) {
+		t.Errorf("Forecast in Failed state: err = %v, want ErrFailed", err)
+	}
+	// Failed is terminal: no further attempts, but Observe stays usable.
+	before := o.HealthStats().RetrainFailures
+	for i := 0; i < 100; i++ {
+		if _, err := o.Observe(float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := o.HealthStats().RetrainFailures; after != before {
+		t.Errorf("Failed predictor kept retraining: %d -> %d failures", before, after)
+	}
+}
+
+// TestOnlineFallbackLadder walks the ladder end to end: Healthy serves LAR;
+// a failed retrain degrades to the windowed-MSE selector; a non-finite
+// window drops to the last-resort rung; clean data recovers to Healthy.
+func TestOnlineFallbackLadder(t *testing.T) {
+	cfg := resilienceCfg()
+	cfg.MinRetrainSpacing = 10
+	o, err := NewOnline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phase := 0
+	feedCalm(t, o, 40, &phase)
+	if o.Health() != Healthy || !o.Trained() {
+		t.Fatalf("health = %s trained=%v after calm warm-up", o.Health(), o.Trained())
+	}
+	p, err := o.Forecast()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Source != SourceLAR {
+		t.Fatalf("healthy forecast Source = %q, want %q", p.Source, SourceLAR)
+	}
+
+	// Poison the training window, then force a QA breach: the retrain
+	// attempt fails on the NaN and the predictor degrades.
+	if _, err := o.Observe(math.NaN()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; o.Health() == Healthy && i < 30; i++ {
+		if _, err := o.Forecast(); err != nil {
+			t.Fatal(err)
+		}
+		v := 1000.0
+		if i%2 == 0 {
+			v = -1000
+		}
+		if _, err := o.Observe(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if o.Health() != Degraded {
+		t.Fatalf("health = %s after failed retrain, want Degraded", o.Health())
+	}
+	p, err = o.Forecast()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Source != SourceSelector {
+		t.Errorf("degraded forecast Source = %q, want %q", p.Source, SourceSelector)
+	}
+	if p.SelectedName == "" {
+		t.Error("degraded forecast has no selected expert name")
+	}
+	if o.HealthStats().DegradedForecasts == 0 {
+		t.Error("degraded forecast not counted")
+	}
+
+	// Non-finite trailing window: even the selector is unusable, so the
+	// ladder drops to the last finite observation.
+	if _, err := o.Observe(42.5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Observe(math.NaN()); err != nil {
+		t.Fatal(err)
+	}
+	if o.Health() != Fallback {
+		t.Fatalf("health = %s with NaN in the window, want Fallback", o.Health())
+	}
+	p, err = o.Forecast()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Source != SourceLastResort {
+		t.Errorf("fallback forecast Source = %q, want %q", p.Source, SourceLastResort)
+	}
+	if p.Value != 42.5 {
+		t.Errorf("fallback forecast = %g, want last finite observation 42.5", p.Value)
+	}
+	if o.HealthStats().FallbackForecasts == 0 {
+		t.Error("fallback forecast not counted")
+	}
+
+	// Recovery: calm data flushes the NaN out of the train window; the
+	// backoff expires; the retry succeeds and the ladder climbs back.
+	for i := 0; i < 300 && o.Health() != Healthy; i++ {
+		feedCalm(t, o, 1, &phase)
+	}
+	if o.Health() != Healthy {
+		t.Fatalf("health = %s after recovery feed, want Healthy", o.Health())
+	}
+	p, err = o.Forecast()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Source != SourceLAR {
+		t.Errorf("recovered forecast Source = %q, want %q", p.Source, SourceLAR)
+	}
+}
+
+// TestOnlineBreakerProbesAndCloses opens the breaker with repeated train
+// failures, then removes the fault and checks the half-open choreography:
+// a probe retrain succeeds, LAR serves during confirmation, and the breaker
+// closes back to Healthy after a clean window.
+func TestOnlineBreakerProbesAndCloses(t *testing.T) {
+	cfg := resilienceCfg()
+	cfg.BreakerThreshold = 2
+	cfg.ProbeSpacing = 12
+	cfg.HalfOpenWindow = 15
+	cfg.FailureLimit = -1
+	o, err := NewOnline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NaN every 10 observations keeps the 20-sample train window poisoned
+	// until the breaker opens.
+	i := 0
+	for ; o.HealthStats().BreakerTrips == 0 && i < 400; i++ {
+		v := 10 * math.Sin(float64(i)*0.05)
+		if i%10 == 9 {
+			v = math.NaN()
+		}
+		if _, err := o.Observe(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !o.HealthStats().BreakerOpen {
+		t.Fatal("breaker never opened")
+	}
+
+	// Fault cleared: feed calm data until a probe fires and succeeds.
+	phase := i
+	for j := 0; j < 200 && !o.HealthStats().HalfOpen; j++ {
+		feedCalm(t, o, 1, &phase)
+	}
+	hs := o.HealthStats()
+	if !hs.HalfOpen {
+		t.Fatal("no successful probe retrain after the fault cleared")
+	}
+	if o.Health() != Degraded {
+		t.Errorf("health = %s during half-open confirmation, want Degraded", o.Health())
+	}
+	// Half-open serves the fresh LAR model so the audit can judge it.
+	p, err := o.Forecast()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Source != SourceLAR {
+		t.Errorf("half-open forecast Source = %q, want %q", p.Source, SourceLAR)
+	}
+	for j := 0; j < 100 && o.Health() != Healthy; j++ {
+		feedCalm(t, o, 1, &phase)
+	}
+	hs = o.HealthStats()
+	if o.Health() != Healthy || hs.BreakerOpen || hs.HalfOpen {
+		t.Errorf("after confirmation window: health=%s open=%v halfOpen=%v, want Healthy closed",
+			o.Health(), hs.BreakerOpen, hs.HalfOpen)
+	}
+	if hs.ConsecutiveFailures != 0 {
+		t.Errorf("consecutive failures = %d after recovery, want 0", hs.ConsecutiveFailures)
+	}
+}
+
+// TestOnlineThrashTripsBreaker feeds a series whose variance keeps doubling:
+// every retrain succeeds but is stale within an audit window, so QA fires at
+// the minimum spacing over and over. Thrash detection must open the breaker
+// instead of letting the retrain storm continue.
+func TestOnlineThrashTripsBreaker(t *testing.T) {
+	cfg := resilienceCfg()
+	cfg.ThrashLimit = 3
+	o, err := NewOnline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	scale := 1.0
+	for i := 0; i < 600 && o.HealthStats().BreakerTrips == 0; i++ {
+		if o.Trained() {
+			if _, err := o.Forecast(); err != nil && !errors.Is(err, ErrNotReady) {
+				t.Fatal(err)
+			}
+		}
+		if i%15 == 14 {
+			scale *= 2 // stale within one audit window of any retrain
+		}
+		if _, err := o.Observe(scale * rng.NormFloat64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hs := o.HealthStats()
+	if hs.BreakerTrips == 0 {
+		t.Fatalf("thrash never tripped the breaker (retrains=%d)", hs.Retrains)
+	}
+	if hs.Retrains < cfg.ThrashLimit {
+		t.Errorf("breaker tripped after only %d retrains, thrash limit is %d", hs.Retrains, cfg.ThrashLimit)
+	}
+	if o.Health() != Degraded {
+		t.Errorf("health = %s after a thrash trip, want Degraded", o.Health())
+	}
+}
+
+// TestOnlineAuditRingResetAfterRetrain checks the QA ring is cleared by a
+// successful retrain and refills — wrapping correctly — before it can fire
+// again.
+func TestOnlineAuditRingResetAfterRetrain(t *testing.T) {
+	cfg := resilienceCfg()
+	// Spacing far beyond the refill span below: after the retrain under
+	// test, QA cannot re-fire, so the assertions see pure ring mechanics.
+	cfg.MinRetrainSpacing = 40
+	cfg.MSEThreshold = 0.5
+	o, err := NewOnline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phase := 0
+	feedCalm(t, o, 65, &phase)
+	if !o.Trained() {
+		t.Fatal("not trained after warm-up")
+	}
+	// Regime shift until QA retrains.
+	retrained := false
+	for i := 0; i < 100 && !retrained; i++ {
+		if _, err := o.Forecast(); err != nil {
+			t.Fatal(err)
+		}
+		v := 500.0
+		if i%2 == 0 {
+			v = -500
+		}
+		r, err := o.Observe(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		retrained = r
+	}
+	if !retrained {
+		t.Fatal("QA never retrained on the regime shift")
+	}
+	if _, n := o.AuditMSE(); n != 0 {
+		t.Fatalf("audit ring holds %d entries right after a retrain, want 0", n)
+	}
+	// Refill past the window size with calm data (tiny errors against the
+	// freshly fitted wide normalizer, so QA stays quiet): the ring must
+	// wrap, keeping exactly AuditWindow entries.
+	retrainsBefore := o.Retrains()
+	feedCalm(t, o, cfg.AuditWindow+5, &phase)
+	if _, n := o.AuditMSE(); n != cfg.AuditWindow {
+		t.Errorf("audit ring holds %d entries after wrap-around, want %d", n, cfg.AuditWindow)
+	}
+	if o.Retrains() != retrainsBefore {
+		t.Errorf("QA re-fired on a partial, freshly cleared ring")
+	}
+}
+
+// TestOnlineForecastAfterNonFiniteObserve covers the Forecast → failed
+// Observe → recovery edge: a pending LAR forecast followed by a non-finite
+// observation must not be scored into the audit, and the stream recovers.
+func TestOnlineForecastAfterNonFiniteObserve(t *testing.T) {
+	o, err := NewOnline(resilienceCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stop the warm-up while the ring is still partially filled so that
+	// both "not scored" and "resumed scoring" are observable in the count.
+	phase := 0
+	feedCalm(t, o, 26, &phase)
+	if _, err := o.Forecast(); err != nil {
+		t.Fatal(err)
+	}
+	_, before := o.AuditMSE()
+	if before == 0 || before >= 10 {
+		t.Fatalf("warm-up left %d audit entries, want a partial ring", before)
+	}
+	if _, err := o.Observe(math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, after := o.AuditMSE(); after != before {
+		t.Errorf("non-finite observation was scored into the audit: %d -> %d", before, after)
+	}
+	// The NaN-free path resumes: scoring picks back up on the next pairs.
+	feedCalm(t, o, 3, &phase)
+	if _, n := o.AuditMSE(); n <= before {
+		t.Errorf("audit did not resume after the non-finite observation (%d entries)", n)
+	}
+	if o.Health() == Failed {
+		t.Error("a single non-finite observation killed the predictor")
+	}
+}
+
+// TestOnlineConfigValidatesResilienceFields rejects nonsensical resilience
+// settings.
+func TestOnlineConfigValidatesResilienceFields(t *testing.T) {
+	bad := []func(*OnlineConfig){
+		func(c *OnlineConfig) { c.RetrainBackoff = -1 },
+		func(c *OnlineConfig) { c.BackoffFactor = 0.5 },
+		func(c *OnlineConfig) { c.MaxBackoff = -2 },
+		func(c *OnlineConfig) { c.BreakerThreshold = -1 },
+		func(c *OnlineConfig) { c.ProbeSpacing = -3 },
+		func(c *OnlineConfig) { c.HalfOpenWindow = -1 },
+		func(c *OnlineConfig) { c.FallbackWindow = -1 },
+	}
+	for i, mutate := range bad {
+		cfg := resilienceCfg()
+		mutate(&cfg)
+		if _, err := NewOnline(cfg); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("case %d: err = %v, want ErrBadConfig", i, err)
+		}
+	}
+}

@@ -1,0 +1,321 @@
+// Package faults injects composable, deterministic faults into the
+// monitoring pipeline. Each Injector rewrites the raw samples of selected
+// (VM, metric) streams before they reach the RRD — dropouts, NaN bursts,
+// value spikes, stuck-at faults, and clock gaps — so that chaos tests can
+// drive the prediction pipeline through realistic sensor failure modes.
+//
+// All randomness is derived by hashing (seed, vm, metric, timestamp), never
+// from shared RNG state, so an injection schedule is a pure function of the
+// seed: replaying a run with the same seed injects exactly the same faults
+// regardless of sampling order or concurrency.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/acis-lab/larpredictor/internal/monitor"
+	"github.com/acis-lab/larpredictor/internal/vmtrace"
+)
+
+// Sample is one raw measurement passing through an injector. ok=false marks
+// the sample as missing (the monitoring agent records it as unknown).
+type Sample struct {
+	Value float64
+	OK    bool
+}
+
+// Injector rewrites one raw sample of a (vm, metric) stream at time t.
+// Injectors compose: Wrap applies them in order, each seeing the previous
+// one's output.
+type Injector interface {
+	// Name returns the fault kind ("dropout", "spike", ...).
+	Name() string
+	// Apply rewrites the sample. Implementations must be deterministic in
+	// (vm, metric, t) and safe for concurrent use.
+	Apply(vm vmtrace.VMID, metric vmtrace.Metric, t time.Time, s Sample) Sample
+}
+
+// Wrap chains injectors onto a sampler: each raw sample is passed through
+// every injector in order. With no injectors the sampler is returned as is.
+func Wrap(inner monitor.Sampler, injs ...Injector) monitor.Sampler {
+	if len(injs) == 0 {
+		return inner
+	}
+	return func(vm vmtrace.VMID, metric vmtrace.Metric, t time.Time) (float64, bool) {
+		v, ok := inner(vm, metric, t)
+		s := Sample{Value: v, OK: ok}
+		for _, inj := range injs {
+			s = inj.Apply(vm, metric, t, s)
+		}
+		return s.Value, s.OK
+	}
+}
+
+// InjectValues applies injectors to a plain value slice, treating index i as
+// time epoch+i·step on a synthetic stream. It is a convenience for unit
+// tests that feed predictors directly, without a monitoring agent. The
+// returned mask reports which samples survived (ok).
+func InjectValues(values []float64, vm vmtrace.VMID, metric vmtrace.Metric, epoch time.Time, step time.Duration, injs ...Injector) ([]float64, []bool) {
+	out := make([]float64, len(values))
+	ok := make([]bool, len(values))
+	for i, v := range values {
+		s := Sample{Value: v, OK: true}
+		t := epoch.Add(time.Duration(i) * step)
+		for _, inj := range injs {
+			s = inj.Apply(vm, metric, t, s)
+		}
+		out[i], ok[i] = s.Value, s.OK
+	}
+	return out, ok
+}
+
+// StreamSet selects the (VM, metric) streams a fault applies to. The zero
+// value matches every stream.
+type StreamSet struct {
+	// streams maps "VM/metric" with "*" wildcards on either side.
+	streams []streamPattern
+}
+
+type streamPattern struct {
+	vm, metric string // "*" = any
+}
+
+// ParseStreams parses a '|'-separated list of VM/metric patterns, e.g.
+// "VM3/*|VM2/CPU_usedsec". An empty string matches every stream.
+func ParseStreams(spec string) (StreamSet, error) {
+	var set StreamSet
+	if spec == "" {
+		return set, nil
+	}
+	for _, part := range strings.Split(spec, "|") {
+		part = strings.TrimSpace(part)
+		vm, metric, found := strings.Cut(part, "/")
+		if !found || vm == "" || metric == "" {
+			return StreamSet{}, fmt.Errorf("%w: stream %q: want VM/metric (\"*\" wildcards allowed)", ErrBadSpec, part)
+		}
+		set.streams = append(set.streams, streamPattern{vm: vm, metric: metric})
+	}
+	return set, nil
+}
+
+// Matches reports whether the set selects the given stream.
+func (s StreamSet) Matches(vm vmtrace.VMID, metric vmtrace.Metric) bool {
+	if len(s.streams) == 0 {
+		return true
+	}
+	for _, p := range s.streams {
+		if (p.vm == "*" || p.vm == string(vm)) && (p.metric == "*" || p.metric == string(metric)) {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the set back into ParseStreams syntax ("" = all streams).
+func (s StreamSet) String() string {
+	parts := make([]string, len(s.streams))
+	for i, p := range s.streams {
+		parts[i] = p.vm + "/" + p.metric
+	}
+	return strings.Join(parts, "|")
+}
+
+// hash01 maps (seed, vm, metric, t) to a uniform float64 in [0, 1) via a
+// 64-bit FNV-1a hash with an avalanche finalizer. It is the package's only
+// source of randomness, making every schedule a pure function of the seed.
+func hash01(seed int64, vm vmtrace.VMID, metric vmtrace.Metric, t int64) float64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= prime64
+			x >>= 8
+		}
+	}
+	mix(uint64(seed))
+	for i := 0; i < len(vm); i++ {
+		h ^= uint64(vm[i])
+		h *= prime64
+	}
+	for i := 0; i < len(metric); i++ {
+		h ^= uint64(metric[i])
+		h *= prime64
+	}
+	mix(uint64(t))
+	// splitmix64 finalizer for avalanche.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return float64(h>>11) / float64(1<<53)
+}
+
+// inWindow reports whether t falls inside a periodic fault window of the
+// given length, anchored at epoch+start. period <= 0 means the window
+// occurs once.
+func inWindow(t, epoch time.Time, start, length, period time.Duration) bool {
+	if length <= 0 {
+		return false
+	}
+	off := t.Sub(epoch) - start
+	if off < 0 {
+		return false
+	}
+	if period > 0 {
+		off %= period
+	}
+	return off < length
+}
+
+// Dropout drops each raw sample independently with probability P, modelling
+// a lossy collection path.
+type Dropout struct {
+	Seed    int64
+	Streams StreamSet
+	P       float64
+}
+
+// Name implements Injector.
+func (d *Dropout) Name() string { return "dropout" }
+
+// Apply implements Injector.
+func (d *Dropout) Apply(vm vmtrace.VMID, metric vmtrace.Metric, t time.Time, s Sample) Sample {
+	if !d.Streams.Matches(vm, metric) {
+		return s
+	}
+	if hash01(d.Seed, vm, metric, t.Unix()) < d.P {
+		s.OK = false
+	}
+	return s
+}
+
+// NaNBurst poisons every sample inside periodic windows with NaN values —
+// a sensor that reports garbage rather than going silent. The monitoring
+// agent records NaN samples as unknown, so prolonged bursts consolidate
+// into unknown RRD rows.
+type NaNBurst struct {
+	Seed    int64
+	Streams StreamSet
+	Epoch   time.Time
+	Start   time.Duration // offset of the first burst from Epoch
+	Len     time.Duration // burst length
+	Period  time.Duration // burst repetition period (<= 0: once)
+}
+
+// Name implements Injector.
+func (n *NaNBurst) Name() string { return "nanburst" }
+
+// Apply implements Injector.
+func (n *NaNBurst) Apply(vm vmtrace.VMID, metric vmtrace.Metric, t time.Time, s Sample) Sample {
+	if !n.Streams.Matches(vm, metric) {
+		return s
+	}
+	if inWindow(t, n.Epoch, n.Start, n.Len, n.Period) {
+		s.Value = math.NaN()
+	}
+	return s
+}
+
+// Spike multiplies each sample by Mag (and adds Add) independently with
+// probability P — a counter glitch or measurement spike.
+type Spike struct {
+	Seed    int64
+	Streams StreamSet
+	P       float64
+	Mag     float64 // multiplicative factor (1 = no-op)
+	Add     float64 // additive offset, applied after Mag
+}
+
+// Name implements Injector.
+func (sp *Spike) Name() string { return "spike" }
+
+// Apply implements Injector.
+func (sp *Spike) Apply(vm vmtrace.VMID, metric vmtrace.Metric, t time.Time, s Sample) Sample {
+	if !sp.Streams.Matches(vm, metric) || !s.OK {
+		return s
+	}
+	if hash01(sp.Seed+1, vm, metric, t.Unix()) < sp.P {
+		s.Value = s.Value*sp.Mag + sp.Add
+	}
+	return s
+}
+
+// StuckAt freezes selected streams inside periodic windows: every sample
+// reports the last value seen before the window opened (or the first
+// in-window value when none precedes it) — a wedged sensor that keeps
+// reporting a stale reading.
+type StuckAt struct {
+	Seed    int64
+	Streams StreamSet
+	Epoch   time.Time
+	Start   time.Duration
+	Len     time.Duration
+	Period  time.Duration // <= 0: once
+
+	mu   sync.Mutex
+	held map[string]float64 // per-stream last pre-window value
+}
+
+// Name implements Injector.
+func (st *StuckAt) Name() string { return "stuck" }
+
+// Apply implements Injector.
+func (st *StuckAt) Apply(vm vmtrace.VMID, metric vmtrace.Metric, t time.Time, s Sample) Sample {
+	if !st.Streams.Matches(vm, metric) {
+		return s
+	}
+	key := string(vm) + "/" + string(metric)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.held == nil {
+		st.held = make(map[string]float64)
+	}
+	if !inWindow(t, st.Epoch, st.Start, st.Len, st.Period) {
+		if s.OK {
+			st.held[key] = s.Value
+		}
+		return s
+	}
+	if held, seen := st.held[key]; seen {
+		s.Value, s.OK = held, true
+	} else if s.OK {
+		st.held[key] = s.Value
+	}
+	return s
+}
+
+// ClockGap silences selected streams entirely inside periodic windows — a
+// crashed monitoring agent or a clock jump that loses a span of samples.
+// Unlike Dropout the loss is contiguous, long enough to exceed the RRD
+// heartbeat and consolidate into unknown rows.
+type ClockGap struct {
+	Seed    int64
+	Streams StreamSet
+	Epoch   time.Time
+	Start   time.Duration
+	Len     time.Duration
+	Period  time.Duration // <= 0: once
+}
+
+// Name implements Injector.
+func (g *ClockGap) Name() string { return "gap" }
+
+// Apply implements Injector.
+func (g *ClockGap) Apply(vm vmtrace.VMID, metric vmtrace.Metric, t time.Time, s Sample) Sample {
+	if !g.Streams.Matches(vm, metric) {
+		return s
+	}
+	if inWindow(t, g.Epoch, g.Start, g.Len, g.Period) {
+		s.OK = false
+	}
+	return s
+}

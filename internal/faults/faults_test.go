@@ -1,0 +1,241 @@
+package faults
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/acis-lab/larpredictor/internal/monitor"
+	"github.com/acis-lab/larpredictor/internal/vmtrace"
+)
+
+var epoch = time.Date(2006, 10, 2, 0, 0, 0, 0, time.UTC)
+
+// constSampler reports value 10 for every stream at every time.
+func constSampler(v float64) monitor.Sampler {
+	return func(vmtrace.VMID, vmtrace.Metric, time.Time) (float64, bool) { return v, true }
+}
+
+func TestDropoutDeterministicAndRateBounded(t *testing.T) {
+	inj := &Dropout{Seed: 42, P: 0.2}
+	s := Wrap(constSampler(10), inj)
+
+	dropped, n := 0, 5000
+	var firstRun []bool
+	for i := 0; i < n; i++ {
+		ts := epoch.Add(time.Duration(i) * time.Minute)
+		_, ok := s(vmtrace.VM2, vmtrace.CPUUsedSec, ts)
+		firstRun = append(firstRun, ok)
+		if !ok {
+			dropped++
+		}
+	}
+	rate := float64(dropped) / float64(n)
+	if rate < 0.15 || rate > 0.25 {
+		t.Errorf("drop rate %.3f, want ~0.2", rate)
+	}
+	// Same seed → identical schedule, regardless of replay order.
+	for i := n - 1; i >= 0; i-- {
+		ts := epoch.Add(time.Duration(i) * time.Minute)
+		if _, ok := s(vmtrace.VM2, vmtrace.CPUUsedSec, ts); ok != firstRun[i] {
+			t.Fatalf("sample %d: replay ok=%v, first run ok=%v", i, ok, firstRun[i])
+		}
+	}
+	// Different seed → different schedule.
+	other := Wrap(constSampler(10), &Dropout{Seed: 43, P: 0.2})
+	same := 0
+	for i := 0; i < n; i++ {
+		ts := epoch.Add(time.Duration(i) * time.Minute)
+		if _, ok := other(vmtrace.VM2, vmtrace.CPUUsedSec, ts); ok == firstRun[i] {
+			same++
+		}
+	}
+	if same == n {
+		t.Error("seed 43 produced the identical schedule as seed 42")
+	}
+}
+
+func TestDropoutStreamSelection(t *testing.T) {
+	set, err := ParseStreams("VM3/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Wrap(constSampler(10), &Dropout{Seed: 1, P: 1, Streams: set})
+	if _, ok := s(vmtrace.VM3, vmtrace.CPUUsedSec, epoch); ok {
+		t.Error("VM3 sample survived a p=1 dropout")
+	}
+	if _, ok := s(vmtrace.VM2, vmtrace.CPUUsedSec, epoch); !ok {
+		t.Error("VM2 sample dropped by a VM3-only fault")
+	}
+}
+
+func TestNaNBurstWindows(t *testing.T) {
+	inj := &NaNBurst{Seed: 1, Epoch: epoch, Start: 10 * time.Minute, Len: 5 * time.Minute, Period: time.Hour}
+	s := Wrap(constSampler(10), inj)
+	cases := []struct {
+		at   time.Duration
+		want bool // NaN expected
+	}{
+		{0, false},
+		{10 * time.Minute, true},
+		{14 * time.Minute, true},
+		{15 * time.Minute, false},
+		{time.Hour + 12*time.Minute, true}, // periodic repeat
+		{2*time.Hour + 20*time.Minute, false},
+	}
+	for _, c := range cases {
+		v, ok := s(vmtrace.VM2, vmtrace.MemSize, epoch.Add(c.at))
+		if !ok {
+			t.Fatalf("t=%v: sample not ok", c.at)
+		}
+		if math.IsNaN(v) != c.want {
+			t.Errorf("t=%v: NaN=%v, want %v", c.at, math.IsNaN(v), c.want)
+		}
+	}
+}
+
+func TestSpikeMagnifies(t *testing.T) {
+	s := Wrap(constSampler(10), &Spike{Seed: 7, P: 1, Mag: 4, Add: 2})
+	if v, _ := s(vmtrace.VM2, vmtrace.NIC1RX, epoch); v != 42 {
+		t.Errorf("spiked value = %g, want 42", v)
+	}
+	// Spikes never resurrect missing samples.
+	missing := func(vmtrace.VMID, vmtrace.Metric, time.Time) (float64, bool) { return 0, false }
+	if _, ok := Wrap(missing, &Spike{Seed: 7, P: 1, Mag: 4})(vmtrace.VM2, vmtrace.NIC1RX, epoch); ok {
+		t.Error("spike marked a missing sample as ok")
+	}
+}
+
+func TestStuckAtHoldsPreWindowValue(t *testing.T) {
+	inj := &StuckAt{Seed: 1, Epoch: epoch, Start: 10 * time.Minute, Len: 10 * time.Minute}
+	ramp := func(vm vmtrace.VMID, m vmtrace.Metric, ts time.Time) (float64, bool) {
+		return ts.Sub(epoch).Minutes(), true
+	}
+	s := Wrap(ramp, inj)
+	// Feed pre-window samples so the injector has a held value.
+	for i := 0; i < 10; i++ {
+		s(vmtrace.VM4, vmtrace.VD1Read, epoch.Add(time.Duration(i)*time.Minute))
+	}
+	for i := 10; i < 20; i++ {
+		v, ok := s(vmtrace.VM4, vmtrace.VD1Read, epoch.Add(time.Duration(i)*time.Minute))
+		if !ok || v != 9 {
+			t.Errorf("minute %d: v=%g ok=%v, want held value 9", i, v, ok)
+		}
+	}
+	// After the window the live ramp resumes.
+	if v, _ := s(vmtrace.VM4, vmtrace.VD1Read, epoch.Add(25*time.Minute)); v != 25 {
+		t.Errorf("post-window v=%g, want 25", v)
+	}
+}
+
+func TestClockGapSilencesSpan(t *testing.T) {
+	inj := &ClockGap{Seed: 1, Epoch: epoch, Start: time.Hour, Len: 30 * time.Minute}
+	s := Wrap(constSampler(1), inj)
+	if _, ok := s(vmtrace.VM2, vmtrace.CPUUsedSec, epoch.Add(70*time.Minute)); ok {
+		t.Error("sample inside the gap was not silenced")
+	}
+	if _, ok := s(vmtrace.VM2, vmtrace.CPUUsedSec, epoch.Add(2*time.Hour)); !ok {
+		t.Error("sample after the gap was silenced")
+	}
+}
+
+func TestInjectorsCompose(t *testing.T) {
+	spike := &Spike{Seed: 1, P: 1, Mag: 3}
+	gap := &ClockGap{Seed: 1, Epoch: epoch, Start: 0, Len: time.Minute}
+	s := Wrap(constSampler(5), spike, gap)
+	if _, ok := s(vmtrace.VM2, vmtrace.CPUUsedSec, epoch.Add(30*time.Second)); ok {
+		t.Error("gap did not silence a spiked sample")
+	}
+	if v, ok := s(vmtrace.VM2, vmtrace.CPUUsedSec, epoch.Add(5*time.Minute)); !ok || v != 15 {
+		t.Errorf("outside gap: v=%g ok=%v, want 15 true", v, ok)
+	}
+}
+
+func TestInjectValues(t *testing.T) {
+	vals := []float64{1, 2, 3, 4}
+	out, ok := InjectValues(vals, vmtrace.VM2, vmtrace.CPUUsedSec, epoch, time.Minute,
+		&Spike{Seed: 9, P: 1, Mag: 2})
+	for i := range vals {
+		if !ok[i] || out[i] != vals[i]*2 {
+			t.Errorf("sample %d: out=%g ok=%v", i, out[i], ok[i])
+		}
+	}
+	if vals[0] != 1 {
+		t.Error("InjectValues mutated its input")
+	}
+}
+
+func TestParseStreams(t *testing.T) {
+	set, err := ParseStreams("VM3/*|VM2/CPU_usedsec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		vm   vmtrace.VMID
+		m    vmtrace.Metric
+		want bool
+	}{
+		{vmtrace.VM3, vmtrace.MemSize, true},
+		{vmtrace.VM2, vmtrace.CPUUsedSec, true},
+		{vmtrace.VM2, vmtrace.MemSize, false},
+		{vmtrace.VM4, vmtrace.CPUUsedSec, false},
+	}
+	for _, c := range cases {
+		if got := set.Matches(c.vm, c.m); got != c.want {
+			t.Errorf("Matches(%s, %s) = %v, want %v", c.vm, c.m, got, c.want)
+		}
+	}
+	if _, err := ParseStreams("VM3"); err == nil {
+		t.Error("ParseStreams accepted a pattern without a metric")
+	}
+	// The zero set matches everything.
+	var all StreamSet
+	if !all.Matches(vmtrace.VM5, vmtrace.VD2Write) {
+		t.Error("zero StreamSet did not match")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	injs, err := ParseSpec(
+		"spike:p=0.02,mag=40,on=VM3/CPU_usedsec|VM3/NIC1_received; dropout:p=0.05,on=VM3/*;nanburst:period=6h,len=50m",
+		2007, epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(injs) != 3 {
+		t.Fatalf("parsed %d injectors, want 3", len(injs))
+	}
+	wantKinds := []string{"spike", "dropout", "nanburst"}
+	for i, inj := range injs {
+		if inj.Name() != wantKinds[i] {
+			t.Errorf("injector %d: kind %q, want %q", i, inj.Name(), wantKinds[i])
+		}
+	}
+	sp, ok := injs[0].(*Spike)
+	if !ok || sp.P != 0.02 || sp.Mag != 40 {
+		t.Errorf("spike = %+v, want p=0.02 mag=40", injs[0])
+	}
+	nb := injs[2].(*NaNBurst)
+	if nb.Period != 6*time.Hour || nb.Len != 50*time.Minute || !nb.Epoch.Equal(epoch) {
+		t.Errorf("nanburst = %+v", nb)
+	}
+
+	if got, err := ParseSpec("", 1, epoch); err != nil || got != nil {
+		t.Errorf("empty spec: injs=%v err=%v", got, err)
+	}
+	bad := []string{
+		"tsunami:p=1",        // unknown kind
+		"dropout:mag=2",      // missing p
+		"dropout:p=high",     // non-numeric
+		"nanburst:len=fifty", // bad duration
+		"nanburst:period=1h", // missing len
+		"spike:p=0.1,on=VM3", // bad stream pattern
+		"dropout:p",          // not key=value
+	}
+	for _, spec := range bad {
+		if _, err := ParseSpec(spec, 1, epoch); !errors.Is(err, ErrBadSpec) {
+			t.Errorf("spec %q: err = %v, want ErrBadSpec", spec, err)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ErrBadSpec is returned by ParseSpec for malformed fault specifications.
+var ErrBadSpec = errors.New("faults: invalid fault spec")
+
+// ParseSpec parses a compact fault-injection specification into injectors.
+// The grammar, designed for a single command-line flag, is
+//
+//	spec   := clause (';' clause)*
+//	clause := kind ':' param (',' param)*
+//	param  := key '=' value
+//
+// Kinds and their parameters (durations use Go syntax, e.g. "45m"):
+//
+//	dropout   p=<prob>                          [on=<streams>]
+//	spike     p=<prob> [mag=<factor>] [add=<v>] [on=<streams>]
+//	nanburst  len=<dur> [at=<dur>] [period=<dur>] [on=<streams>]
+//	stuck     len=<dur> [at=<dur>] [period=<dur>] [on=<streams>]
+//	gap       len=<dur> [at=<dur>] [period=<dur>] [on=<streams>]
+//
+// "at" offsets the first fault window from epoch (default 0), "period"
+// repeats it (default: once). "on" selects streams as '|'-separated
+// VM/metric patterns with '*' wildcards (default: every stream), e.g.
+//
+//	spike:p=0.02,mag=40,on=VM3/CPU_usedsec|VM3/NIC1_*;dropout:p=0.05,on=VM3/*
+//
+// seed derives every injector's deterministic schedule; epoch anchors the
+// window offsets (use the monitoring agent's start time).
+func ParseSpec(spec string, seed int64, epoch time.Time) ([]Injector, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var injs []Injector
+	for i, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		// Offset each clause's seed so identical fault kinds on the same
+		// stream still draw independent schedules.
+		inj, err := parseClause(clause, seed+int64(i)*7919, epoch)
+		if err != nil {
+			return nil, err
+		}
+		injs = append(injs, inj)
+	}
+	return injs, nil
+}
+
+func parseClause(clause string, seed int64, epoch time.Time) (Injector, error) {
+	kind, rest, _ := strings.Cut(clause, ":")
+	kind = strings.TrimSpace(kind)
+	p, err := parseParams(kind, rest)
+	if err != nil {
+		return nil, err
+	}
+	streams, err := ParseStreams(p.str("on"))
+	if err != nil {
+		return nil, err
+	}
+
+	var inj Injector
+	switch kind {
+	case "dropout":
+		inj = &Dropout{Seed: seed, Streams: streams, P: p.num("p", true)}
+	case "spike":
+		sp := &Spike{Seed: seed, Streams: streams, P: p.num("p", true), Mag: 1, Add: p.num("add", false)}
+		if p.has("mag") {
+			sp.Mag = p.num("mag", false)
+		}
+		inj = sp
+	case "nanburst":
+		inj = &NaNBurst{Seed: seed, Streams: streams, Epoch: epoch,
+			Start: p.dur("at"), Len: p.dur("len"), Period: p.dur("period")}
+		p.requireDur("len")
+	case "stuck":
+		inj = &StuckAt{Seed: seed, Streams: streams, Epoch: epoch,
+			Start: p.dur("at"), Len: p.dur("len"), Period: p.dur("period")}
+		p.requireDur("len")
+	case "gap":
+		inj = &ClockGap{Seed: seed, Streams: streams, Epoch: epoch,
+			Start: p.dur("at"), Len: p.dur("len"), Period: p.dur("period")}
+		p.requireDur("len")
+	default:
+		return nil, fmt.Errorf("%w: unknown fault kind %q", ErrBadSpec, kind)
+	}
+	if p.err != nil {
+		return nil, p.err
+	}
+	return inj, nil
+}
+
+// clauseParams accumulates the first parse error so the clause builders
+// above stay flat.
+type clauseParams struct {
+	kind string
+	m    map[string]string
+	err  error
+}
+
+func parseParams(kind, s string) (*clauseParams, error) {
+	p := &clauseParams{kind: kind, m: map[string]string{}}
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return p, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		key, val, found := strings.Cut(strings.TrimSpace(kv), "=")
+		if !found || key == "" || val == "" {
+			return nil, fmt.Errorf("%w: %s: parameter %q (want key=value)", ErrBadSpec, kind, kv)
+		}
+		p.m[key] = val
+	}
+	return p, nil
+}
+
+func (p *clauseParams) fail(format string, args ...any) {
+	if p.err == nil {
+		p.err = fmt.Errorf("%w: %s: %s", ErrBadSpec, p.kind, fmt.Sprintf(format, args...))
+	}
+}
+
+func (p *clauseParams) has(key string) bool { _, ok := p.m[key]; return ok }
+
+func (p *clauseParams) str(key string) string { return p.m[key] }
+
+func (p *clauseParams) num(key string, required bool) float64 {
+	v, ok := p.m[key]
+	if !ok {
+		if required {
+			p.fail("missing required parameter %q", key)
+		}
+		return 0
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		p.fail("%s=%q is not a number", key, v)
+	}
+	return f
+}
+
+func (p *clauseParams) dur(key string) time.Duration {
+	v, ok := p.m[key]
+	if !ok {
+		return 0
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		p.fail("%s=%q is not a duration", key, v)
+	}
+	return d
+}
+
+func (p *clauseParams) requireDur(key string) {
+	if !p.has(key) {
+		p.fail("missing required parameter %q", key)
+	}
+}

@@ -16,7 +16,7 @@ func TestStatusSnapshot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := a.Run(30 * time.Minute); err != nil {
+	if _, err := a.Run(30 * time.Minute); err != nil {
 		t.Fatal(err)
 	}
 	st := a.Status()
@@ -39,7 +39,7 @@ func TestStatusHandler(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := a.Run(10 * time.Minute); err != nil {
+	if _, err := a.Run(10 * time.Minute); err != nil {
 		t.Fatal(err)
 	}
 	h := NewStatusHandler(a, func() any {

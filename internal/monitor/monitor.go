@@ -172,15 +172,22 @@ func (a *Agent) Tick() error {
 	return nil
 }
 
-// Run advances the clock by d, ticking every sample interval.
-func (a *Agent) Run(d time.Duration) error {
+// Run advances the clock by d, ticking every sample interval, and returns
+// the simulated time actually advanced. d is rounded DOWN to a whole number
+// of sample intervals; the remainder is not simulated (a later Run call may
+// pick it up by passing it again). A negative d is ErrBadInterval. On a tick
+// error the duration advanced before the failure is returned alongside it.
+func (a *Agent) Run(d time.Duration) (time.Duration, error) {
+	if d < 0 {
+		return 0, fmt.Errorf("monitor: negative run duration %v: %w", d, ErrBadInterval)
+	}
 	ticks := int(d / a.cfg.SampleInterval)
 	for i := 0; i < ticks; i++ {
 		if err := a.Tick(); err != nil {
-			return err
+			return time.Duration(i) * a.cfg.SampleInterval, err
 		}
 	}
-	return nil
+	return time.Duration(ticks) * a.cfg.SampleInterval, nil
 }
 
 // Query selects a profiled time series: the paper's profiler interface

@@ -52,7 +52,7 @@ func TestAgentCollectsAndProfiles(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Two hours of monitoring = 24 five-minute rows.
-	if err := a.Run(2 * time.Hour); err != nil {
+	if _, err := a.Run(2 * time.Hour); err != nil {
 		t.Fatal(err)
 	}
 	if got := a.Now().Sub(cfg.Start); got != 2*time.Hour {
@@ -141,7 +141,7 @@ func TestProfileEmptyWindow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := a.Run(time.Hour); err != nil {
+	if _, err := a.Run(time.Hour); err != nil {
 		t.Fatal(err)
 	}
 	_, err = a.Profile(Query{
@@ -169,7 +169,7 @@ func TestProfileForwardFillsGaps(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := a.Run(10 * time.Hour); err != nil {
+	if _, err := a.Run(10 * time.Hour); err != nil {
 		t.Fatal(err)
 	}
 	s, err := a.Profile(Query{
@@ -195,7 +195,7 @@ func TestProfileMaxArchive(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := a.Run(4 * time.Hour); err != nil {
+	if _, err := a.Run(4 * time.Hour); err != nil {
 		t.Fatal(err)
 	}
 	s, err := a.Profile(Query{
@@ -219,7 +219,7 @@ func TestTraceSamplerEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := a.Run(12 * time.Hour); err != nil {
+	if _, err := a.Run(12 * time.Hour); err != nil {
 		t.Fatal(err)
 	}
 	got, err := a.Profile(Query{
@@ -266,5 +266,35 @@ func TestTraceSamplerOutOfRange(t *testing.T) {
 	}
 	if _, ok := s("VM9", vmtrace.CPUUsedSec, time.Now()); ok {
 		t.Error("sampled unknown VM")
+	}
+}
+
+func TestRunReturnsAdvancedDuration(t *testing.T) {
+	cfg := testConfig(vmtrace.VM1)
+	a, err := NewAgent(cfg, constSampler(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 150s with a 1-minute sample interval: only two whole ticks fit; the
+	// 30s remainder is not simulated and must be reported as such.
+	advanced, err := a.Run(150 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if advanced != 2*time.Minute {
+		t.Errorf("Run(150s) advanced %v, want 2m0s", advanced)
+	}
+	if got := a.Now().Sub(cfg.Start); got != advanced {
+		t.Errorf("clock moved %v but Run reported %v", got, advanced)
+	}
+	// Sub-interval durations advance nothing — and say so.
+	if advanced, err = a.Run(30 * time.Second); err != nil || advanced != 0 {
+		t.Errorf("Run(30s) = (%v, %v), want (0, nil)", advanced, err)
+	}
+	if advanced, err = a.Run(0); err != nil || advanced != 0 {
+		t.Errorf("Run(0) = (%v, %v), want (0, nil)", advanced, err)
+	}
+	if _, err := a.Run(-time.Minute); !errors.Is(err, ErrBadInterval) {
+		t.Errorf("Run(-1m) err = %v, want ErrBadInterval", err)
 	}
 }

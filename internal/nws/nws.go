@@ -115,6 +115,25 @@ func (s *Selector) Step(window []float64, observed float64) (StepResult, error) 
 	return StepResult{Selected: sel, Prediction: all[sel], All: all}, nil
 }
 
+// Select returns the pool index the selector would publish right now — the
+// expert with the lowest current error statistic — without stepping the
+// selector. Callers that forecast outside Step (e.g. the degraded-mode
+// fallback chain in internal/core) use it to pick an expert and run it
+// themselves.
+func (s *Selector) Select() int { return s.selectExpert() }
+
+// ErrStats returns every expert's current selection statistic (mean squared
+// error over the tracked horizon), in pool order. The square root of an
+// entry is a crude one-sigma uncertainty estimate for that expert's next
+// forecast.
+func (s *Selector) ErrStats() []float64 {
+	out := make([]float64, s.pool.Size())
+	for i := range out {
+		out[i] = s.errStat(i)
+	}
+	return out
+}
+
 // selectExpert returns the pool index with the lowest current error
 // statistic. With no history yet, every expert ties at zero and the lowest
 // index wins, matching the deterministic tie-break used pool-wide.

@@ -229,3 +229,43 @@ func TestRunMSEMatchesManualComputation(t *testing.T) {
 		t.Errorf("MSE = %g, want 7", res.MSE)
 	}
 }
+
+func TestSelectAndErrStatsMirrorStep(t *testing.T) {
+	// A smooth ramp makes LAST the consistently best expert; Select and
+	// ErrStats must expose the same state Step uses internally, without
+	// mutating it.
+	pool := predictors.NewPool(predictors.NewSWAvg(4), predictors.NewLast())
+	s, err := NewCumulativeMSE(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := []float64{1, 2, 3, 4}
+	for v := 5.0; v < 25; v++ {
+		if _, err := s.Step(window, v); err != nil {
+			t.Fatal(err)
+		}
+		window = append(window[1:], v)
+	}
+	sel := s.Select()
+	if sel != 1 {
+		t.Errorf("Select() = %d, want 1 (LAST) on a smooth ramp", sel)
+	}
+	stats := s.ErrStats()
+	if len(stats) != pool.Size() {
+		t.Fatalf("ErrStats returned %d entries for a pool of %d", len(stats), pool.Size())
+	}
+	if !(stats[1] < stats[0]) {
+		t.Errorf("ErrStats = %v: selected expert's MSE is not the minimum", stats)
+	}
+	// Read-only: a second call and a Step selection must agree.
+	if again := s.Select(); again != sel {
+		t.Errorf("Select() changed state: %d then %d", sel, again)
+	}
+	step, err := s.Step(window, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step.Selected != sel {
+		t.Errorf("Step selected %d after Select() reported %d", step.Selected, sel)
+	}
+}

@@ -22,10 +22,15 @@
 //	fmt.Println(pred.Value, pred.SelectedName)
 //
 // For streaming workloads, NewOnline wraps the predictor with incremental
-// observation, automatic initial training, and QA-triggered retraining. For
-// benchmarking, Evaluate scores the predictor against the perfect-selection
-// oracle (P-LAR), every single expert, and the Network Weather Service
-// cumulative-MSE baseline (package-level NewCumulativeMSE / NewWindowedMSE).
+// observation, automatic initial training, and QA-triggered retraining. The
+// streaming predictor is fault tolerant: failed retrains back off
+// exponentially behind a circuit breaker while forecasts degrade down a
+// fallback ladder (trained model → windowed cumulative-MSE selector → last
+// finite observation) whose rung is reported by Health and
+// Prediction.Source. For benchmarking, Evaluate scores the predictor
+// against the perfect-selection oracle (P-LAR), every single expert, and
+// the Network Weather Service cumulative-MSE baseline (package-level
+// NewCumulativeMSE / NewWindowedMSE).
 package larpredictor
 
 import (
@@ -50,6 +55,12 @@ type (
 	OnlineConfig = core.OnlineConfig
 	// Online is the streaming predictor with QA-driven retraining.
 	Online = core.Online
+	// Health is the streaming predictor's degradation state
+	// (Healthy → Degraded → Fallback → Failed).
+	Health = core.Health
+	// HealthStats is a snapshot of the resilience machinery (circuit
+	// breaker, retrain backoff, fallback counters).
+	HealthStats = core.HealthStats
 
 	// Predictor is the one-step-ahead expert interface; implement it to
 	// add custom experts to a Pool.
@@ -71,11 +82,38 @@ var (
 	ErrBadConfig = core.ErrBadConfig
 	// ErrNotReady is returned by Online.Forecast before initial training.
 	ErrNotReady = core.ErrNotReady
+	// ErrFailed is returned by Online.Forecast in the terminal Failed
+	// state, after FailureLimit consecutive retrain failures.
+	ErrFailed = core.ErrFailed
 	// ErrWindowTooShort is returned when a prediction window has fewer
 	// samples than the predictor order.
 	ErrWindowTooShort = predictors.ErrWindowTooShort
 	// ErrUnknownPredictor is returned by NewPredictor for unknown names.
 	ErrUnknownPredictor = predictors.ErrUnknownPredictor
+)
+
+// Health states of the streaming predictor's fallback ladder.
+const (
+	// Healthy serves forecasts from the trained LARPredictor.
+	Healthy = core.Healthy
+	// Degraded serves the windowed cumulative-MSE selector while retrains
+	// back off or the circuit breaker is open.
+	Degraded = core.Degraded
+	// Fallback serves the last finite observation.
+	Fallback = core.Fallback
+	// Failed is terminal; Forecast returns ErrFailed.
+	Failed = core.Failed
+)
+
+// Forecast sources reported in Prediction.Source.
+const (
+	// SourceLAR marks a forecast served by the trained LARPredictor.
+	SourceLAR = core.SourceLAR
+	// SourceSelector marks a degraded-mode forecast from the windowed
+	// cumulative-MSE selector.
+	SourceSelector = core.SourceSelector
+	// SourceLastResort marks a last-finite-observation forecast.
+	SourceLastResort = core.SourceLastResort
 )
 
 // DefaultConfig returns the paper's configuration for a window size m:

@@ -186,3 +186,39 @@ func TestFacadeHelpers(t *testing.T) {
 		t.Fatalf("MSE = %g, %v", mse, err)
 	}
 }
+
+func TestFacadeResilienceSurface(t *testing.T) {
+	o, err := larpredictor.NewOnline(larpredictor.OnlineConfig{
+		Predictor:   larpredictor.DefaultConfig(3),
+		TrainSize:   10,
+		AuditWindow: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Health() != larpredictor.Healthy {
+		t.Fatalf("fresh predictor health = %v, want Healthy", o.Health())
+	}
+	if larpredictor.Failed.String() != "Failed" || larpredictor.Fallback.String() != "Fallback" {
+		t.Error("health states did not re-export")
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := o.Observe(float64(i % 7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := o.Forecast()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Source != larpredictor.SourceLAR {
+		t.Errorf("healthy forecast Source = %q, want %q", p.Source, larpredictor.SourceLAR)
+	}
+	var hs larpredictor.HealthStats = o.HealthStats()
+	if hs.State != larpredictor.Healthy || hs.BreakerOpen {
+		t.Errorf("health stats = %+v", hs)
+	}
+	if larpredictor.ErrFailed == nil || larpredictor.SourceSelector == "" || larpredictor.SourceLastResort == "" {
+		t.Error("resilience sentinels did not re-export")
+	}
+}
