@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet ci
+.PHONY: build test race vet fmt fuzz-seeds crash-test ci
 
 build:
 	$(GO) build ./...
@@ -11,9 +11,24 @@ test:
 vet:
 	$(GO) vet ./...
 
+# gofmt check: fails listing any file that is not gofmt-clean.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Run the fuzz targets' seed corpora as ordinary tests (no fuzzing engine;
+# deterministic and fast, so it belongs in ci).
+fuzz-seeds:
+	$(GO) test -run Fuzz ./internal/rrd ./internal/preddb ./internal/durable
+
+# Kill-and-restart durability tests: crash mid-run, warm restart, and
+# require bit-identical results versus an uninterrupted run.
+crash-test:
+	$(GO) test -v -run 'Crash|Corrupt|Fingerprint|Extends' ./cmd/monitord
+
 # Race-enabled test run; includes the monitord chaos/supervision tests,
 # which exercise the concurrent per-pipeline supervisor.
 race:
 	$(GO) test -race ./...
 
-ci: vet build race
+ci: fmt vet build fuzz-seeds race

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"github.com/acis-lab/larpredictor/internal/core"
+	"github.com/acis-lab/larpredictor/internal/durable"
 	"github.com/acis-lab/larpredictor/internal/faults"
 	"github.com/acis-lab/larpredictor/internal/monitor"
 	"github.com/acis-lab/larpredictor/internal/preddb"
@@ -56,6 +57,8 @@ func main() {
 		faultSpec = flag.String("faults", "", "fault-injection spec, e.g. 'spike:p=0.02,mag=40,on=VM3/*;dropout:p=0.05' (see internal/faults)")
 		faultSeed = flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
 		cooldown  = flag.Duration("cooldown", 2*time.Hour, "simulated quarantine before restarting a panicked or Failed pipeline")
+		stateDir  = flag.String("state", "", "state directory for durable snapshots and WALs; empty runs stateless")
+		snapEvery = flag.Duration("snapshot-every", 6*time.Hour, "simulated interval between durable snapshots")
 	)
 	flag.Parse()
 
@@ -76,6 +79,8 @@ func main() {
 		faultSpec: *faultSpec,
 		faultSeed: *faultSeed,
 		cooldown:  *cooldown,
+		stateDir:  *stateDir,
+		snapEvery: *snapEvery,
 	}
 	if _, err := run(os.Stdout, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "monitord:", err)
@@ -97,6 +102,13 @@ type options struct {
 	faultSpec string
 	faultSeed int64
 	cooldown  time.Duration
+	stateDir  string
+	snapEvery time.Duration
+
+	// crashAfterHours, when positive, aborts the run with errSimulatedCrash
+	// after that many simulated hours — no final snapshot, no cleanup. The
+	// crash-recovery test uses it as an in-process SIGKILL.
+	crashAfterHours int
 
 	// addrReady, when set, receives the status listener's bound address
 	// once it is serving (tests use :0 and need the real port).
@@ -124,6 +136,13 @@ type pipeline struct {
 	hasPending  bool
 	predictions int
 
+	// Durability state: the observation WAL (nil when stateless), how many
+	// WAL records the warm restart replayed, and the recovery outcome
+	// ("recovered", "cold", "quarantined"; empty when stateless).
+	wal         *durable.WAL
+	walReplayed int
+	recovery    string
+
 	// Supervision state (accessed only by the supervisor loop).
 	quarantineUntil time.Time
 	panics          int
@@ -147,6 +166,8 @@ type PipeStatus struct {
 	Restarts          int     `json:"restarts,omitempty"`
 	Quarantined       bool    `json:"quarantined,omitempty"`
 	LastFault         string  `json:"last_fault,omitempty"`
+	Recovery          string  `json:"recovery,omitempty"`
+	WALReplayed       int     `json:"wal_replayed,omitempty"`
 	ScoredMSE         float64 `json:"scored_mse,omitempty"`
 	Scored            int     `json:"scored,omitempty"`
 	// Spark is a unicode strip of recent observations for the text report
@@ -267,16 +288,38 @@ func run(out io.Writer, o options) (*runSummary, error) {
 		}
 	}
 
+	step := cfg.ConsolidationInterval
+
+	// Warm restart: restore databases and predictor state from the state
+	// directory, replay WALs, and resume the simulation where the previous
+	// process died. Corrupt files are quarantined, not fatal.
+	var st *stateStore
+	if o.stateDir != "" {
+		if o.snapEvery <= 0 {
+			o.snapEvery = 6 * time.Hour
+		}
+		st, err = openState(o.stateDir, fingerprintOptions(o))
+		if err != nil {
+			return nil, err
+		}
+		db, err = st.recover(agent, db, pipes, o, step, os.Stderr)
+		if err != nil {
+			return nil, err
+		}
+		defer closeWALs(pipes)
+	}
+
 	qa, err := preddb.NewAssuror(db, o.auditWin, o.threshold, nil)
 	if err != nil {
 		return nil, err
 	}
 
 	hours := int(o.duration / time.Hour)
-	step := cfg.ConsolidationInterval
+	hoursDone := int(agent.Now().Sub(cfg.Start) / time.Hour)
+	lastSnap := agent.Now()
 
 	var totalRetrains, totalPredictions int
-	for h := 0; h < hours; h++ {
+	for h := hoursDone; h < hours; h++ {
 		// Advance simulated time by one hour of 1-minute samples.
 		if _, err := agent.Run(time.Hour); err != nil {
 			return nil, err
@@ -332,8 +375,31 @@ func run(out io.Writer, o options) (*runSummary, error) {
 			fmt.Fprintf(out, "[%s] simulated hour %2d: %d raw samples, %d predictions, %d keys flagged by QA\n",
 				now.Format("15:04"), h+1, agent.Samples(), totalPredictions, len(fired))
 		}
+
+		if st != nil && now.Sub(lastSnap) >= o.snapEvery {
+			if err := st.snapshot(agent, db, pipes, o); err != nil {
+				return nil, fmt.Errorf("snapshot: %w", err)
+			}
+			lastSnap = now
+		}
+		if o.crashAfterHours > 0 && h+1 >= o.crashAfterHours {
+			return nil, errSimulatedCrash
+		}
 	}
 
+	// A final snapshot makes a completed run resumable with a longer
+	// -duration and gives operators the terminal state on disk.
+	if st != nil {
+		if err := st.snapshot(agent, db, pipes, o); err != nil {
+			return nil, fmt.Errorf("final snapshot: %w", err)
+		}
+	}
+
+	totalPredictions, totalRetrains = 0, 0
+	for _, p := range pipes {
+		totalPredictions += p.predictions
+		totalRetrains += p.online.Retrains()
+	}
 	summary := &runSummary{
 		Samples:     agent.Samples(),
 		Predictions: totalPredictions,
@@ -393,26 +459,42 @@ func process(p *pipeline, agent *monitor.Agent, db *preddb.DB, now time.Time, st
 			continue
 		}
 		v := s.At(i)
-		db.PutObservation(p.key, ts, v)
-		if p.hasPending && ts.Equal(p.pendingFor) {
-			// Forecast scored implicitly by the preddb QA.
-			p.hasPending = false
+		// Log the row before applying it; on a crash the WAL replays it
+		// through the very same feed path.
+		if p.wal != nil {
+			_ = p.wal.Append(durable.Record{TS: ts.Unix(), Value: v})
 		}
-		// Observe absorbs retrain failures into the pipeline's health
-		// state; it no longer aborts the stream.
-		_, _ = p.online.Observe(v)
-		p.lastSeen = ts
-
-		pred, err := p.online.Forecast()
-		if err != nil {
-			continue // not ready, or terminally Failed (supervisor acts)
-		}
-		p.pending = pred.Value
-		p.pendingFor = ts.Add(step)
-		p.hasPending = true
-		db.PutPrediction(p.key, p.pendingFor, pred.Value, pred.SelectedName)
-		p.predictions++
+		feed(p, db, ts, v, step)
 	}
+	if p.wal != nil {
+		_ = p.wal.Sync()
+	}
+}
+
+// feed pushes one consolidated row through the pipeline: the observation
+// into the prediction DB, then the predictor, then any new forecast back
+// into the DB. Live processing and WAL replay share it, so recovery
+// reproduces exactly what the crashed run did.
+func feed(p *pipeline, db *preddb.DB, ts time.Time, v float64, step time.Duration) {
+	db.PutObservation(p.key, ts, v)
+	if p.hasPending && ts.Equal(p.pendingFor) {
+		// Forecast scored implicitly by the preddb QA.
+		p.hasPending = false
+	}
+	// Observe absorbs retrain failures into the pipeline's health
+	// state; it no longer aborts the stream.
+	_, _ = p.online.Observe(v)
+	p.lastSeen = ts
+
+	pred, err := p.online.Forecast()
+	if err != nil {
+		return // not ready, or terminally Failed (supervisor acts)
+	}
+	p.pending = pred.Value
+	p.pendingFor = ts.Add(step)
+	p.hasPending = true
+	db.PutPrediction(p.key, p.pendingFor, pred.Value, pred.SelectedName)
+	p.predictions++
 }
 
 // pipeStatuses snapshots every pipeline for the status endpoint and the
@@ -436,6 +518,8 @@ func pipeStatuses(pipes []*pipeline, db *preddb.DB, now time.Time) []PipeStatus 
 			Restarts:          p.restarts,
 			Quarantined:       !p.quarantineUntil.IsZero() && now.Before(p.quarantineUntil),
 			LastFault:         p.lastFault,
+			Recovery:          p.recovery,
+			WALReplayed:       p.walReplayed,
 		}
 		if mse, n, err := db.AuditMSE(p.key, 1<<30); err == nil && n > 0 {
 			st.ScoredMSE, st.Scored = mse, n
@@ -461,6 +545,20 @@ func report(out io.Writer, o options, s *runSummary) {
 	}
 	if degraded > 0 {
 		fmt.Fprintf(out, "  pipelines with incidents: %d\n", degraded)
+	}
+	var recovered, quarantined, replayed int
+	for _, p := range s.Pipes {
+		switch p.Recovery {
+		case recoveryRecovered:
+			recovered++
+		case recoveryQuarantined:
+			quarantined++
+		}
+		replayed += p.WALReplayed
+	}
+	if recovered > 0 || quarantined > 0 {
+		fmt.Fprintf(out, "  warm restart: %d recovered, %d quarantined, %d WAL records replayed\n",
+			recovered, quarantined, replayed)
 	}
 	// Troubled pipelines must never scroll out of view: list them ahead of
 	// the healthy ones before applying the line cap.

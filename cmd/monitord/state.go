@@ -1,0 +1,361 @@
+package main
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"github.com/acis-lab/larpredictor/internal/core"
+	"github.com/acis-lab/larpredictor/internal/durable"
+	"github.com/acis-lab/larpredictor/internal/monitor"
+	"github.com/acis-lab/larpredictor/internal/preddb"
+)
+
+// State directory layout:
+//
+//	<dir>/manifest.json        clock, sample counter, config fingerprint
+//	<dir>/rrd/<vm>.rrd         per-VM round-robin database snapshot
+//	<dir>/preddb.db            prediction database snapshot
+//	<dir>/pipe/<vm>__<metric>.lar   per-pipeline predictor + bookkeeping
+//	<dir>/wal/<vm>__<metric>.wal    per-pipeline observation WAL
+//
+// Every snapshot file is written atomically (temp + fsync + rename) and
+// carries its own checksum; the manifest is written last so its clock only
+// ever describes fully-committed state. WALs are reset after the manifest
+// commits — a crash in between merely leaves records at or before the
+// restored clock, which replay skips.
+
+const (
+	pipeMagic    = "LARPIPE1"
+	manifestName = "manifest.json"
+)
+
+// Per-pipeline recovery outcomes reported on the status endpoint.
+const (
+	recoveryCold        = "cold"
+	recoveryRecovered   = "recovered"
+	recoveryQuarantined = "quarantined"
+)
+
+// errSimulatedCrash is returned by run when options.crashAfterHours fires:
+// the crash test uses it to stop a run dead — no final snapshot, no
+// cleanup — exactly what a SIGKILL would leave behind.
+var errSimulatedCrash = errors.New("monitord: simulated crash")
+
+// errPipeState covers unreadable or checksum-failing pipe snapshots.
+var errPipeState = errors.New("monitord: bad pipeline state file")
+
+// manifest is the commit record of a snapshot.
+type manifest struct {
+	Clock       int64  `json:"clock"`
+	Samples     int64  `json:"samples"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// pipeState is the serialized bookkeeping of one pipeline; Online holds the
+// core codec's framed predictor state.
+type pipeState struct {
+	LastSeen    int64
+	Pending     float64
+	PendingFor  int64
+	HasPending  bool
+	Predictions int
+	Online      []byte
+}
+
+// stateStore owns a monitord state directory.
+type stateStore struct {
+	dir         string
+	fingerprint string
+}
+
+// fingerprintOptions digests every option that shapes the simulated world.
+// A state directory written under one fingerprint cannot be warm-restarted
+// under another: the deterministic re-simulation that recovery relies on
+// would diverge from what the snapshot describes.
+func fingerprintOptions(o options) string {
+	vms := make([]string, len(o.vms))
+	for i, vm := range o.vms {
+		vms[i] = string(vm)
+	}
+	sort.Strings(vms)
+	return fmt.Sprintf("seed=%d vms=%v window=%d train=%d audit=%d threshold=%g faults=%q fault-seed=%d",
+		o.seed, vms, o.window, o.trainSize, o.auditWin, o.threshold, o.faultSpec, o.faultSeed)
+}
+
+// openState creates the state directory tree if needed.
+func openState(dir, fingerprint string) (*stateStore, error) {
+	for _, sub := range []string{"", "rrd", "pipe", "wal"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("state dir: %w", err)
+		}
+	}
+	return &stateStore{dir: dir, fingerprint: fingerprint}, nil
+}
+
+func (st *stateStore) manifestPath() string { return filepath.Join(st.dir, manifestName) }
+func (st *stateStore) preddbPath() string   { return filepath.Join(st.dir, "preddb.db") }
+
+func (st *stateStore) rrdPath(vm string) string {
+	return filepath.Join(st.dir, "rrd", vm+".rrd")
+}
+
+func pipeFile(p *pipeline) string {
+	return fmt.Sprintf("%s__%s", p.vm, p.metric)
+}
+
+func (st *stateStore) pipePath(p *pipeline) string {
+	return filepath.Join(st.dir, "pipe", pipeFile(p)+".lar")
+}
+
+func (st *stateStore) walPath(p *pipeline) string {
+	return filepath.Join(st.dir, "wal", pipeFile(p)+".wal")
+}
+
+// writeChecksummed frames payload as magic + payload + CRC32-IEEE footer.
+func writeChecksummed(w io.Writer, magic string, payload []byte) error {
+	sum := crc32.NewIEEE()
+	mw := io.MultiWriter(w, sum)
+	if _, err := io.WriteString(mw, magic); err != nil {
+		return err
+	}
+	if _, err := mw.Write(payload); err != nil {
+		return err
+	}
+	var foot [4]byte
+	c := sum.Sum32()
+	foot[0] = byte(c)
+	foot[1] = byte(c >> 8)
+	foot[2] = byte(c >> 16)
+	foot[3] = byte(c >> 24)
+	_, err := w.Write(foot[:])
+	return err
+}
+
+// readChecksummedFile reads a file written by writeChecksummed and returns
+// the payload. A missing file surfaces as os.IsNotExist; anything malformed
+// is errPipeState.
+func readChecksummedFile(path, magic string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(magic)+4 || string(data[:len(magic)]) != magic {
+		return nil, errPipeState
+	}
+	body, foot := data[:len(data)-4], data[len(data)-4:]
+	want := uint32(foot[0]) | uint32(foot[1])<<8 | uint32(foot[2])<<16 | uint32(foot[3])<<24
+	if crc32.ChecksumIEEE(body) != want {
+		return nil, fmt.Errorf("%w: checksum mismatch", errPipeState)
+	}
+	return body[len(magic):], nil
+}
+
+// snapshot persists the whole daemon: every VM's RRD, the prediction DB,
+// every pipeline's predictor state, then the manifest, then WAL resets.
+// Called from the supervisor loop only, after all slice goroutines joined.
+func (st *stateStore) snapshot(agent *monitor.Agent, db *preddb.DB, pipes []*pipeline, o options) error {
+	for _, vm := range o.vms {
+		vm := vm
+		err := durable.WriteFileAtomic(st.rrdPath(string(vm)), func(w io.Writer) error {
+			return agent.SaveVM(vm, w)
+		})
+		if err != nil {
+			return fmt.Errorf("snapshot rrd %s: %w", vm, err)
+		}
+	}
+	if err := durable.WriteFileAtomic(st.preddbPath(), db.Save); err != nil {
+		return fmt.Errorf("snapshot preddb: %w", err)
+	}
+	for _, p := range pipes {
+		var online bytes.Buffer
+		if err := p.online.SaveState(&online); err != nil {
+			return fmt.Errorf("snapshot %s predictor: %w", pipeFile(p), err)
+		}
+		ps := pipeState{
+			LastSeen:    p.lastSeen.Unix(),
+			Pending:     p.pending,
+			PendingFor:  p.pendingFor.Unix(),
+			HasPending:  p.hasPending,
+			Predictions: p.predictions,
+			Online:      online.Bytes(),
+		}
+		var payload bytes.Buffer
+		if err := gob.NewEncoder(&payload).Encode(&ps); err != nil {
+			return fmt.Errorf("snapshot %s: %w", pipeFile(p), err)
+		}
+		err := durable.WriteFileAtomic(st.pipePath(p), func(w io.Writer) error {
+			return writeChecksummed(w, pipeMagic, payload.Bytes())
+		})
+		if err != nil {
+			return fmt.Errorf("snapshot %s: %w", pipeFile(p), err)
+		}
+	}
+	m := manifest{Clock: agent.Now().Unix(), Samples: agent.Samples(), Fingerprint: st.fingerprint}
+	buf, err := json.Marshal(&m)
+	if err != nil {
+		return err
+	}
+	err = durable.WriteFileAtomic(st.manifestPath(), func(w io.Writer) error {
+		_, werr := w.Write(buf)
+		return werr
+	})
+	if err != nil {
+		return fmt.Errorf("snapshot manifest: %w", err)
+	}
+	// Only after the manifest commits is the logged span durable elsewhere.
+	for _, p := range pipes {
+		if p.wal != nil {
+			if err := p.wal.Reset(); err != nil {
+				return fmt.Errorf("reset wal %s: %w", pipeFile(p), err)
+			}
+		}
+	}
+	return nil
+}
+
+// recover performs the warm restart: it verifies the manifest, restores
+// RRDs and the prediction DB (quarantining anything damaged), restores each
+// pipeline's predictor state or cold-starts it, and replays WAL records.
+// It returns the prediction DB the run should continue with. logw receives
+// one line per abnormal event.
+func (st *stateStore) recover(agent *monitor.Agent, db *preddb.DB, pipes []*pipeline, o options, step time.Duration, logw io.Writer) (*preddb.DB, error) {
+	for _, p := range pipes {
+		p.recovery = recoveryCold
+	}
+
+	var m *manifest
+	if buf, err := os.ReadFile(st.manifestPath()); err == nil {
+		m = &manifest{}
+		if jerr := json.Unmarshal(buf, m); jerr != nil {
+			quarantineAndLog(st.manifestPath(), jerr, logw)
+			m = nil
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("read manifest: %w", err)
+	}
+	if m != nil && m.Fingerprint != st.fingerprint {
+		return nil, fmt.Errorf("state dir %s was written by a different configuration:\n  have %s\n  want %s",
+			st.dir, m.Fingerprint, st.fingerprint)
+	}
+
+	for _, vm := range o.vms {
+		path := st.rrdPath(string(vm))
+		f, err := os.Open(path)
+		if os.IsNotExist(err) {
+			continue
+		} else if err != nil {
+			return nil, err
+		}
+		rerr := agent.RestoreVM(vm, f)
+		f.Close()
+		if rerr != nil {
+			quarantineAndLog(path, rerr, logw)
+		}
+	}
+
+	if f, err := os.Open(st.preddbPath()); err == nil {
+		loaded, lerr := preddb.Load(f)
+		f.Close()
+		if lerr != nil {
+			quarantineAndLog(st.preddbPath(), lerr, logw)
+		} else {
+			db = loaded
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+
+	if m != nil {
+		agent.RestoreClock(time.Unix(m.Clock, 0).UTC(), m.Samples)
+	}
+
+	for _, p := range pipes {
+		path := st.pipePath(p)
+		payload, err := readChecksummedFile(path, pipeMagic)
+		switch {
+		case os.IsNotExist(err):
+			// cold: nothing checkpointed yet.
+		case err != nil:
+			quarantineAndLog(path, err, logw)
+			p.recovery = recoveryQuarantined
+		default:
+			var ps pipeState
+			if derr := gob.NewDecoder(bytes.NewReader(payload)).Decode(&ps); derr != nil {
+				quarantineAndLog(path, derr, logw)
+				p.recovery = recoveryQuarantined
+				break
+			}
+			if rerr := p.online.RestoreState(bytes.NewReader(ps.Online)); rerr != nil {
+				if errors.Is(rerr, core.ErrStateMismatch) {
+					// Valid file from another configuration of this pipeline:
+					// not damage, just unusable. Cold start and overwrite it
+					// at the next snapshot.
+					fmt.Fprintf(logw, "monitord: %s: predictor state mismatch, cold starting: %v\n", pipeFile(p), rerr)
+					break
+				}
+				quarantineAndLog(path, rerr, logw)
+				p.recovery = recoveryQuarantined
+				break
+			}
+			p.lastSeen = time.Unix(ps.LastSeen, 0).UTC()
+			p.pending = ps.Pending
+			p.pendingFor = time.Unix(ps.PendingFor, 0).UTC()
+			p.hasPending = ps.HasPending
+			p.predictions = ps.Predictions
+			p.recovery = recoveryRecovered
+		}
+
+		// Open (or create) the WAL regardless of how the snapshot fared and
+		// replay the records the snapshot missed. Replay feeds cold
+		// pipelines too: whatever survived the crash still warms them up.
+		wal, recs, truncated, werr := durable.OpenWAL(st.walPath(p))
+		if werr != nil {
+			quarantineAndLog(st.walPath(p), werr, logw)
+			wal, recs, truncated, werr = durable.OpenWAL(st.walPath(p))
+			if werr != nil {
+				return nil, fmt.Errorf("reopen wal %s: %w", pipeFile(p), werr)
+			}
+		}
+		if truncated > 0 {
+			fmt.Fprintf(logw, "monitord: %s: dropped %d bytes of torn WAL tail\n", pipeFile(p), truncated)
+		}
+		p.wal = wal
+		for _, rec := range recs {
+			ts := time.Unix(rec.TS, 0).UTC()
+			if !ts.After(p.lastSeen) {
+				continue
+			}
+			feed(p, db, ts, rec.Value, step)
+			p.walReplayed++
+		}
+	}
+	return db, nil
+}
+
+// closeWALs releases every pipeline's WAL handle at the end of a run.
+func closeWALs(pipes []*pipeline) {
+	for _, p := range pipes {
+		if p.wal != nil {
+			p.wal.Close()
+			p.wal = nil
+		}
+	}
+}
+
+func quarantineAndLog(path string, cause error, logw io.Writer) {
+	moved, err := durable.Quarantine(path)
+	if err != nil {
+		fmt.Fprintf(logw, "monitord: quarantine %s failed: %v (cause: %v)\n", path, err, cause)
+		return
+	}
+	fmt.Fprintf(logw, "monitord: quarantined %s -> %s: %v\n", path, moved, cause)
+}

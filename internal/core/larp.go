@@ -107,6 +107,14 @@ type LARPredictor struct {
 	// trainLabels[i] is the best-expert label of training frame i; kept for
 	// introspection and the experiments' selection-timeline figures.
 	trainLabels []int
+	// trainFeats[i] is the (projected) feature vector of training frame i —
+	// the k-NN training set. Retained so the durable-state codec can
+	// serialize the trained classifier without re-labeling.
+	trainFeats [][]float64
+	// trainFit is the normalized training series of the last successful
+	// Train call; restoring a snapshot refits the parametric experts on it,
+	// reproducing their state exactly without re-running the labeling pass.
+	trainFit []float64
 	// trainRMSE[j] is expert j's root-mean-square one-step error over the
 	// training frames (normalized space), used as the forecast uncertainty
 	// estimate — the quantity conservative scheduling consumes ("using
@@ -237,6 +245,8 @@ func (l *LARPredictor) Train(train []float64) error {
 	l.proj = projector
 	l.clf = clf
 	l.trainLabels = labels
+	l.trainFeats = feats
+	l.trainFit = z
 	l.trainRMSE = rmse
 	l.trained = true
 	return nil

@@ -1,0 +1,128 @@
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileAtomicRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.db")
+	for i, content := range []string{"first version", "second, longer version of the file"} {
+		err := WriteFileAtomic(path, func(w io.Writer) error {
+			_, err := io.WriteString(w, content)
+			return err
+		})
+		if err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != content {
+			t.Fatalf("write %d: got %q want %q", i, got, content)
+		}
+	}
+	// No temp litter after successful writes.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "snap.db" {
+		t.Fatalf("directory not clean: %v", ents)
+	}
+}
+
+func TestWriteFileAtomicFailureKeepsOld(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.db")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("mid-write crash")
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		io.WriteString(w, "new partial")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "old" {
+		t.Fatalf("old content clobbered: %q", got)
+	}
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp file leaked: %s", e.Name())
+		}
+	}
+}
+
+func TestQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.db")
+	if err := os.WriteFile(path, []byte("corrupt bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Quarantine(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != path+".corrupt" {
+		t.Fatalf("quarantine path %q", q)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("original still present: %v", err)
+	}
+	got, err := os.ReadFile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "corrupt bytes" {
+		t.Fatalf("quarantined content %q", got)
+	}
+	// A second corruption of a rewritten file replaces the old quarantine.
+	if err := os.WriteFile(path, []byte("corrupt again"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Quarantine(path); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ = os.ReadFile(q); string(got) != "corrupt again" {
+		t.Fatalf("quarantine not replaced: %q", got)
+	}
+	if _, err := Quarantine(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("quarantining a missing file succeeded")
+	}
+}
+
+func TestWriteFileAtomicManyVersions(t *testing.T) {
+	// Churn through versions to shake out rename/fsync ordering bugs.
+	path := filepath.Join(t.TempDir(), "churn")
+	for i := 0; i < 25; i++ {
+		content := fmt.Sprintf("version %d", i)
+		if err := WriteFileAtomic(path, func(w io.Writer) error {
+			_, err := io.WriteString(w, content)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "version 24" {
+		t.Fatalf("final content %q", got)
+	}
+}

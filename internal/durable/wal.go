@@ -1,0 +1,157 @@
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+)
+
+// WAL file format: an 8-byte magic header followed by fixed-size records.
+// Each record is [int64 timestamp][float64 bits][crc32 of the previous 16
+// bytes], all little-endian. The per-record checksum lets recovery tell a
+// torn tail (crash mid-append) or a flipped bit from valid data: replay
+// stops at the first bad record and the file is truncated back to the last
+// good one.
+var walMagic = [8]byte{'L', 'A', 'R', 'P', 'W', 'A', 'L', '1'}
+
+const walRecordSize = 8 + 8 + 4
+
+// ErrWALFormat is returned by OpenWAL when the file exists but does not
+// start with the WAL magic — it is some other file, or its header itself was
+// corrupted. Callers should quarantine it and start a fresh log.
+var ErrWALFormat = errors.New("durable: unrecognized WAL format")
+
+// Record is one write-ahead-log entry: an observation timestamp (unix
+// seconds) and its value.
+type Record struct {
+	TS    int64
+	Value float64
+}
+
+// WAL is an append-only observation log. Appends are buffered by the OS;
+// Sync makes everything appended so far durable. Not safe for concurrent
+// use — each pipeline owns its own WAL.
+type WAL struct {
+	f    *os.File
+	path string
+}
+
+// OpenWAL opens (or creates) a write-ahead log and replays its intact
+// records. A torn or corrupt tail is truncated away — the returned records
+// are exactly what recovery may trust — and the log is positioned for
+// appending. truncated reports how many bytes of bad tail were discarded.
+func OpenWAL(path string) (w *WAL, recs []Record, truncated int64, err error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("durable: open WAL: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			f.Close()
+		}
+	}()
+	info, err := f.Stat()
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("durable: stat WAL: %w", err)
+	}
+	if info.Size() == 0 {
+		// Fresh log: write and persist the header.
+		if _, err = f.Write(walMagic[:]); err != nil {
+			return nil, nil, 0, fmt.Errorf("durable: write WAL header: %w", err)
+		}
+		if err = f.Sync(); err != nil {
+			return nil, nil, 0, fmt.Errorf("durable: sync WAL header: %w", err)
+		}
+		return &WAL{f: f, path: path}, nil, 0, nil
+	}
+
+	var magic [8]byte
+	if _, rerr := io.ReadFull(f, magic[:]); rerr != nil || magic != walMagic {
+		err = fmt.Errorf("durable: %s: %w", path, ErrWALFormat)
+		return nil, nil, 0, err
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("durable: read WAL: %w", err)
+	}
+	good := 0
+	for good+walRecordSize <= len(data) {
+		rec := data[good : good+walRecordSize]
+		if crc32.ChecksumIEEE(rec[:16]) != binary.LittleEndian.Uint32(rec[16:]) {
+			break
+		}
+		recs = append(recs, Record{
+			TS:    int64(binary.LittleEndian.Uint64(rec[0:8])),
+			Value: math.Float64frombits(binary.LittleEndian.Uint64(rec[8:16])),
+		})
+		good += walRecordSize
+	}
+	if bad := int64(len(data) - good); bad > 0 {
+		truncated = bad
+		end := int64(len(walMagic)) + int64(good)
+		if err = f.Truncate(end); err != nil {
+			return nil, nil, 0, fmt.Errorf("durable: truncate torn WAL tail: %w", err)
+		}
+		if err = f.Sync(); err != nil {
+			return nil, nil, 0, fmt.Errorf("durable: sync truncated WAL: %w", err)
+		}
+	}
+	if _, err = f.Seek(0, io.SeekEnd); err != nil {
+		return nil, nil, 0, fmt.Errorf("durable: seek WAL end: %w", err)
+	}
+	return &WAL{f: f, path: path}, recs, truncated, nil
+}
+
+// Path returns the log's file path.
+func (w *WAL) Path() string { return w.path }
+
+// Append writes one record. The record is durable only after the next Sync.
+func (w *WAL) Append(r Record) error {
+	var buf [walRecordSize]byte
+	binary.LittleEndian.PutUint64(buf[0:8], uint64(r.TS))
+	binary.LittleEndian.PutUint64(buf[8:16], math.Float64bits(r.Value))
+	binary.LittleEndian.PutUint32(buf[16:], crc32.ChecksumIEEE(buf[:16]))
+	if _, err := w.f.Write(buf[:]); err != nil {
+		return fmt.Errorf("durable: append WAL record: %w", err)
+	}
+	return nil
+}
+
+// Sync fsyncs the log: every record appended so far survives a crash.
+func (w *WAL) Sync() error {
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("durable: sync WAL: %w", err)
+	}
+	return nil
+}
+
+// Reset discards all records, keeping the header — called after a snapshot
+// has captured everything the log was protecting.
+func (w *WAL) Reset() error {
+	if err := w.f.Truncate(int64(len(walMagic))); err != nil {
+		return fmt.Errorf("durable: reset WAL: %w", err)
+	}
+	if _, err := w.f.Seek(0, io.SeekEnd); err != nil {
+		return fmt.Errorf("durable: seek WAL: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("durable: sync reset WAL: %w", err)
+	}
+	return nil
+}
+
+// Close syncs and closes the log.
+func (w *WAL) Close() error {
+	syncErr := w.f.Sync()
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("durable: close WAL: %w", err)
+	}
+	if syncErr != nil {
+		return fmt.Errorf("durable: sync WAL on close: %w", syncErr)
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+package durable
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/acis-lab/larpredictor/internal/faults"
+)
+
+func openFresh(t *testing.T, path string) *WAL {
+	t.Helper()
+	w, recs, truncated, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 || truncated != 0 {
+		t.Fatalf("fresh WAL replayed %d records, truncated %d", len(recs), truncated)
+	}
+	return w
+}
+
+func TestWALAppendReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.wal")
+	w := openFresh(t, path)
+	want := []Record{{TS: 100, Value: 1.5}, {TS: 160, Value: -2.25}, {TS: 220, Value: 0}}
+	for _, r := range want {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, recs, truncated, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if truncated != 0 {
+		t.Fatalf("clean log truncated %d bytes", truncated)
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(recs), len(want))
+	}
+	for i, r := range recs {
+		if r != want[i] {
+			t.Fatalf("record %d: %+v want %+v", i, r, want[i])
+		}
+	}
+	// Appending after reopen extends the log.
+	if err := w2.Append(Record{TS: 280, Value: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, _, err = reopen(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 || recs[3].TS != 280 {
+		t.Fatalf("after reopen-append: %+v", recs)
+	}
+}
+
+func reopen(path string) (*WAL, []Record, int64, error) {
+	w, recs, truncated, err := OpenWAL(path)
+	if err == nil {
+		w.Close()
+	}
+	return w, recs, truncated, err
+}
+
+func TestWALTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.wal")
+	w := openFresh(t, path)
+	for i := 0; i < 3; i++ {
+		if err := w.Append(Record{TS: int64(i) * 60, Value: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash mid-append: a partial record lands on the tail.
+	if err := faults.TornWrite(path, make([]byte, walRecordSize), 7); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, truncated, err := reopen(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("replayed %d records, want 3", len(recs))
+	}
+	if truncated != 7 {
+		t.Fatalf("truncated %d bytes, want 7", truncated)
+	}
+	// The truncation is persistent: a further reopen sees a clean log.
+	_, recs, truncated, err = reopen(path)
+	if err != nil || len(recs) != 3 || truncated != 0 {
+		t.Fatalf("second reopen: %d records, %d truncated, err %v", len(recs), truncated, err)
+	}
+}
+
+func TestWALBitFlipStopsReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.wal")
+	w := openFresh(t, path)
+	for i := 0; i < 4; i++ {
+		if err := w.Append(Record{TS: int64(i) * 60, Value: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a bit in the value of record 2 (0-indexed): replay must stop at
+	// record 2 and discard it and everything after.
+	off := int64(len(walMagic)) + 2*walRecordSize + 10
+	if err := faults.FlipBit(path, off, 3); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, truncated, err := reopen(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("replayed %d records past a bit flip, want 2", len(recs))
+	}
+	if truncated != 2*walRecordSize {
+		t.Fatalf("truncated %d bytes, want %d", truncated, 2*walRecordSize)
+	}
+}
+
+func TestWALBadHeader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.wal")
+	if err := os.WriteFile(path, []byte("not a WAL at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := OpenWAL(path); !errors.Is(err, ErrWALFormat) {
+		t.Fatalf("bad header error = %v, want ErrWALFormat", err)
+	}
+	// A header truncated mid-magic is equally unrecognizable.
+	if err := os.WriteFile(path, walMagic[:4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := OpenWAL(path); !errors.Is(err, ErrWALFormat) {
+		t.Fatalf("short header error = %v, want ErrWALFormat", err)
+	}
+}
+
+func TestWALReset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.wal")
+	w := openFresh(t, path)
+	for i := 0; i < 5; i++ {
+		if err := w.Append(Record{TS: int64(i), Value: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	// Records appended after a reset are the only ones replayed.
+	if err := w.Append(Record{TS: 99, Value: 42}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, truncated, err := reopen(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0] != (Record{TS: 99, Value: 42}) || truncated != 0 {
+		t.Fatalf("after reset: %+v (truncated %d)", recs, truncated)
+	}
+}

@@ -13,6 +13,7 @@ package monitor
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"sync"
 	"time"
@@ -146,6 +147,71 @@ func (a *Agent) Samples() int64 {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.samples
+}
+
+// SaveVM serializes vm's round-robin database to w in the rrd persistence
+// format, so a supervisor can checkpoint the agent one VM at a time.
+func (a *Agent) SaveVM(vm vmtrace.VMID, w io.Writer) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	db, ok := a.dbs[vm]
+	if !ok {
+		return fmt.Errorf("monitor: %q: %w", vm, ErrUnknownVM)
+	}
+	return db.Save(w)
+}
+
+// RestoreVM replaces vm's round-robin database with one previously written
+// by SaveVM. The snapshot must match the agent's configuration — same step
+// and same data sources — so a stale or foreign file cannot silently change
+// what is being monitored. The simulated clock is advanced to the restored
+// database's last update if that is later, keeping RRD updates monotonic
+// even when a crash interleaved snapshot files from different moments.
+func (a *Agent) RestoreVM(vm vmtrace.VMID, r io.Reader) error {
+	db, err := rrd.Load(r)
+	if err != nil {
+		return err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	cur, ok := a.dbs[vm]
+	if !ok {
+		return fmt.Errorf("monitor: %q: %w", vm, ErrUnknownVM)
+	}
+	if db.Step() != cur.Step() {
+		return fmt.Errorf("monitor: snapshot step %ds, agent step %ds: %w",
+			db.Step(), cur.Step(), ErrBadInterval)
+	}
+	got, want := db.Sources(), cur.Sources()
+	if len(got) != len(want) {
+		return fmt.Errorf("monitor: snapshot has %d sources, agent %d: %w",
+			len(got), len(want), ErrBadInterval)
+	}
+	for i := range got {
+		if got[i].Name != want[i].Name || got[i].Type != want[i].Type {
+			return fmt.Errorf("monitor: snapshot source %d is %s/%d, want %s/%d: %w",
+				i, got[i].Name, got[i].Type, want[i].Name, want[i].Type, ErrBadInterval)
+		}
+	}
+	a.dbs[vm] = db
+	if last := time.Unix(db.LastUpdate(), 0).UTC(); last.After(a.now) {
+		a.now = last
+	}
+	return nil
+}
+
+// RestoreClock moves the simulated clock forward to t — never backwards —
+// and restores the cumulative raw-sample counter. Warm restart calls it
+// with the checkpoint manifest's values after restoring the databases.
+func (a *Agent) RestoreClock(t time.Time, samples int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if t.After(a.now) {
+		a.now = t
+	}
+	if samples > a.samples {
+		a.samples = samples
+	}
 }
 
 // Tick advances the simulated clock by one sample interval and collects one

@@ -1,0 +1,70 @@
+package nws
+
+import "fmt"
+
+// State is the exported error-statistics state of a Selector, used by the
+// durable-state codec in internal/core to checkpoint the degraded-mode
+// fallback selector across restarts. Exactly one of the cumulative
+// (SumSq/Count) or sliding (Recent/Next/Filled) families is populated,
+// matching the selector variant.
+type State struct {
+	// Window is the selector's window (0 = cumulative).
+	Window int
+	// SumSq and Count are the cumulative statistics (Window == 0).
+	SumSq []float64
+	Count int
+	// Recent, Next, and Filled are the sliding-window rings (Window > 0).
+	Recent [][]float64
+	Next   int
+	Filled int
+}
+
+// State exports a deep copy of the selector's error statistics.
+func (s *Selector) State() State {
+	st := State{Window: s.window, Count: s.count, Next: s.next, Filled: s.filled}
+	if s.window == 0 {
+		st.SumSq = append([]float64(nil), s.sumSq...)
+		return st
+	}
+	st.Recent = make([][]float64, len(s.recent))
+	for i, ring := range s.recent {
+		st.Recent[i] = append([]float64(nil), ring...)
+	}
+	return st
+}
+
+// SetState restores error statistics exported by State. The state must come
+// from a selector with the same window and pool size; anything else is
+// rejected so a mismatched snapshot cannot corrupt selection.
+func (s *Selector) SetState(st State) error {
+	if st.Window != s.window {
+		return fmt.Errorf("nws: state window %d, selector window %d", st.Window, s.window)
+	}
+	n := s.pool.Size()
+	if s.window == 0 {
+		if len(st.SumSq) != n {
+			return fmt.Errorf("nws: state tracks %d experts, pool has %d", len(st.SumSq), n)
+		}
+		if st.Count < 0 {
+			return fmt.Errorf("nws: negative state count %d", st.Count)
+		}
+		copy(s.sumSq, st.SumSq)
+		s.count = st.Count
+		return nil
+	}
+	if len(st.Recent) != n {
+		return fmt.Errorf("nws: state tracks %d experts, pool has %d", len(st.Recent), n)
+	}
+	if st.Next < 0 || st.Next >= s.window || st.Filled < 0 || st.Filled > s.window {
+		return fmt.Errorf("nws: state ring position %d/%d outside window %d", st.Next, st.Filled, s.window)
+	}
+	for i, ring := range st.Recent {
+		if len(ring) != s.window {
+			return fmt.Errorf("nws: state ring %d has %d slots, want %d", i, len(ring), s.window)
+		}
+		copy(s.recent[i], ring)
+	}
+	s.next = st.Next
+	s.filled = st.Filled
+	return nil
+}

@@ -1,0 +1,84 @@
+package pca
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/acis-lab/larpredictor/internal/linalg"
+)
+
+// State is the exported form of a fitted PCA, used by the durable-state
+// codec in internal/core to checkpoint a trained LARPredictor without
+// re-running the eigendecomposition on restart.
+type State struct {
+	// Mean holds the column means subtracted before projection.
+	Mean []float64
+	// Components holds the kept eigenvectors as rows of length len(Mean):
+	// Components[c][d] is dimension d of component c.
+	Components [][]float64
+	// Eigenvalues is the known descending spectrum (full for the Jacobi
+	// backend, leading-only for power iteration).
+	Eigenvalues []float64
+	// TotalVariance is the covariance trace at fit time.
+	TotalVariance float64
+}
+
+// State exports the fitted transform. It returns ErrNotFitted on an
+// unfitted PCA.
+func (p *PCA) State() (*State, error) {
+	if !p.fitted {
+		return nil, ErrNotFitted
+	}
+	s := &State{
+		Mean:          append([]float64(nil), p.mean...),
+		Components:    make([][]float64, p.kept),
+		Eigenvalues:   append([]float64(nil), p.eigvals...),
+		TotalVariance: p.totVar,
+	}
+	for c := 0; c < p.kept; c++ {
+		s.Components[c] = p.comps.Col(c)
+	}
+	return s, nil
+}
+
+// FromState rebuilds a fitted PCA from an exported State, validating
+// dimensions and finiteness so that a corrupt or adversarial snapshot can
+// never produce a transform that panics at projection time.
+func FromState(s *State) (*PCA, error) {
+	if s == nil {
+		return nil, fmt.Errorf("pca: nil state: %w", ErrBadInput)
+	}
+	d := len(s.Mean)
+	if d == 0 {
+		return nil, fmt.Errorf("pca: state with zero-dimensional mean: %w", ErrBadInput)
+	}
+	k := len(s.Components)
+	if k == 0 || k > d {
+		return nil, fmt.Errorf("pca: state keeps %d of %d components: %w", k, d, ErrBadInput)
+	}
+	if !linalg.AllFinite(s.Mean) || !linalg.AllFinite(s.Eigenvalues) ||
+		math.IsNaN(s.TotalVariance) || math.IsInf(s.TotalVariance, 0) {
+		return nil, fmt.Errorf("pca: non-finite state: %w", ErrBadInput)
+	}
+	comps := linalg.NewMatrix(d, k)
+	for c, col := range s.Components {
+		if len(col) != d {
+			return nil, fmt.Errorf("pca: component %d has dimension %d, want %d: %w",
+				c, len(col), d, ErrBadInput)
+		}
+		if !linalg.AllFinite(col) {
+			return nil, fmt.Errorf("pca: non-finite component %d: %w", c, ErrBadInput)
+		}
+		for r := 0; r < d; r++ {
+			comps.Set(r, c, col[r])
+		}
+	}
+	return &PCA{
+		fitted:  true,
+		mean:    append([]float64(nil), s.Mean...),
+		comps:   comps,
+		eigvals: append([]float64(nil), s.Eigenvalues...),
+		totVar:  s.TotalVariance,
+		kept:    k,
+	}, nil
+}

@@ -1,0 +1,44 @@
+package preddb
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoad checks that arbitrary bytes never panic the persistence decoder,
+// mirroring internal/rrd's fuzz coverage.
+func FuzzLoad(f *testing.F) {
+	// Seed with a valid snapshot and mutations of it.
+	db := New()
+	for i := 0; i < 5; i++ {
+		db.PutObservation(key1, at(i), float64(i))
+		db.PutPrediction(key1, at(i), float64(i)+0.5, "AR")
+		db.PutObservation(key2, at(i), float64(3*i))
+	}
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:len(valid)-4]) // footer cut off
+	f.Add([]byte("LARPPDB1garbage"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		loaded, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything the decoder accepts must be usable.
+		for _, k := range loaded.Keys() {
+			loaded.Range(k, at(0), at(100))
+			loaded.Len(k)
+		}
+		loaded.PutObservation(key1, at(1000), 1)
+		if loaded.Len(key1) == 0 {
+			t.Fatal("loaded DB rejected writes")
+		}
+	})
+}

@@ -110,7 +110,90 @@ func TestLoadTruncated(t *testing.T) {
 		t.Fatal(err)
 	}
 	full := buf.Bytes()
-	if _, err := Load(bytes.NewReader(full[:len(full)/2])); err == nil {
-		t.Error("truncated input accepted")
+	// Every short read fails cleanly: mid-magic, mid-version, mid-gob, and
+	// with the checksum footer cut off.
+	cuts := []struct {
+		name string
+		n    int
+	}{
+		{"empty", 0},
+		{"mid-magic", 5},
+		{"magic-only", 8},
+		{"mid-version", 10},
+		{"header-only", 12},
+		{"mid-gob", 12 + (len(full)-16)/2},
+		{"missing-footer", len(full) - 4},
+		{"partial-footer", len(full) - 2},
+	}
+	for _, c := range cuts {
+		if _, err := Load(bytes.NewReader(full[:c.n])); err == nil {
+			t.Errorf("%s (%d bytes) accepted", c.name, c.n)
+		}
+	}
+}
+
+func TestLoadChecksumMismatch(t *testing.T) {
+	r := simpleRRD(t)
+	if err := r.Update(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// A single flipped bit anywhere after the header is a checksum error,
+	// not a gob decode error or a silent misload.
+	for _, off := range []int{12, len(full) / 2, len(full) - 5} {
+		bad := append([]byte(nil), full...)
+		bad[off] ^= 0x20
+		if _, err := Load(bytes.NewReader(bad)); !errors.Is(err, ErrChecksum) {
+			t.Errorf("flip at %d: err = %v, want ErrChecksum", off, err)
+		}
+	}
+	// Corrupting the footer itself is also a checksum error.
+	bad := append([]byte(nil), full...)
+	bad[len(bad)-1] ^= 0xFF
+	if _, err := Load(bytes.NewReader(bad)); !errors.Is(err, ErrChecksum) {
+		t.Errorf("footer flip: err = %v, want ErrChecksum", err)
+	}
+}
+
+func TestLoadV1Compat(t *testing.T) {
+	r := simpleRRD(t)
+	for i := 0; i <= 5; i++ {
+		if err := r.Update(int64(60*i), float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := r.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the v2 file as the legacy v1 layout: same gob payload, version
+	// byte 1, no footer.
+	full := buf.Bytes()
+	v1 := append([]byte(nil), full[:len(full)-4]...)
+	v1[8] = 1
+	loaded, err := Load(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatalf("v1 load: %v", err)
+	}
+	a, err := r.Fetch(Average, 0, 5*60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.Fetch(Average, 0, 5*60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatalf("v1 rows %d vs %d", len(b.Rows), len(a.Rows))
+	}
+	for i := range a.Rows {
+		av, bv := a.Rows[i].Values[0], b.Rows[i].Values[0]
+		if av != bv && !(math.IsNaN(av) && math.IsNaN(bv)) {
+			t.Fatalf("v1 row %d: %g vs %g", i, bv, av)
+		}
 	}
 }
