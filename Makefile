@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt fuzz-seeds crash-test ci
+.PHONY: build test race vet staticcheck vuln fmt fuzz-seeds crash-test bench bench-baseline ci
 
 build:
 	$(GO) build ./...
@@ -31,4 +31,41 @@ crash-test:
 race:
 	$(GO) test -race ./...
 
-ci: fmt vet build fuzz-seeds race
+# Static analysis beyond vet, when the tools are installed. Neither tool is
+# fetched: the build must work offline, so each is skipped (with a notice)
+# if missing from PATH.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else echo "staticcheck not installed; skipping"; fi
+
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else echo "govulncheck not installed; skipping"; fi
+
+# Benchmark workflow for instrumentation / hot-path changes. Capture a
+# baseline on the clean tree, then compare after the change:
+#
+#   make bench-baseline          # writes bench-old.txt
+#   ...edit...
+#   make bench                   # writes bench-new.txt
+#   benchstat bench-old.txt bench-new.txt   # if installed; else eyeball
+#
+# BENCH selects the benchmarks (default: the hot forecast path, which the
+# observability layer must not regress by more than ~5%).
+BENCH ?= BenchmarkForecastPath
+BENCHFLAGS ?= -run '^$$' -bench '$(BENCH)' -benchmem -count 6
+
+bench-baseline:
+	$(GO) test $(BENCHFLAGS) . | tee bench-old.txt
+
+bench:
+	$(GO) test $(BENCHFLAGS) . | tee bench-new.txt
+	@if [ -f bench-old.txt ] && command -v benchstat >/dev/null 2>&1; then \
+		benchstat bench-old.txt bench-new.txt; \
+	elif [ -f bench-old.txt ]; then \
+		echo "benchstat not installed; compare bench-old.txt vs bench-new.txt by hand"; \
+	fi
+
+ci: fmt vet staticcheck build fuzz-seeds race

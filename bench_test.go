@@ -356,3 +356,49 @@ func BenchmarkSelectionOverhead(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkForecastPath measures the instrumentation tax on the hot
+// forecast path: "bare" is an uninstrumented predictor, "metrics" attaches
+// a registry (counters + latency histogram), "metrics+tracer" adds the
+// per-stage StageTimer on top. The acceptance bar for the observability
+// layer is metrics vs bare within 5%:
+//
+//	go test -bench=BenchmarkForecastPath -count=10 | benchstat -
+func BenchmarkForecastPath(b *testing.B) {
+	vals := benchTrace(b)
+	half := len(vals) / 2
+	variants := []struct {
+		name string
+		opts func() []larpredictor.Option
+	}{
+		{"bare", func() []larpredictor.Option { return nil }},
+		{"metrics", func() []larpredictor.Option {
+			return []larpredictor.Option{larpredictor.WithMetrics(larpredictor.NewRegistry())}
+		}},
+		{"metrics+tracer", func() []larpredictor.Option {
+			reg := larpredictor.NewRegistry()
+			return []larpredictor.Option{
+				larpredictor.WithMetrics(reg),
+				larpredictor.WithTracer(larpredictor.NewStageTimer(reg)),
+			}
+		}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			lar, err := larpredictor.New(larpredictor.DefaultConfig(5), v.opts()...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := lar.Train(vals[:half]); err != nil {
+				b.Fatal(err)
+			}
+			window := vals[half : half+5]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := lar.Forecast(window); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -19,6 +19,11 @@
 // streams for chaos testing; see internal/faults for the spec grammar:
 //
 //	monitord -duration 48h -faults 'spike:p=0.02,mag=40,on=VM3/*'
+//
+// With -listen the daemon serves a JSON status document at /, Prometheus
+// text-format metrics at /metrics (per-pipeline forecast, health, retrain,
+// and latency families plus agent and durability counters), and — only
+// with -pprof — the net/http/pprof handlers under /debug/pprof/.
 package main
 
 import (
@@ -28,6 +33,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"sort"
 	"strings"
@@ -38,6 +44,7 @@ import (
 	"github.com/acis-lab/larpredictor/internal/durable"
 	"github.com/acis-lab/larpredictor/internal/faults"
 	"github.com/acis-lab/larpredictor/internal/monitor"
+	"github.com/acis-lab/larpredictor/internal/obs"
 	"github.com/acis-lab/larpredictor/internal/preddb"
 	"github.com/acis-lab/larpredictor/internal/rrd"
 	"github.com/acis-lab/larpredictor/internal/vmtrace"
@@ -53,7 +60,8 @@ func main() {
 		audit     = flag.Int("audit", 12, "QA audit window (scored predictions)")
 		thresh    = flag.Float64("threshold", 2.0, "QA normalized-MSE retrain threshold")
 		quiet     = flag.Bool("quiet", false, "suppress per-hour progress")
-		listen    = flag.String("listen", "", "serve a JSON status endpoint on this address (e.g. :8080) while running")
+		listen    = flag.String("listen", "", "serve the JSON status endpoint (/) and Prometheus /metrics on this address (e.g. :8080) while running")
+		pprofOn   = flag.Bool("pprof", false, "also serve net/http/pprof under /debug/pprof/ on the status address")
 		faultSpec = flag.String("faults", "", "fault-injection spec, e.g. 'spike:p=0.02,mag=40,on=VM3/*;dropout:p=0.05' (see internal/faults)")
 		faultSeed = flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
 		cooldown  = flag.Duration("cooldown", 2*time.Hour, "simulated quarantine before restarting a panicked or Failed pipeline")
@@ -76,6 +84,7 @@ func main() {
 		threshold: *thresh,
 		quiet:     *quiet,
 		listen:    *listen,
+		pprof:     *pprofOn,
 		faultSpec: *faultSpec,
 		faultSeed: *faultSeed,
 		cooldown:  *cooldown,
@@ -99,6 +108,7 @@ type options struct {
 	threshold float64
 	quiet     bool
 	listen    string
+	pprof     bool
 	faultSpec string
 	faultSeed int64
 	cooldown  time.Duration
@@ -224,13 +234,22 @@ func (c *counters) publish(predictions, retrains int, pipes []PipeStatus) {
 	c.pipes = pipes
 }
 
-func newOnline(o options) (*core.Online, error) {
+// newOnline builds one pipeline's streaming predictor, instrumented on a
+// per-pipeline scope of the daemon registry (every metric the predictor
+// registers carries a pipeline="VM/device/metric" label). Restarted
+// pipelines reuse the same scope, so their counters continue rather than
+// reset.
+func newOnline(o options, reg *obs.Registry, key preddb.Key) (*core.Online, error) {
+	scope := reg.With("pipeline", key.String())
 	return core.NewOnline(core.OnlineConfig{
 		Predictor:    core.DefaultConfig(o.window),
 		TrainSize:    o.trainSize,
 		AuditWindow:  o.auditWin,
 		MSEThreshold: o.threshold,
-	})
+	},
+		core.WithMetrics(scope),
+		core.WithTracer(obs.NewStageTimer(scope)),
+	)
 }
 
 func run(out io.Writer, o options) (*runSummary, error) {
@@ -254,6 +273,15 @@ func run(out io.Writer, o options) (*runSummary, error) {
 		o.cooldown = 2 * time.Hour
 	}
 
+	// One registry instruments the whole daemon: the agent and prediction
+	// DB register on the root, each (vm, metric) pipeline on a labeled
+	// scope. /metrics renders all of it in Prometheus text format.
+	reg := obs.NewRegistry()
+	agent.Instrument(reg)
+	db.Instrument(reg)
+	restarts := reg.Counter1("larpredictor_pipeline_restarts_total",
+		"Pipelines restarted by the supervisor after quarantine.")
+
 	var stats counters
 	var srv *http.Server
 	if o.listen != "" {
@@ -261,7 +289,17 @@ func run(out io.Writer, o options) (*runSummary, error) {
 		if err != nil {
 			return nil, fmt.Errorf("status listener: %w", err)
 		}
-		srv = &http.Server{Handler: monitor.NewStatusHandler(agent, stats.snapshot)}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.Handler(reg))
+		if o.pprof {
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
+		mux.Handle("/", monitor.NewStatusHandler(agent, stats.snapshot))
+		srv = &http.Server{Handler: mux}
 		go func() {
 			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintln(os.Stderr, "monitord: status server:", err)
@@ -276,13 +314,14 @@ func run(out io.Writer, o options) (*runSummary, error) {
 	var pipes []*pipeline
 	for _, vm := range o.vms {
 		for _, m := range vmtrace.Metrics() {
-			online, err := newOnline(o)
+			key := preddb.Key{VM: string(vm), Device: deviceOf(m), Metric: string(m)}
+			online, err := newOnline(o, reg, key)
 			if err != nil {
 				return nil, err
 			}
 			pipes = append(pipes, &pipeline{
 				vm: vm, metric: m, online: online,
-				key:      preddb.Key{VM: string(vm), Device: deviceOf(m), Metric: string(m)},
+				key:      key,
 				lastSeen: cfg.Start,
 			})
 		}
@@ -298,7 +337,7 @@ func run(out io.Writer, o options) (*runSummary, error) {
 		if o.snapEvery <= 0 {
 			o.snapEvery = 6 * time.Hour
 		}
-		st, err = openState(o.stateDir, fingerprintOptions(o))
+		st, err = openState(o.stateDir, fingerprintOptions(o), reg)
 		if err != nil {
 			return nil, err
 		}
@@ -335,12 +374,13 @@ func run(out io.Writer, o options) (*runSummary, error) {
 				if now.Before(p.quarantineUntil) {
 					continue
 				}
-				online, err := newOnline(o)
+				online, err := newOnline(o, reg, p.key)
 				if err != nil {
 					return nil, err
 				}
 				p.online = online
 				p.restarts++
+				restarts.Inc()
 				p.quarantineUntil = time.Time{}
 				p.lastFault = ""
 				p.hasPending = false
@@ -481,14 +521,13 @@ func feed(p *pipeline, db *preddb.DB, ts time.Time, v float64, step time.Duratio
 		// Forecast scored implicitly by the preddb QA.
 		p.hasPending = false
 	}
-	// Observe absorbs retrain failures into the pipeline's health
-	// state; it no longer aborts the stream.
-	_, _ = p.online.Observe(v)
+	// Step absorbs retrain failures into the pipeline's health state; a
+	// Forecast error means not ready, or terminally Failed (the
+	// supervisor acts on health, not on this return).
+	pred, _, err := p.online.Step(v)
 	p.lastSeen = ts
-
-	pred, err := p.online.Forecast()
 	if err != nil {
-		return // not ready, or terminally Failed (supervisor acts)
+		return
 	}
 	p.pending = pred.Value
 	p.pendingFor = ts.Add(step)

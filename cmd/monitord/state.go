@@ -16,6 +16,7 @@ import (
 	"github.com/acis-lab/larpredictor/internal/core"
 	"github.com/acis-lab/larpredictor/internal/durable"
 	"github.com/acis-lab/larpredictor/internal/monitor"
+	"github.com/acis-lab/larpredictor/internal/obs"
 	"github.com/acis-lab/larpredictor/internal/preddb"
 )
 
@@ -75,6 +76,13 @@ type pipeState struct {
 type stateStore struct {
 	dir         string
 	fingerprint string
+
+	// Durability instruments; all nil-safe when no registry was attached.
+	snapshots      *obs.Counter
+	walReplayed    *obs.Counter
+	walTruncBytes  *obs.Counter
+	quarantines    *obs.Counter
+	pipesRecovered *obs.Counter
 }
 
 // fingerprintOptions digests every option that shapes the simulated world.
@@ -91,14 +99,28 @@ func fingerprintOptions(o options) string {
 		o.seed, vms, o.window, o.trainSize, o.auditWin, o.threshold, o.faultSpec, o.faultSeed)
 }
 
-// openState creates the state directory tree if needed.
-func openState(dir, fingerprint string) (*stateStore, error) {
+// openState creates the state directory tree if needed and binds the
+// durability counters on reg (nil leaves the store uninstrumented).
+func openState(dir, fingerprint string, reg *obs.Registry) (*stateStore, error) {
 	for _, sub := range []string{"", "rrd", "pipe", "wal"} {
 		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			return nil, fmt.Errorf("state dir: %w", err)
 		}
 	}
-	return &stateStore{dir: dir, fingerprint: fingerprint}, nil
+	st := &stateStore{dir: dir, fingerprint: fingerprint}
+	if reg != nil {
+		st.snapshots = reg.Counter1("larpredictor_snapshots_total",
+			"Completed durable snapshots (all RRDs, prediction DB, pipelines, manifest).")
+		st.walReplayed = reg.Counter1("larpredictor_wal_replayed_records_total",
+			"Observation-WAL records replayed during warm restart.")
+		st.walTruncBytes = reg.Counter1("larpredictor_wal_truncated_bytes_total",
+			"Bytes of torn WAL tail dropped during warm restart.")
+		st.quarantines = reg.Counter1("larpredictor_state_quarantines_total",
+			"Damaged state files quarantined during warm restart.")
+		st.pipesRecovered = reg.Counter1("larpredictor_pipelines_recovered_total",
+			"Pipelines whose predictor state was restored on warm restart.")
+	}
+	return st, nil
 }
 
 func (st *stateStore) manifestPath() string { return filepath.Join(st.dir, manifestName) }
@@ -219,6 +241,7 @@ func (st *stateStore) snapshot(agent *monitor.Agent, db *preddb.DB, pipes []*pip
 			}
 		}
 	}
+	st.snapshots.Inc()
 	return nil
 }
 
@@ -236,7 +259,7 @@ func (st *stateStore) recover(agent *monitor.Agent, db *preddb.DB, pipes []*pipe
 	if buf, err := os.ReadFile(st.manifestPath()); err == nil {
 		m = &manifest{}
 		if jerr := json.Unmarshal(buf, m); jerr != nil {
-			quarantineAndLog(st.manifestPath(), jerr, logw)
+			st.quarantineAndLog(st.manifestPath(), jerr, logw)
 			m = nil
 		}
 	} else if !os.IsNotExist(err) {
@@ -258,7 +281,7 @@ func (st *stateStore) recover(agent *monitor.Agent, db *preddb.DB, pipes []*pipe
 		rerr := agent.RestoreVM(vm, f)
 		f.Close()
 		if rerr != nil {
-			quarantineAndLog(path, rerr, logw)
+			st.quarantineAndLog(path, rerr, logw)
 		}
 	}
 
@@ -266,7 +289,7 @@ func (st *stateStore) recover(agent *monitor.Agent, db *preddb.DB, pipes []*pipe
 		loaded, lerr := preddb.Load(f)
 		f.Close()
 		if lerr != nil {
-			quarantineAndLog(st.preddbPath(), lerr, logw)
+			st.quarantineAndLog(st.preddbPath(), lerr, logw)
 		} else {
 			db = loaded
 		}
@@ -285,12 +308,12 @@ func (st *stateStore) recover(agent *monitor.Agent, db *preddb.DB, pipes []*pipe
 		case os.IsNotExist(err):
 			// cold: nothing checkpointed yet.
 		case err != nil:
-			quarantineAndLog(path, err, logw)
+			st.quarantineAndLog(path, err, logw)
 			p.recovery = recoveryQuarantined
 		default:
 			var ps pipeState
 			if derr := gob.NewDecoder(bytes.NewReader(payload)).Decode(&ps); derr != nil {
-				quarantineAndLog(path, derr, logw)
+				st.quarantineAndLog(path, derr, logw)
 				p.recovery = recoveryQuarantined
 				break
 			}
@@ -302,7 +325,7 @@ func (st *stateStore) recover(agent *monitor.Agent, db *preddb.DB, pipes []*pipe
 					fmt.Fprintf(logw, "monitord: %s: predictor state mismatch, cold starting: %v\n", pipeFile(p), rerr)
 					break
 				}
-				quarantineAndLog(path, rerr, logw)
+				st.quarantineAndLog(path, rerr, logw)
 				p.recovery = recoveryQuarantined
 				break
 			}
@@ -319,7 +342,7 @@ func (st *stateStore) recover(agent *monitor.Agent, db *preddb.DB, pipes []*pipe
 		// pipelines too: whatever survived the crash still warms them up.
 		wal, recs, truncated, werr := durable.OpenWAL(st.walPath(p))
 		if werr != nil {
-			quarantineAndLog(st.walPath(p), werr, logw)
+			st.quarantineAndLog(st.walPath(p), werr, logw)
 			wal, recs, truncated, werr = durable.OpenWAL(st.walPath(p))
 			if werr != nil {
 				return nil, fmt.Errorf("reopen wal %s: %w", pipeFile(p), werr)
@@ -327,6 +350,7 @@ func (st *stateStore) recover(agent *monitor.Agent, db *preddb.DB, pipes []*pipe
 		}
 		if truncated > 0 {
 			fmt.Fprintf(logw, "monitord: %s: dropped %d bytes of torn WAL tail\n", pipeFile(p), truncated)
+			st.walTruncBytes.Add(uint64(truncated))
 		}
 		p.wal = wal
 		for _, rec := range recs {
@@ -336,6 +360,10 @@ func (st *stateStore) recover(agent *monitor.Agent, db *preddb.DB, pipes []*pipe
 			}
 			feed(p, db, ts, rec.Value, step)
 			p.walReplayed++
+			st.walReplayed.Inc()
+		}
+		if p.recovery == recoveryRecovered {
+			st.pipesRecovered.Inc()
 		}
 	}
 	return db, nil
@@ -351,7 +379,9 @@ func closeWALs(pipes []*pipeline) {
 	}
 }
 
-func quarantineAndLog(path string, cause error, logw io.Writer) {
+// quarantineAndLog moves a damaged state file aside and counts it.
+func (st *stateStore) quarantineAndLog(path string, cause error, logw io.Writer) {
+	st.quarantines.Inc()
 	moved, err := durable.Quarantine(path)
 	if err != nil {
 		fmt.Fprintf(logw, "monitord: quarantine %s failed: %v (cause: %v)\n", path, err, cause)

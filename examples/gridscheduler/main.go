@@ -12,6 +12,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"math/rand"
@@ -69,18 +70,23 @@ func main() {
 	jobs := 0
 
 	for t := 1; t < n; t++ {
-		// Everyone observes the previous interval first.
+		// Everyone folds the previous interval in and forecasts the next
+		// in one Step.
+		forecasts := make(map[larpredictor.VMID]float64, len(vms))
 		ready := true
 		for _, vm := range vms {
-			if _, err := online[vm].Observe(load[vm][t-1]); err != nil {
+			pred, _, err := online[vm].Step(load[vm][t-1])
+			if err != nil {
+				if errors.Is(err, larpredictor.ErrNotReady) {
+					ready = false // warm-up: no scheduling decisions yet
+					continue
+				}
 				log.Fatal(err)
 			}
-			if !online[vm].Trained() {
-				ready = false
-			}
+			forecasts[vm] = pred.Value
 		}
 		if !ready {
-			continue // warm-up: no scheduling decisions yet
+			continue
 		}
 
 		// A job arrives this interval; each policy picks a host, and the
@@ -99,12 +105,8 @@ func main() {
 
 		bestPred, bestForecast := larpredictor.VMID(""), 0.0
 		for _, vm := range vms {
-			p, err := online[vm].Forecast()
-			if err != nil {
-				log.Fatal(err)
-			}
-			if bestPred == "" || p.Value < bestForecast {
-				bestPred, bestForecast = vm, p.Value
+			if v := forecasts[vm]; bestPred == "" || v < bestForecast {
+				bestPred, bestForecast = vm, v
 			}
 		}
 		predictiveCost += load[bestPred][t]

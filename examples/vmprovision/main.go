@@ -67,19 +67,23 @@ func main() {
 		}
 
 		var predictive, reactive score
+		var pending larpredictor.Prediction
+		hasPending := false
 		for t, d := range demand {
 			// Provision for this step using each manager's estimate of the
-			// demand, then observe the real demand.
-			if online.Trained() {
-				if pred, err := online.Forecast(); err == nil {
-					predictive.observe(provisionPolicy(pred.Value, pred.StdEstimate), d)
-				}
+			// demand (the predictive manager's is last step's forecast),
+			// then fold the real demand in and forecast the next step —
+			// one Step call.
+			if hasPending {
+				predictive.observe(provisionPolicy(pending.Value, pending.StdEstimate), d)
 			}
 			if t > 0 {
 				reactive.observe(provisionPolicy(demand[t-1], 0), d)
 			}
-			if _, err := online.Observe(d); err != nil {
-				log.Fatal(err)
+			pred, _, err := online.Step(d)
+			hasPending = err == nil
+			if hasPending {
+				pending = pred
 			}
 		}
 

@@ -26,6 +26,8 @@ const (
 // FullPool returns the ten-expert pool: the extended pool plus the MA and
 // ARIMA models from Dinda's host-load study, completing the paper's §8
 // future-work roster. Requires windowSize >= 3.
+//
+// Deprecated: Use BuildPool(windowSize, TierFull).
 func FullPool(windowSize int) *Pool {
 	return predictors.FullPool(windowSize)
 }

@@ -468,5 +468,8 @@ func (o *Online) RestoreState(r io.Reader) error {
 	o.breakerTrips = s.BreakerTrips
 	o.degradedForecasts = s.DegradedForecasts
 	o.fallbackForecasts = s.FallbackForecasts
+	// A restore is not a transition, so the health field was set directly;
+	// resync the exported gauges with the restored state.
+	o.met.sync(o)
 	return nil
 }

@@ -20,8 +20,10 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"time"
 
 	"github.com/acis-lab/larpredictor/internal/knn"
+	"github.com/acis-lab/larpredictor/internal/obs"
 	"github.com/acis-lab/larpredictor/internal/pca"
 	"github.com/acis-lab/larpredictor/internal/predictors"
 	"github.com/acis-lab/larpredictor/internal/timeseries"
@@ -99,6 +101,11 @@ type LARPredictor struct {
 	cfg  Config
 	pool *predictors.Pool
 
+	// Observability hooks; both nil (and free) unless attached via
+	// WithMetrics/WithTracer.
+	met    *larMetrics
+	tracer obs.Tracer
+
 	trained bool
 	norm    timeseries.Normalizer
 	proj    *pca.PCA
@@ -123,7 +130,10 @@ type LARPredictor struct {
 }
 
 // New validates the configuration and returns an untrained LARPredictor.
-func New(cfg Config) (*LARPredictor, error) {
+// Options attach pools, vote strategies, metrics, and tracing; see Option.
+func New(cfg Config, opts ...Option) (*LARPredictor, error) {
+	set := applyOptions(opts)
+	set.apply(&cfg)
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -138,7 +148,12 @@ func New(cfg Config) (*LARPredictor, error) {
 		return nil, fmt.Errorf("core: pool max order %d exceeds window size %d: %w",
 			pool.MaxOrder(), cfg.WindowSize, ErrBadConfig)
 	}
-	return &LARPredictor{cfg: cfg, pool: pool}, nil
+	return &LARPredictor{
+		cfg:    cfg,
+		pool:   pool,
+		met:    newLARMetrics(set.metrics, pool),
+		tracer: set.tracer,
+	}, nil
 }
 
 // Pool returns the expert pool.
@@ -165,7 +180,17 @@ func (l *LARPredictor) TrainingLabels() []int {
 // normalization, framing, parallel expert labeling, PCA fit, and k-NN
 // indexing. It needs at least WindowSize+2 samples. Retraining replaces all
 // fitted state.
-func (l *LARPredictor) Train(train []float64) error {
+func (l *LARPredictor) Train(train []float64) (err error) {
+	if l.met != nil || l.tracer != nil {
+		start := time.Now()
+		sp := obs.StartSpan(l.tracer, obs.StageTrain)
+		defer func() {
+			if l.met != nil {
+				l.met.trainSeconds.Observe(time.Since(start).Seconds())
+			}
+			obs.EndSpan(sp, err)
+		}()
+	}
 	m := l.cfg.WindowSize
 	if len(train) < m+2 {
 		return fmt.Errorf("core: %d training samples, need >= %d: %w",
@@ -304,14 +329,30 @@ func (l *LARPredictor) Forecast(window []float64) (Prediction, error) {
 		return Prediction{}, fmt.Errorf("core: window of %d samples, need >= %d: %w",
 			len(window), m, predictors.ErrWindowTooShort)
 	}
+	var start time.Time
+	timed := l.met != nil && l.met.sampleForecast()
+	if timed {
+		start = time.Now()
+	}
+	sp := obs.StartSpan(l.tracer, obs.StageNormalize)
 	z := l.norm.Apply(window[len(window)-m:])
+	obs.EndSpan(sp, nil)
 	sel, err := l.classify(z)
 	if err != nil {
 		return Prediction{}, err
 	}
+	sp = obs.StartSpan(l.tracer, obs.StageExpertForecast)
 	v, err := l.pool.At(sel).Predict(z)
+	obs.EndSpan(sp, err)
 	if err != nil {
 		return Prediction{}, fmt.Errorf("core: %s predict: %w", l.pool.At(sel).Name(), err)
+	}
+	if l.met != nil {
+		if timed {
+			l.met.forecastSeconds.Observe(time.Since(start).Seconds())
+		}
+		l.met.forecastsLAR.Inc()
+		l.met.decisions[sel].Inc()
 	}
 	return Prediction{
 		Value:        l.norm.Invert(v),
@@ -327,13 +368,17 @@ func (l *LARPredictor) Forecast(window []float64) (Prediction, error) {
 func (l *LARPredictor) classify(z []float64) (int, error) {
 	feat := z
 	if l.proj != nil {
+		sp := obs.StartSpan(l.tracer, obs.StagePCAProject)
 		var err error
 		feat, err = l.proj.Transform(z)
+		obs.EndSpan(sp, err)
 		if err != nil {
 			return 0, fmt.Errorf("core: project window: %w", err)
 		}
 	}
+	sp := obs.StartSpan(l.tracer, obs.StageKNNClassify)
 	sel, err := l.clf.Classify(feat)
+	obs.EndSpan(sp, err)
 	if err != nil {
 		return 0, fmt.Errorf("core: classify window: %w", err)
 	}

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"github.com/acis-lab/larpredictor/internal/nws"
+	"github.com/acis-lab/larpredictor/internal/obs"
 	"github.com/acis-lab/larpredictor/internal/predictors"
 	"github.com/acis-lab/larpredictor/internal/timeseries"
 )
@@ -165,6 +166,11 @@ type Online struct {
 	cfg OnlineConfig
 	lar *LARPredictor
 
+	// Observability hooks; both nil (and free) unless attached via
+	// WithMetrics/WithTracer.
+	met    *onlineMetrics
+	tracer obs.Tracer
+
 	history []float64
 	// audit ring of recent squared errors (normalized space)
 	auditSq   []float64
@@ -206,8 +212,11 @@ type Online struct {
 }
 
 // NewOnline validates the configuration and returns an empty streaming
-// predictor.
-func NewOnline(cfg OnlineConfig) (*Online, error) {
+// predictor. Options attach pools, vote strategies, metrics, and tracing
+// to both the wrapper and the inner LARPredictor; see Option.
+func NewOnline(cfg OnlineConfig, opts ...Option) (*Online, error) {
+	set := applyOptions(opts)
+	set.apply(&cfg.Predictor)
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -256,7 +265,7 @@ func NewOnline(cfg OnlineConfig) (*Online, error) {
 	if cfg.FallbackWindow == 0 {
 		cfg.FallbackWindow = cfg.AuditWindow
 	}
-	lar, err := New(cfg.Predictor)
+	lar, err := New(cfg.Predictor, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -270,9 +279,12 @@ func NewOnline(cfg OnlineConfig) (*Online, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: fallback selector: %w", err)
 	}
+	selector.Instrument(set.metrics)
 	return &Online{
 		cfg:      cfg,
 		lar:      lar,
+		met:      newOnlineMetrics(set.metrics),
+		tracer:   set.tracer,
 		auditSq:  make([]float64, cfg.AuditWindow),
 		health:   Healthy,
 		selector: selector,
@@ -284,6 +296,18 @@ func NewOnline(cfg OnlineConfig) (*Online, error) {
 		// as thrash.
 		thrashSpacing: minFire + cfg.AuditWindow/2,
 	}, nil
+}
+
+// setHealth moves the health state machine to h, recording the transition
+// in the attached metrics. All live-path health changes go through it;
+// RestoreState sets the field directly (a restore is not a transition) and
+// resyncs the gauges afterwards.
+func (o *Online) setHealth(h Health) {
+	if h == o.health {
+		return
+	}
+	o.met.recordHealth(o.health, h)
+	o.health = h
 }
 
 // Retrains returns how many times QA has retrained the model (the initial
@@ -390,14 +414,17 @@ func allFinite(v []float64) bool {
 // serving. Observe never retries a failed train on the very next
 // observation; the armed backoff governs the next attempt.
 func (o *Online) Observe(v float64) (retrained bool, err error) {
+	defer o.observeGauges()
 	// Score the pending forecast in normalized space.
 	if o.hasPending && o.lar.Trained() && isFinite(v) {
+		sp := obs.StartSpan(o.tracer, obs.StageQAAudit)
 		d := o.lar.Normalizer().ApplyValue(o.pending) - o.lar.Normalizer().ApplyValue(v)
 		o.auditSq[o.auditNext] = d * d
 		o.auditNext = (o.auditNext + 1) % len(o.auditSq)
 		if o.auditLen < len(o.auditSq) {
 			o.auditLen++
 		}
+		obs.EndSpan(sp, nil)
 	}
 	o.hasPending = false
 
@@ -470,18 +497,30 @@ func (o *Online) foldSelector(v float64) {
 		// The selector cannot run on this window; if it is the active
 		// forecast source, drop to the last-resort rung.
 		if o.health == Degraded {
-			o.health = Fallback
+			o.setHealth(Fallback)
 		}
 		return
 	}
 	if _, err := o.selector.Step(w, v); err != nil {
 		if o.health == Degraded {
-			o.health = Fallback
+			o.setHealth(Fallback)
 		}
 		return
 	}
 	if o.health == Fallback {
-		o.health = Degraded
+		o.setHealth(Degraded)
+	}
+}
+
+// observeGauges refreshes the per-observation gauges (backoff countdown,
+// audit MSE). One deferred call per Observe; free when uninstrumented.
+func (o *Online) observeGauges() {
+	if o.met == nil {
+		return
+	}
+	o.met.backoffLeft.Set(float64(o.backoffLeft))
+	if mse, n := o.AuditMSE(); n > 0 {
+		o.met.auditMSE.Set(mse)
 	}
 }
 
@@ -512,6 +551,9 @@ func (o *Online) attemptTrain() bool {
 	wasTrained := o.lar.Trained()
 	probe := o.breakerOpen
 	spacing := o.sinceRetrain
+	if o.met != nil {
+		o.met.retrainAttempts.Inc()
+	}
 	if err := o.train(); err != nil {
 		o.trainFailed(err)
 		return false
@@ -525,10 +567,10 @@ func (o *Online) attemptTrain() bool {
 		// Degraded until it survives the half-open confirmation window.
 		o.halfOpen = true
 		o.halfOpenLeft = o.cfg.HalfOpenWindow
-		o.health = Degraded
+		o.setHealth(Degraded)
 		return true
 	}
-	o.health = Healthy
+	o.setHealth(Healthy)
 	o.consecFailures = 0
 	o.backoff = o.cfg.RetrainBackoff
 	// Thrash detection: QA retrains firing back-to-back at (close to) the
@@ -551,11 +593,14 @@ func (o *Online) trainFailed(err error) {
 	o.retrainFailures++
 	o.consecFailures++
 	o.thrashRun = 0
+	if o.met != nil {
+		o.met.retrainFailures.Inc()
+	}
 	if o.health == Healthy {
-		o.health = Degraded
+		o.setHealth(Degraded)
 	}
 	if o.cfg.FailureLimit > 0 && o.consecFailures >= o.cfg.FailureLimit {
-		o.health = Failed
+		o.setHealth(Failed)
 		return
 	}
 	if o.breakerOpen {
@@ -586,6 +631,10 @@ func (o *Online) tripBreaker() {
 	o.breakerDegrade()
 	o.backoffLeft = o.cfg.ProbeSpacing
 	o.thrashRun = 0
+	if o.met != nil {
+		o.met.breakerTrips.Inc()
+		o.met.breakerOpen.Set(1)
+	}
 }
 
 // reopenBreaker handles a QA breach during half-open confirmation.
@@ -594,13 +643,17 @@ func (o *Online) reopenBreaker() {
 	o.breakerTrips++
 	o.breakerDegrade()
 	o.backoffLeft = o.cfg.ProbeSpacing
+	if o.met != nil {
+		o.met.breakerTrips.Inc()
+		o.met.breakerOpen.Set(1)
+	}
 }
 
 // breakerDegrade drops the health to Degraded without clobbering a deeper
 // rung (Fallback/Failed).
 func (o *Online) breakerDegrade() {
 	if o.health == Healthy {
-		o.health = Degraded
+		o.setHealth(Degraded)
 	}
 }
 
@@ -608,10 +661,13 @@ func (o *Online) breakerDegrade() {
 func (o *Online) closeBreaker() {
 	o.breakerOpen = false
 	o.halfOpen = false
-	o.health = Healthy
+	o.setHealth(Healthy)
 	o.consecFailures = 0
 	o.backoff = o.cfg.RetrainBackoff
 	o.thrashRun = 0
+	if o.met != nil {
+		o.met.breakerOpen.Set(0)
+	}
 }
 
 // train (re)fits the LARPredictor on the most recent TrainSize samples and
@@ -679,6 +735,13 @@ func (o *Online) larForecast() (Prediction, error) {
 // degradedForecast serves the selector rung, falling through to the
 // last-resort rung when the selector cannot run.
 func (o *Online) degradedForecast() (Prediction, error) {
+	sp := obs.StartSpan(o.tracer, obs.StageFallbackForecast)
+	p, err := o.degradedForecastInner()
+	obs.EndSpan(sp, err)
+	return p, err
+}
+
+func (o *Online) degradedForecastInner() (Prediction, error) {
 	m := o.cfg.Predictor.WindowSize
 	if len(o.history) >= m {
 		w := o.history[len(o.history)-m:]
@@ -686,6 +749,9 @@ func (o *Online) degradedForecast() (Prediction, error) {
 			sel := o.selector.Select()
 			if v, err := o.fbPool.At(sel).Predict(w); err == nil && isFinite(v) {
 				o.degradedForecasts++
+				if o.met != nil {
+					o.met.forecastsSelector.Inc()
+				}
 				var std float64
 				if stats := o.selector.ErrStats(); stats[sel] > 0 {
 					std = math.Sqrt(stats[sel])
@@ -705,8 +771,11 @@ func (o *Online) degradedForecast() (Prediction, error) {
 		return Prediction{}, ErrNotReady
 	}
 	o.fallbackForecasts++
+	if o.met != nil {
+		o.met.forecastsLastResort.Inc()
+	}
 	if o.health == Degraded {
-		o.health = Fallback
+		o.setHealth(Fallback)
 	}
 	return Prediction{
 		Value:        o.lastFinite,
@@ -723,4 +792,20 @@ func (o *Online) normalizedIfTrained(v float64) float64 {
 		return 0
 	}
 	return o.lar.Normalizer().ApplyValue(v)
+}
+
+// Step fuses the Observe+Forecast pair every streaming consumer writes:
+// it feeds one observation, then returns the one-step-ahead forecast for
+// the observation that follows, along with the health rung that served
+// it. The error is ErrNotReady during warm-up, ErrFailed in the terminal
+// state — the same contracts as Forecast; the observation is recorded
+// either way. Use Observe and Forecast separately when the two must be
+// interleaved with other work (e.g. scoring the previous forecast against
+// v before issuing the next one).
+func (o *Online) Step(v float64) (Prediction, Health, error) {
+	if _, err := o.Observe(v); err != nil {
+		return Prediction{}, o.health, err
+	}
+	p, err := o.Forecast()
+	return p, o.health, err
 }

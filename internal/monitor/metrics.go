@@ -1,0 +1,56 @@
+package monitor
+
+import "github.com/acis-lab/larpredictor/internal/obs"
+
+// agentMetrics holds the monitoring agent's instruments, pre-bound at
+// Instrument time so the sampling loop pays one atomic add per update. A
+// nil *agentMetrics disables everything behind a single branch.
+type agentMetrics struct {
+	// ticks counts clock advances (one per sample interval).
+	ticks *obs.Counter
+	// samples counts raw (vm, metric) measurements collected.
+	samples *obs.Counter
+	// tickErrors counts ticks aborted by an RRD update failure.
+	tickErrors *obs.Counter
+	// profileQueries/profileErrors count profiler extractions and the
+	// failed subset.
+	profileQueries *obs.Counter
+	profileErrors  *obs.Counter
+	// vmSaves/vmRestores count round-robin-database checkpoint writes and
+	// warm-restart loads; the *Errors twins count the failed subset.
+	vmSaves         *obs.Counter
+	vmSaveErrors    *obs.Counter
+	vmRestores      *obs.Counter
+	vmRestoreErrors *obs.Counter
+}
+
+// Instrument binds the agent's instrument families on r (or a labeled
+// scope of a registry — see obs.Registry.With). A nil registry leaves the
+// agent uninstrumented, which costs nothing on the sampling path. Call
+// before the agent starts ticking; Instrument is not synchronized against
+// concurrent use.
+func (a *Agent) Instrument(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	a.met = &agentMetrics{
+		ticks: r.Counter1("larpredictor_monitor_ticks_total",
+			"Sampling-clock advances (one per sample interval)."),
+		samples: r.Counter1("larpredictor_monitor_samples_total",
+			"Raw (vm, metric) measurements collected."),
+		tickErrors: r.Counter1("larpredictor_monitor_tick_errors_total",
+			"Ticks aborted by a round-robin-database update failure."),
+		profileQueries: r.Counter1("larpredictor_monitor_profile_queries_total",
+			"Profiler time-series extractions."),
+		profileErrors: r.Counter1("larpredictor_monitor_profile_errors_total",
+			"Failed profiler extractions (unknown VM/metric, no data)."),
+		vmSaves: r.Counter1("larpredictor_monitor_rrd_saves_total",
+			"Per-VM round-robin-database checkpoint writes."),
+		vmSaveErrors: r.Counter1("larpredictor_monitor_rrd_save_errors_total",
+			"Failed per-VM round-robin-database checkpoint writes."),
+		vmRestores: r.Counter1("larpredictor_monitor_rrd_restores_total",
+			"Per-VM round-robin-database warm-restart loads."),
+		vmRestoreErrors: r.Counter1("larpredictor_monitor_rrd_restore_errors_total",
+			"Failed per-VM round-robin-database warm-restart loads."),
+	}
+}

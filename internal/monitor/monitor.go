@@ -73,6 +73,7 @@ type Agent struct {
 	dbs     map[vmtrace.VMID]*rrd.RRD
 	metrics []vmtrace.Metric
 	samples int64
+	met     *agentMetrics
 }
 
 // NewAgent builds the agent and one RRD per VM (one data source per metric,
@@ -158,7 +159,15 @@ func (a *Agent) SaveVM(vm vmtrace.VMID, w io.Writer) error {
 	if !ok {
 		return fmt.Errorf("monitor: %q: %w", vm, ErrUnknownVM)
 	}
-	return db.Save(w)
+	err := db.Save(w)
+	if a.met != nil {
+		if err != nil {
+			a.met.vmSaveErrors.Inc()
+		} else {
+			a.met.vmSaves.Inc()
+		}
+	}
+	return err
 }
 
 // RestoreVM replaces vm's round-robin database with one previously written
@@ -168,6 +177,18 @@ func (a *Agent) SaveVM(vm vmtrace.VMID, w io.Writer) error {
 // database's last update if that is later, keeping RRD updates monotonic
 // even when a crash interleaved snapshot files from different moments.
 func (a *Agent) RestoreVM(vm vmtrace.VMID, r io.Reader) error {
+	err := a.restoreVM(vm, r)
+	if a.met != nil {
+		if err != nil {
+			a.met.vmRestoreErrors.Inc()
+		} else {
+			a.met.vmRestores.Inc()
+		}
+	}
+	return err
+}
+
+func (a *Agent) restoreVM(vm vmtrace.VMID, r io.Reader) error {
 	db, err := rrd.Load(r)
 	if err != nil {
 		return err
@@ -231,9 +252,18 @@ func (a *Agent) Tick() error {
 			vals[i] = v
 		}
 		if err := a.dbs[vm].Update(ts, vals...); err != nil {
+			if a.met != nil {
+				a.met.tickErrors.Inc()
+			}
 			return fmt.Errorf("monitor: update %s: %w", vm, err)
 		}
 		a.samples += int64(len(vals))
+		if a.met != nil {
+			a.met.samples.Add(uint64(len(vals)))
+		}
+	}
+	if a.met != nil {
+		a.met.ticks.Inc()
 	}
 	return nil
 }
@@ -274,6 +304,17 @@ type Query struct {
 // equally-spaced series); leading unknowns are dropped. ErrNoData is
 // returned when nothing usable remains.
 func (a *Agent) Profile(q Query) (*timeseries.Series, error) {
+	s, err := a.profile(q)
+	if a.met != nil {
+		a.met.profileQueries.Inc()
+		if err != nil {
+			a.met.profileErrors.Inc()
+		}
+	}
+	return s, err
+}
+
+func (a *Agent) profile(q Query) (*timeseries.Series, error) {
 	a.mu.Lock()
 	db, ok := a.dbs[q.VM]
 	a.mu.Unlock()

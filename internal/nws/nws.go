@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 
+	"github.com/acis-lab/larpredictor/internal/obs"
 	"github.com/acis-lab/larpredictor/internal/predictors"
 	"github.com/acis-lab/larpredictor/internal/timeseries"
 )
@@ -37,6 +38,9 @@ type Selector struct {
 	recent [][]float64 // recent[i] is the ring for expert i
 	next   int
 	filled int
+
+	// decisions[i] counts selections of expert i; nil when uninstrumented.
+	decisions []*obs.Counter
 }
 
 // NewCumulativeMSE returns the classic NWS selector: lowest cumulative MSE
@@ -73,6 +77,29 @@ func newSelector(pool *predictors.Pool, window int) (*Selector, error) {
 // Pool returns the selector's expert pool.
 func (s *Selector) Pool() *predictors.Pool { return s.pool }
 
+// Instrument binds the selector's decision counters
+// (larpredictor_selector_decisions_total, labeled by expert) on r. The
+// counters are pre-bound per pool expert, so counting a decision is one
+// atomic add. A nil registry leaves the selector uninstrumented.
+func (s *Selector) Instrument(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	vec := r.Counter("larpredictor_selector_decisions_total",
+		"NWS cumulative-MSE selector decisions, by selected expert.", "expert")
+	s.decisions = make([]*obs.Counter, s.pool.Size())
+	for i := 0; i < s.pool.Size(); i++ {
+		s.decisions[i] = vec.WithLabels(s.pool.At(i).Name())
+	}
+}
+
+// countDecision records one selection of expert i, if instrumented.
+func (s *Selector) countDecision(i int) {
+	if s.decisions != nil {
+		s.decisions[i].Inc()
+	}
+}
+
 // StepResult reports one selection step.
 type StepResult struct {
 	// Selected is the pool index of the expert whose forecast was published
@@ -95,6 +122,7 @@ func (s *Selector) Step(window []float64, observed float64) (StepResult, error) 
 		return StepResult{}, err
 	}
 	sel := s.selectExpert()
+	s.countDecision(sel)
 	// Fold this step's errors in.
 	if s.window == 0 {
 		for i, p := range all {
@@ -120,7 +148,11 @@ func (s *Selector) Step(window []float64, observed float64) (StepResult, error) 
 // selector. Callers that forecast outside Step (e.g. the degraded-mode
 // fallback chain in internal/core) use it to pick an expert and run it
 // themselves.
-func (s *Selector) Select() int { return s.selectExpert() }
+func (s *Selector) Select() int {
+	sel := s.selectExpert()
+	s.countDecision(sel)
+	return sel
+}
 
 // ErrStats returns every expert's current selection statistic (mean squared
 // error over the tracked horizon), in pool order. The square root of an

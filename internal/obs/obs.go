@@ -1,0 +1,449 @@
+// Package obs is the dependency-free observability layer of the
+// LARPredictor system: a metrics registry (counters, gauges, fixed-bucket
+// latency histograms) with Prometheus-text-format exposition, and a Tracer
+// hook interface that surfaces per-stage spans of the prediction pipeline
+// (normalize → PCA project → k-NN classify → expert forecast → QA audit).
+//
+// The package is built for hot paths. Every instrument is updated with
+// atomic operations only; the registry is read-locked exclusively on
+// instrument *creation*, never on update. All instrument methods — and the
+// registry accessors that mint them — are nil-safe no-ops, so a component
+// holding a nil *Registry or nil instrument pays a single predictable
+// branch and zero allocations per event. Components therefore thread
+// instruments unconditionally and let the caller decide, at construction
+// time, whether observability is on.
+//
+// Label handling follows the const-label scope model: Registry.With
+// derives a view of the same underlying metric families with extra
+// label key/value pairs bound. monitord uses it to give every
+// (VM, metric) pipeline its own labeled child of the shared families:
+//
+//	reg := obs.NewRegistry()
+//	scope := reg.With("pipeline", "VM2/NIC1/NIC1_received")
+//	forecasts := scope.Counter("larpredictor_forecasts_total",
+//	    "Forecasts served.", "source")
+//	forecasts.WithLabels("LAR").Inc()
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind discriminates the metric families a Registry holds.
+type Kind int
+
+// Metric family kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// DefBuckets are the default latency histogram bucket upper bounds, in
+// seconds. They span sub-microsecond in-process forecasts up to the
+// seconds-long retrains of very large training windows.
+var DefBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// label is one bound key/value pair.
+type label struct{ k, v string }
+
+// family is one named metric: a kind, help text, a label-name schema, and
+// the children keyed by their rendered label sets.
+type family struct {
+	name    string
+	help    string
+	kind    Kind
+	labels  []string  // full label-name schema, const labels first
+	buckets []float64 // histogram families only
+
+	mu       sync.Mutex
+	children map[string]any // rendered label string -> *Counter/*Gauge/*Histogram
+}
+
+// registryCore is the state shared by a root registry and every scope
+// derived from it with With.
+type registryCore struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// Registry is a set of metric families, or a const-labeled view of one
+// (see With). The zero value is not usable; a nil *Registry is: every
+// method on it returns a nil instrument whose updates are no-ops.
+type Registry struct {
+	core   *registryCore
+	consts []label
+}
+
+// NewRegistry returns an empty root registry.
+func NewRegistry() *Registry {
+	return &Registry{core: &registryCore{families: map[string]*family{}}}
+}
+
+// With derives a scope of the registry with extra const label key/value
+// pairs bound to every instrument created through it. Instruments from
+// different scopes of the same root share metric families and render
+// side by side in the exposition. kv alternates key, value; a dangling
+// key is paired with "".
+func (r *Registry) With(kv ...string) *Registry {
+	if r == nil {
+		return nil
+	}
+	consts := make([]label, 0, len(r.consts)+(len(kv)+1)/2)
+	consts = append(consts, r.consts...)
+	for i := 0; i < len(kv); i += 2 {
+		v := ""
+		if i+1 < len(kv) {
+			v = kv[i+1]
+		}
+		consts = append(consts, label{k: kv[i], v: v})
+	}
+	return &Registry{core: r.core, consts: consts}
+}
+
+// lookup returns the named family, creating it on first use. Conflicting
+// re-registration (same name, different kind or label schema) panics: it is
+// a programming error that would silently corrupt the exposition.
+func (r *Registry) lookup(name, help string, kind Kind, buckets []float64, varLabels []string) *family {
+	schema := make([]string, 0, len(r.consts)+len(varLabels))
+	for _, c := range r.consts {
+		schema = append(schema, c.k)
+	}
+	schema = append(schema, varLabels...)
+
+	r.core.mu.Lock()
+	defer r.core.mu.Unlock()
+	f, ok := r.core.families[name]
+	if !ok {
+		f = &family{
+			name: name, help: help, kind: kind,
+			labels:   schema,
+			buckets:  buckets,
+			children: map[string]any{},
+		}
+		r.core.families[name] = f
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s, was %s", name, kind, f.kind))
+	}
+	if len(f.labels) != len(schema) {
+		panic(fmt.Sprintf("obs: metric %q re-registered with labels %v, was %v", name, schema, f.labels))
+	}
+	return f
+}
+
+// renderLabels builds the canonical child key / exposition label string
+// for the family's schema bound to the given values.
+func renderLabels(consts []label, varLabels, varValues []string) string {
+	if len(consts) == 0 && len(varLabels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	write := func(k, v string) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(v))
+		b.WriteByte('"')
+	}
+	for _, c := range consts {
+		write(c.k, c.v)
+	}
+	for i, k := range varLabels {
+		v := ""
+		if i < len(varValues) {
+			v = varValues[i]
+		}
+		write(k, v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// child returns the family child bound to the scope's const labels plus
+// the given variable label values, creating it on first use.
+func (r *Registry) child(f *family, varLabels, varValues []string, mk func(labels string) any) any {
+	key := renderLabels(r.consts, varLabels, varValues)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c, ok := f.children[key]
+	if !ok {
+		c = mk(key)
+		f.children[key] = c
+	}
+	return c
+}
+
+// Counter registers (or finds) a counter family and returns its vector
+// handle. With no varLabels the vector has exactly one child, reachable
+// via WithLabels() with no values.
+func (r *Registry) Counter(name, help string, varLabels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	f := r.lookup(name, help, KindCounter, nil, varLabels)
+	return &CounterVec{reg: r, fam: f, varLabels: varLabels}
+}
+
+// Counter1 registers a label-less counter and returns its single child.
+func (r *Registry) Counter1(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.Counter(name, help).WithLabels()
+}
+
+// Gauge registers (or finds) a gauge family and returns its vector handle.
+func (r *Registry) Gauge(name, help string, varLabels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	f := r.lookup(name, help, KindGauge, nil, varLabels)
+	return &GaugeVec{reg: r, fam: f, varLabels: varLabels}
+}
+
+// Gauge1 registers a label-less gauge and returns its single child.
+func (r *Registry) Gauge1(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.Gauge(name, help).WithLabels()
+}
+
+// Histogram registers (or finds) a histogram family with the given bucket
+// upper bounds (nil = DefBuckets) and returns its vector handle. Buckets
+// are fixed at first registration; later registrations reuse them.
+func (r *Registry) Histogram(name, help string, buckets []float64, varLabels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	f := r.lookup(name, help, KindHistogram, buckets, varLabels)
+	return &HistogramVec{reg: r, fam: f, varLabels: varLabels}
+}
+
+// Histogram1 registers a label-less histogram and returns its single child.
+func (r *Registry) Histogram1(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.Histogram(name, help, buckets).WithLabels()
+}
+
+// ---------------------------------------------------------------------------
+// Counter
+
+// CounterVec is a counter family handle bound to a scope.
+type CounterVec struct {
+	reg       *Registry
+	fam       *family
+	varLabels []string
+}
+
+// WithLabels returns the child counter for the given label values.
+func (v *CounterVec) WithLabels(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	c := v.reg.child(v.fam, v.varLabels, values, func(labels string) any {
+		return &Counter{labels: labels}
+	})
+	return c.(*Counter)
+}
+
+// Counter is a monotonically increasing counter. All methods are nil-safe.
+type Counter struct {
+	n      atomic.Uint64
+	labels string
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.n.Add(1)
+	}
+}
+
+// Add adds delta events. Negative deltas are ignored — counters only rise.
+func (c *Counter) Add(delta uint64) {
+	if c != nil {
+		c.n.Add(delta)
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.n.Load()
+}
+
+// ---------------------------------------------------------------------------
+// Gauge
+
+// GaugeVec is a gauge family handle bound to a scope.
+type GaugeVec struct {
+	reg       *Registry
+	fam       *family
+	varLabels []string
+}
+
+// WithLabels returns the child gauge for the given label values.
+func (v *GaugeVec) WithLabels(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	g := v.reg.child(v.fam, v.varLabels, values, func(labels string) any {
+		return &Gauge{labels: labels}
+	})
+	return g.(*Gauge)
+}
+
+// Gauge is a float64 value that can go up and down, stored as IEEE bits in
+// a uint64 for atomic access. All methods are nil-safe.
+type Gauge struct {
+	bits   atomic.Uint64
+	labels string
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adds delta with a CAS loop.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+// HistogramVec is a histogram family handle bound to a scope.
+type HistogramVec struct {
+	reg       *Registry
+	fam       *family
+	varLabels []string
+}
+
+// WithLabels returns the child histogram for the given label values.
+func (v *HistogramVec) WithLabels(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	h := v.reg.child(v.fam, v.varLabels, values, func(labels string) any {
+		return &Histogram{
+			labels:  labels,
+			buckets: v.fam.buckets,
+			counts:  make([]atomic.Uint64, len(v.fam.buckets)),
+		}
+	})
+	return h.(*Histogram)
+}
+
+// Histogram is a fixed-bucket histogram of float64 observations. Bucket
+// counts are non-cumulative internally and summed at exposition time; the
+// sum is accumulated as IEEE bits under CAS. All methods are nil-safe.
+type Histogram struct {
+	labels  string
+	buckets []float64       // upper bounds, ascending
+	counts  []atomic.Uint64 // counts[i] = observations <= buckets[i] (and > buckets[i-1])
+	inf     atomic.Uint64   // observations above the last bound
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Binary search for the first bound >= v.
+	i := sort.SearchFloat64s(h.buckets, v)
+	if i < len(h.counts) {
+		h.counts[i].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter1("events_total", "Events.")
+	c.Inc()
+	c.Add(2)
+	if got := c.Value(); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+	g := r.Gauge1("depth", "Depth.")
+	g.Set(4)
+	g.Add(-1.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %g, want 2.5", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	// Every accessor on a nil registry must return nil instruments whose
+	// methods are no-ops — this is the zero-cost uninstrumented path.
+	r.With("a", "b").Counter("c", "h", "l").WithLabels("x").Inc()
+	r.Counter1("c", "h").Add(7)
+	r.Gauge("g", "h").WithLabels().Set(1)
+	r.Gauge1("g", "h").Add(1)
+	r.Histogram("h", "h", nil, "l").WithLabels("x").Observe(1)
+	r.Histogram1("h", "h", nil).Observe(1)
+	if err := r.WriteProm(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	var c *Counter
+	c.Inc()
+	var g *Gauge
+	g.Set(3)
+	var h *Histogram
+	h.Observe(2)
+	EndSpan(StartSpan(nil, StageTrain), nil)
+	if tr := NewStageTimer(nil); tr != nil {
+		t.Fatal("NewStageTimer(nil) must return a nil Tracer")
+	}
+}
+
+func TestLabelsAndScopes(t *testing.T) {
+	r := NewRegistry()
+	scopeA := r.With("pipeline", "A")
+	scopeB := r.With("pipeline", "B")
+	v := scopeA.Counter("forecasts_total", "Forecasts.", "source")
+	v.WithLabels("LAR").Inc()
+	v.WithLabels("LAR").Inc()
+	v.WithLabels("W-CUM-MSE").Inc()
+	scopeB.Counter("forecasts_total", "Forecasts.", "source").WithLabels("LAR").Inc()
+
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE forecasts_total counter",
+		`forecasts_total{pipeline="A",source="LAR"} 2`,
+		`forecasts_total{pipeline="A",source="W-CUM-MSE"} 1`,
+		`forecasts_total{pipeline="B",source="LAR"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram1("lat_seconds", "Latency.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.1"} 2`, // 0.05 and the boundary 0.1
+		`lat_seconds_bucket{le="1"} 3`,
+		`lat_seconds_bucket{le="10"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		"lat_seconds_sum 55.65",
+		"lat_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "C.", "k").WithLabels("a\"b\\c\nd").Inc()
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	if want := `c_total{k="a\"b\\c\nd"} 1`; !strings.Contains(b.String(), want) {
+		t.Fatalf("exposition missing %q:\n%s", want, b.String())
+	}
+}
+
+func TestConflictingRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter1("m", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge1("m", "h")
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter1("up_total", "Up.").Inc()
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "up_total 1") {
+		t.Fatalf("handler output missing counter:\n%s", body)
+	}
+
+	post, err := http.Post(srv.URL, "text/plain", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status = %d, want 405", post.StatusCode)
+	}
+}
+
+func TestStageTimerTracer(t *testing.T) {
+	r := NewRegistry().With("pipeline", "p1")
+	tr := NewStageTimer(r)
+	EndSpan(StartSpan(tr, StageKNNClassify), nil)
+	EndSpan(StartSpan(tr, StageTrain), errors.New("boom"))
+
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`larpredictor_stage_seconds_count{pipeline="p1",stage="knn_classify"} 1`,
+		`larpredictor_stage_seconds_count{pipeline="p1",stage="train"} 1`,
+		`larpredictor_stage_errors_total{pipeline="p1",stage="train"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	rec := NewRecorder()
+	EndSpan(StartSpan(rec, StageNormalize), nil)
+	EndSpan(StartSpan(rec, StageNormalize), nil)
+	EndSpan(StartSpan(rec, StageExpertForecast), errors.New("x"))
+	counts := rec.CountByStage()
+	if counts[StageNormalize] != 2 || counts[StageExpertForecast] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	spans := rec.Spans()
+	if len(spans) != 3 || spans[2].Err == nil {
+		t.Fatalf("spans = %v", spans)
+	}
+	rec.Reset()
+	if len(rec.Spans()) != 0 {
+		t.Fatal("Reset did not clear spans")
+	}
+}

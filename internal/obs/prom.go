@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteProm renders every family in the registry in the Prometheus text
+// exposition format (version 0.0.4): one # HELP / # TYPE header per family
+// followed by its children sorted by label set. Histograms render the
+// conventional cumulative _bucket series plus _sum and _count.
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.core.mu.Lock()
+	names := make([]string, 0, len(r.core.families))
+	fams := make([]*family, 0, len(r.core.families))
+	for n := range r.core.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.core.families[n])
+	}
+	r.core.mu.Unlock()
+
+	for _, f := range fams {
+		if err := f.writeProm(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) writeProm(w io.Writer) error {
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	children := make([]any, 0, len(keys))
+	for _, k := range keys {
+		children = append(children, f.children[k])
+	}
+	f.mu.Unlock()
+
+	if len(children) == 0 {
+		return nil
+	}
+	if f.help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " ")); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+		return err
+	}
+	for _, c := range children {
+		var err error
+		switch m := c.(type) {
+		case *Counter:
+			_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, m.labels, m.Value())
+		case *Gauge:
+			_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, m.labels, formatFloat(m.Value()))
+		case *Histogram:
+			err = m.writeProm(w, f.name)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeProm renders one histogram child: cumulative buckets, sum, count.
+func (h *Histogram) writeProm(w io.Writer, name string) error {
+	var cum uint64
+	for i, bound := range h.buckets {
+		cum += h.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			name, withLE(h.labels, formatFloat(bound)), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.inf.Load()
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLE(h.labels, "+Inf"), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, h.labels, formatFloat(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, h.labels, h.count.Load())
+	return err
+}
+
+// withLE merges an le label into a rendered label set.
+func withLE(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return labels[:len(labels)-1] + `,le="` + le + `"}`
+}
+
+// formatFloat renders a float the way Prometheus clients conventionally do.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving the registry in the Prometheus
+// text format. A nil registry serves an empty (but valid) exposition.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if req.Method == http.MethodHead {
+			return
+		}
+		var b strings.Builder
+		if err := r.WriteProm(&b); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		io.WriteString(w, b.String())
+	})
+}

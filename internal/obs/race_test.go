@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrentHammer drives the registry from many goroutines
+// the way monitord's concurrent pipeline slices do: each goroutine mints
+// its own labeled scope, creates the same shared families, and updates
+// counters, gauges, and histograms while another goroutine repeatedly
+// renders the exposition. Run under -race this is the registry's
+// thread-safety proof; without -race it still checks the totals.
+func TestRegistryConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	const (
+		workers = 16
+		iters   = 2000
+	)
+	stop := make(chan struct{})
+	var scrapes sync.WaitGroup
+	scrapes.Add(1)
+	go func() {
+		defer scrapes.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				var b strings.Builder
+				if err := r.WriteProm(&b); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			scope := r.With("pipeline", fmt.Sprintf("VM%d/CPU", w%4))
+			tr := NewStageTimer(scope)
+			c := scope.Counter("hammer_events_total", "Events.", "source")
+			g := scope.Gauge1("hammer_depth", "Depth.")
+			h := scope.Histogram1("hammer_seconds", "Latency.", nil)
+			for i := 0; i < iters; i++ {
+				c.WithLabels("LAR").Inc()
+				g.Set(float64(i))
+				h.Observe(float64(i) * 1e-6)
+				EndSpan(StartSpan(tr, StageKNNClassify), nil)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	scrapes.Wait()
+
+	// Four workers share each pipeline label, so each child counter must
+	// hold exactly 4*iters events.
+	var total uint64
+	for w := 0; w < 4; w++ {
+		scope := r.With("pipeline", fmt.Sprintf("VM%d/CPU", w))
+		total += scope.Counter("hammer_events_total", "Events.", "source").WithLabels("LAR").Value()
+	}
+	if want := uint64(workers * iters); total != want {
+		t.Fatalf("hammered counter total = %d, want %d", total, want)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter1("bench_total", "Bench.")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterIncNil(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram1("bench_seconds", "Bench.", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) * 1e-6)
+	}
+}
+
+func BenchmarkHistogramObserveNil(b *testing.B) {
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(1e-6)
+	}
+}

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Stage names the instrumented stages of the prediction pipeline. The
+// five core stages mirror the paper's Figure 1 data path; the remaining
+// ones cover the operational machinery around it.
+type Stage string
+
+// Pipeline stages, in data-path order.
+const (
+	// StageNormalize is the z-score normalization of the trailing window.
+	StageNormalize Stage = "normalize"
+	// StagePCAProject is the projection onto the trained PCA basis.
+	StagePCAProject Stage = "pca_project"
+	// StageKNNClassify is the k-NN best-expert classification.
+	StageKNNClassify Stage = "knn_classify"
+	// StageExpertForecast is the selected expert's one-step prediction.
+	StageExpertForecast Stage = "expert_forecast"
+	// StageQAAudit is the Prediction Quality Assuror's scoring of a
+	// pending forecast against the arriving observation.
+	StageQAAudit Stage = "qa_audit"
+	// StageTrain is a full (re)train: labeling, PCA fit, k-NN indexing.
+	StageTrain Stage = "train"
+	// StageFallbackForecast is a degraded-mode forecast (selector or
+	// last-resort rung).
+	StageFallbackForecast Stage = "fallback_forecast"
+)
+
+// Span is one in-flight stage execution. End is called exactly once, with
+// the error the stage produced (nil on success).
+type Span interface {
+	End(err error)
+}
+
+// Tracer receives a span per pipeline-stage execution. Implementations
+// must be safe for concurrent use when the instrumented component is;
+// StartSpan runs on the hot forecast path, so it should be cheap.
+type Tracer interface {
+	StartSpan(stage Stage) Span
+}
+
+// StartSpan begins a span on t, tolerating a nil tracer (returns nil).
+// Pair with EndSpan for nil-safe instrumentation sites.
+func StartSpan(t Tracer, stage Stage) Span {
+	if t == nil {
+		return nil
+	}
+	return t.StartSpan(stage)
+}
+
+// EndSpan ends sp with err, tolerating a nil span.
+func EndSpan(sp Span, err error) {
+	if sp != nil {
+		sp.End(err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// StageTimer: a Tracer that feeds a registry.
+
+// stageTimer records per-stage latency histograms and error counters into
+// a registry. It is the Tracer monitord attaches to every pipeline.
+type stageTimer struct {
+	seconds *HistogramVec
+	errors  *CounterVec
+}
+
+// NewStageTimer returns a Tracer that records every span's duration in a
+// larpredictor_stage_seconds histogram and every failed span in a
+// larpredictor_stage_errors_total counter, both labeled by stage (plus
+// whatever const labels the registry scope carries). A nil registry
+// returns a nil Tracer.
+func NewStageTimer(r *Registry) Tracer {
+	if r == nil {
+		return nil
+	}
+	return &stageTimer{
+		seconds: r.Histogram("larpredictor_stage_seconds",
+			"Latency of each prediction-pipeline stage.", nil, "stage"),
+		errors: r.Counter("larpredictor_stage_errors_total",
+			"Pipeline-stage executions that returned an error.", "stage"),
+	}
+}
+
+type timerSpan struct {
+	t     *stageTimer
+	stage Stage
+	start time.Time
+}
+
+func (t *stageTimer) StartSpan(stage Stage) Span {
+	return &timerSpan{t: t, stage: stage, start: time.Now()}
+}
+
+func (s *timerSpan) End(err error) {
+	s.t.seconds.WithLabels(string(s.stage)).Observe(time.Since(s.start).Seconds())
+	if err != nil {
+		s.t.errors.WithLabels(string(s.stage)).Inc()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Recorder: a Tracer for tests.
+
+// SpanRecord is one completed span captured by a Recorder.
+type SpanRecord struct {
+	Stage    Stage
+	Err      error
+	Duration time.Duration
+}
+
+// Recorder is a Tracer that captures every completed span, for tests and
+// ad-hoc debugging. Safe for concurrent use.
+type Recorder struct {
+	mu    sync.Mutex
+	spans []SpanRecord
+}
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+type recorderSpan struct {
+	r     *Recorder
+	stage Stage
+	start time.Time
+}
+
+// StartSpan implements Tracer.
+func (r *Recorder) StartSpan(stage Stage) Span {
+	return &recorderSpan{r: r, stage: stage, start: time.Now()}
+}
+
+func (s *recorderSpan) End(err error) {
+	s.r.mu.Lock()
+	defer s.r.mu.Unlock()
+	s.r.spans = append(s.r.spans, SpanRecord{
+		Stage: s.stage, Err: err, Duration: time.Since(s.start),
+	})
+}
+
+// Spans returns a copy of every recorded span, in completion order.
+func (r *Recorder) Spans() []SpanRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SpanRecord, len(r.spans))
+	copy(out, r.spans)
+	return out
+}
+
+// CountByStage returns how many spans completed per stage.
+func (r *Recorder) CountByStage() map[Stage]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[Stage]int)
+	for _, s := range r.spans {
+		out[s.Stage]++
+	}
+	return out
+}
+
+// Reset discards all recorded spans.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.spans = nil
+}

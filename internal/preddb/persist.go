@@ -68,6 +68,9 @@ func (db *DB) Save(w io.Writer) error {
 	if _, err := w.Write(foot[:]); err != nil {
 		return fmt.Errorf("preddb: write checksum: %w", err)
 	}
+	if db.met != nil {
+		db.met.saves.Inc()
+	}
 	return nil
 }
 
@@ -153,6 +156,9 @@ func (db *DB) Prune(cutoff time.Time) int {
 		kept := make([]Record, len(rows)-i)
 		copy(kept, rows[i:])
 		db.rows[k] = kept
+	}
+	if db.met != nil && removed > 0 {
+		db.met.pruned.Add(uint64(removed))
 	}
 	return removed
 }

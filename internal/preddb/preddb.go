@@ -51,6 +51,7 @@ type Record struct {
 type DB struct {
 	mu   sync.RWMutex
 	rows map[Key][]Record // sorted by Time
+	met  *dbMetrics       // nil when uninstrumented
 }
 
 // New returns an empty database.
@@ -65,6 +66,9 @@ func (db *DB) PutObservation(key Key, t time.Time, v float64) {
 	r := db.rowAt(key, t)
 	r.Observed = v
 	r.HasObserved = true
+	if db.met != nil {
+		db.met.observations.Inc()
+	}
 }
 
 // PutPrediction records a prediction (and the expert that made it) for
@@ -76,6 +80,9 @@ func (db *DB) PutPrediction(key Key, t time.Time, v float64, predictor string) {
 	r.Predicted = v
 	r.HasPredicted = true
 	r.PredictorName = predictor
+	if db.met != nil {
+		db.met.predictions.Inc()
+	}
 }
 
 // rowAt returns a pointer to the record for (key, t), inserting in timestamp
@@ -212,11 +219,18 @@ func NewAssuror(db *DB, window int, threshold float64, onRetrain func(Key, float
 // Audit checks one key; it reports whether retraining was ordered, and the
 // audit MSE. Keys with no scored predictions do not fire.
 func (a *Assuror) Audit(key Key) (fired bool, mse float64) {
+	met := a.db.metrics()
+	if met != nil {
+		met.audits.Inc()
+	}
 	m, n, err := a.db.AuditMSE(key, a.Window)
 	if err != nil || n < a.Window {
 		return false, m
 	}
 	if m > a.Threshold {
+		if met != nil {
+			met.auditFires.Inc()
+		}
 		if a.OnRetrain != nil {
 			a.OnRetrain(key, m)
 		}

@@ -27,10 +27,35 @@
 // exponentially behind a circuit breaker while forecasts degrade down a
 // fallback ladder (trained model → windowed cumulative-MSE selector → last
 // finite observation) whose rung is reported by Health and
-// Prediction.Source. For benchmarking, Evaluate scores the predictor
-// against the perfect-selection oracle (P-LAR), every single expert, and
-// the Network Weather Service cumulative-MSE baseline (package-level
-// NewCumulativeMSE / NewWindowedMSE).
+// Prediction.Source. Online.Step fuses one Observe with the following
+// Forecast for the common feed-and-predict loop. For benchmarking, Evaluate
+// scores the predictor against the perfect-selection oracle (P-LAR), every
+// single expert, and the Network Weather Service cumulative-MSE baseline
+// (package-level NewCumulativeMSE / NewWindowedMSE).
+//
+// # Options
+//
+// New and NewOnline accept functional options that attach optional
+// machinery without widening Config:
+//
+//	reg := larpredictor.NewRegistry()
+//	p, err := larpredictor.New(cfg,
+//		larpredictor.WithPool(pool),              // custom expert pool
+//		larpredictor.WithVote(vote),              // k-NN combination rule
+//		larpredictor.WithMetrics(reg),            // instrument counters/latency
+//		larpredictor.WithTracer(tracer),          // per-stage spans
+//	)
+//
+// Options win over the corresponding Config fields, which remain supported.
+// WithMetrics registers Prometheus-style instrument families on a Registry
+// (scrape them via MetricsHandler or Registry.WriteProm); WithTracer
+// wraps every pipeline stage — normalize, PCA project, k-NN classify,
+// expert forecast, QA audit, train — in a span. Both are nil-safe and cost
+// nothing when omitted.
+//
+// Canonical expert pools are built by BuildPool(windowSize, tier), where
+// tier is TierPaper, TierExtended, or TierFull; NewPool assembles a custom
+// roster from any Predictor implementations.
 package larpredictor
 
 import (
@@ -124,20 +149,58 @@ func DefaultConfig(windowSize int) Config {
 	return core.DefaultConfig(windowSize)
 }
 
+// Option attaches optional machinery — custom pools, vote strategies,
+// metrics, tracing — to New and NewOnline; see WithPool, WithVote,
+// WithMetrics, and WithTracer.
+type Option = core.Option
+
+// WithPool sets the expert pool, overriding Config.Pool.
+func WithPool(p *Pool) Option { return core.WithPool(p) }
+
+// WithVote sets the k-NN neighbor-combination strategy, overriding
+// Config.Vote.
+func WithVote(v VoteStrategy) Option { return core.WithVote(v) }
+
 // New validates the configuration and returns an untrained LARPredictor.
-func New(cfg Config) (*LARPredictor, error) {
-	return core.New(cfg)
+func New(cfg Config, opts ...Option) (*LARPredictor, error) {
+	return core.New(cfg, opts...)
 }
 
-// NewOnline returns a streaming predictor: feed observations with Observe,
-// read forecasts with Forecast. It trains itself after cfg.TrainSize
-// observations and retrains when the QA audit-window MSE exceeds
-// cfg.MSEThreshold.
-func NewOnline(cfg OnlineConfig) (*Online, error) {
-	return core.NewOnline(cfg)
+// NewOnline returns a streaming predictor: feed observations with Observe
+// (or Step, which also forecasts), read forecasts with Forecast. It trains
+// itself after cfg.TrainSize observations and retrains when the QA
+// audit-window MSE exceeds cfg.MSEThreshold.
+func NewOnline(cfg OnlineConfig, opts ...Option) (*Online, error) {
+	return core.NewOnline(cfg, opts...)
+}
+
+// PoolTier selects one of the canonical expert rosters for BuildPool:
+// TierPaper, TierExtended, or TierFull.
+type PoolTier = predictors.PoolTier
+
+// Canonical pool tiers. The tiers nest, preserving class labels.
+const (
+	// TierPaper is the paper's three-expert pool {LAST, AR(m), SW_AVG(m)}.
+	TierPaper = predictors.TierPaper
+	// TierExtended adds running average, sliding-window median, exponential
+	// smoothing, the tendency model of Yang et al., and polynomial
+	// extrapolation (eight experts).
+	TierExtended = predictors.TierExtended
+	// TierFull adds the MA and ARIMA models from Dinda's host-load study
+	// (ten experts); it needs windowSize >= 3.
+	TierFull = predictors.TierFull
+)
+
+// BuildPool builds the canonical pool for a window size at the given tier,
+// appending any extra experts after the tier's roster. It replaces the
+// PaperPool/ExtendedPool/FullPool trio.
+func BuildPool(windowSize int, tier PoolTier, extra ...Predictor) (*Pool, error) {
+	return predictors.BuildPool(windowSize, tier, extra...)
 }
 
 // PaperPool returns the paper's three-expert pool {LAST, AR(m), SW_AVG(m)}.
+//
+// Deprecated: Use BuildPool(windowSize, TierPaper).
 func PaperPool(windowSize int) *Pool {
 	return predictors.PaperPool(windowSize)
 }
@@ -145,6 +208,8 @@ func PaperPool(windowSize int) *Pool {
 // ExtendedPool returns the eight-expert pool: the paper pool plus running
 // average, sliding-window median, exponential smoothing, the tendency model
 // of Yang et al., and polynomial extrapolation.
+//
+// Deprecated: Use BuildPool(windowSize, TierExtended).
 func ExtendedPool(windowSize int) *Pool {
 	return predictors.ExtendedPool(windowSize)
 }

@@ -1,0 +1,91 @@
+package larpredictor
+
+import (
+	"net/http"
+
+	"github.com/acis-lab/larpredictor/internal/core"
+	"github.com/acis-lab/larpredictor/internal/obs"
+)
+
+// Observability surface, re-exported from the internal obs package. A
+// Registry is a dependency-free metrics registry (atomic counters, gauges,
+// and fixed-bucket latency histograms) that renders in the Prometheus text
+// exposition format; a Tracer receives one Span per pipeline stage. Attach
+// either to a predictor with WithMetrics / WithTracer. Everything is
+// nil-safe: a nil Registry or Tracer disables instrumentation at zero cost.
+type (
+	// Registry registers and renders metric instruments; see NewRegistry.
+	Registry = obs.Registry
+	// Counter is a monotonically increasing counter.
+	Counter = obs.Counter
+	// Gauge is a settable value.
+	Gauge = obs.Gauge
+	// Histogram is a fixed-bucket latency/size distribution.
+	Histogram = obs.Histogram
+	// Tracer starts one Span per pipeline stage; implement it to hook
+	// spans into an external tracing system.
+	Tracer = obs.Tracer
+	// Span is one in-flight stage execution; End it exactly once.
+	Span = obs.Span
+	// Stage names a pipeline stage in a Span.
+	Stage = obs.Stage
+	// SpanRecorder collects spans in memory for tests (obs.Recorder).
+	SpanRecorder = obs.Recorder
+)
+
+// Pipeline stages reported to Tracers.
+const (
+	// StageNormalize is z-score normalization of the prediction window.
+	StageNormalize = obs.StageNormalize
+	// StagePCAProject is the PCA projection to feature space.
+	StagePCAProject = obs.StagePCAProject
+	// StageKNNClassify is the k-NN best-expert classification.
+	StageKNNClassify = obs.StageKNNClassify
+	// StageExpertForecast is the selected expert's forecast.
+	StageExpertForecast = obs.StageExpertForecast
+	// StageQAAudit is the QA scoring of a pending forecast.
+	StageQAAudit = obs.StageQAAudit
+	// StageTrain is a full (re)train: labeling, PCA fit, k-NN indexing.
+	StageTrain = obs.StageTrain
+	// StageFallbackForecast is a degraded-mode forecast.
+	StageFallbackForecast = obs.StageFallbackForecast
+)
+
+// NewRegistry returns an empty metrics registry. Derive labeled scopes with
+// Registry.With (e.g. one per pipeline), pass it to predictors via
+// WithMetrics, and serve it with MetricsHandler or Registry.WriteProm.
+func NewRegistry() *Registry {
+	return obs.NewRegistry()
+}
+
+// WithMetrics attaches a metrics registry (or a labeled scope of one): the
+// predictor registers its instrument families on it — forecast counters by
+// source, classifier decisions by expert, health transitions, retrain and
+// breaker state, forecast/train latency histograms — and updates them as it
+// runs. A nil registry leaves the predictor uninstrumented at zero cost.
+func WithMetrics(r *Registry) Option { return core.WithMetrics(r) }
+
+// WithTracer attaches a per-stage tracer: every pipeline stage is wrapped
+// in a span. Combine with NewStageTimer for registry-fed stage latency, or
+// implement Tracer to bridge to an external system. A nil tracer disables
+// tracing at zero cost.
+func WithTracer(t Tracer) Option { return core.WithTracer(t) }
+
+// NewStageTimer returns a Tracer that records every span's duration in a
+// larpredictor_stage_seconds histogram (and failures in
+// larpredictor_stage_errors_total), labeled by stage, on the given
+// registry. A nil registry returns a nil Tracer.
+func NewStageTimer(r *Registry) Tracer {
+	return obs.NewStageTimer(r)
+}
+
+// NewSpanRecorder returns an in-memory Tracer for tests.
+func NewSpanRecorder() *SpanRecorder {
+	return obs.NewRecorder()
+}
+
+// MetricsHandler serves a registry in the Prometheus text exposition
+// format (version 0.0.4); mount it at /metrics.
+func MetricsHandler(r *Registry) http.Handler {
+	return obs.Handler(r)
+}
