@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet staticcheck vuln fmt fuzz-seeds crash-test bench bench-baseline ci
+.PHONY: build test race vet staticcheck vuln fmt fuzz-seeds crash-test bench bench-baseline bench-guard cover cover-html ci
 
 build:
 	$(GO) build ./...
@@ -68,4 +68,36 @@ bench:
 		echo "benchstat not installed; compare bench-old.txt vs bench-new.txt by hand"; \
 	fi
 
-ci: fmt vet staticcheck build fuzz-seeds race
+# Regression gate over bench-old.txt / bench-new.txt (see bench-baseline and
+# bench above): cmd/benchguard fails the build when any benchmark's median
+# time/op regresses more than 10% or its median allocs/op grows at all.
+# benchstat, when installed, adds the statistician's view; the verdict is
+# benchguard's. CI's bench-regression job drives this against the merge
+# base with:
+#
+#   GUARD_BENCH='BenchmarkForecastPath|BenchmarkEngineThroughput/streams=10000$'
+#   git checkout <base> && make bench-baseline BENCH="$GUARD_BENCH"
+#   git checkout <head> && make bench          BENCH="$GUARD_BENCH"
+#   make bench-guard
+bench-guard:
+	@test -f bench-old.txt || { echo "bench-old.txt missing: run 'make bench-baseline' on the baseline tree first"; exit 1; }
+	@test -f bench-new.txt || { echo "bench-new.txt missing: run 'make bench' on the changed tree first"; exit 1; }
+	$(GO) run ./cmd/benchguard -max-time-delta 10 bench-old.txt bench-new.txt
+	@if command -v benchstat >/dev/null 2>&1; then benchstat bench-old.txt bench-new.txt; fi
+
+# Statement-coverage gate: run the full test suite with cross-package
+# coverage and fail below COVER_MIN% total. coverage.out feeds cover-html
+# and the CI artifact upload.
+COVER_MIN ?= 70
+
+cover:
+	$(GO) test -coverprofile=coverage.out -coverpkg=./... ./...
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ { gsub(/%/, "", $$3); print $$3 }'); \
+	awk -v t="$$total" -v min="$(COVER_MIN)" 'BEGIN { \
+		if (t + 0 < min + 0) { printf "coverage %.1f%% is below the %d%% gate\n", t, min; exit 1 } \
+		printf "coverage %.1f%% (gate %d%%)\n", t, min }'
+
+cover-html: cover
+	$(GO) tool cover -html=coverage.out -o coverage.html
+
+ci: fmt vet staticcheck vuln build fuzz-seeds race crash-test cover

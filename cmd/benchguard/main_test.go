@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeBench(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseBenchOutput(t *testing.T) {
+	path := writeBench(t, "bench.txt", `goos: linux
+goarch: amd64
+pkg: example.com/x
+BenchmarkFast-16    	 1000000	      1042 ns/op	     978190 samples/sec	       0 B/op	       0 allocs/op
+BenchmarkFast-16    	 1000000	      1058 ns/op	     970000 samples/sec	       0 B/op	       0 allocs/op
+BenchmarkSlow/sub=1-16 	      10	   5000000 ns/op	       3 allocs/op
+PASS
+ok  	example.com/x	2.5s
+`)
+	got, err := parse(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, ok := got["BenchmarkFast-16"]
+	if !ok {
+		t.Fatalf("BenchmarkFast-16 missing; parsed %d benchmarks", len(got))
+	}
+	if len(fast.time) != 2 || fast.time[0] != 1042 || fast.time[1] != 1058 {
+		t.Errorf("fast.time = %v, want [1042 1058]", fast.time)
+	}
+	if len(fast.allocs) != 2 || fast.allocs[0] != 0 {
+		t.Errorf("fast.allocs = %v, want [0 0]", fast.allocs)
+	}
+	slow, ok := got["BenchmarkSlow/sub=1-16"]
+	if !ok {
+		t.Fatal("BenchmarkSlow/sub=1-16 missing")
+	}
+	if len(slow.time) != 1 || slow.time[0] != 5e6 {
+		t.Errorf("slow.time = %v, want [5e6]", slow.time)
+	}
+	if len(slow.allocs) != 1 || slow.allocs[0] != 3 {
+		t.Errorf("slow.allocs = %v, want [3]", slow.allocs)
+	}
+}
+
+func TestParseSkipsNonBenchmarkLines(t *testing.T) {
+	path := writeBench(t, "junk.txt", `BenchmarkNotARun this line has no count
+Benchmark
+random text
+`)
+	got, err := parse(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("parsed %d benchmarks from junk, want 0", len(got))
+	}
+}
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{7}, 7},
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, c := range cases {
+		if got := median(c.in); got != c.want {
+			t.Errorf("median(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

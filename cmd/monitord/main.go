@@ -28,6 +28,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -42,6 +43,7 @@ import (
 
 	"github.com/acis-lab/larpredictor/internal/core"
 	"github.com/acis-lab/larpredictor/internal/durable"
+	"github.com/acis-lab/larpredictor/internal/engine"
 	"github.com/acis-lab/larpredictor/internal/faults"
 	"github.com/acis-lab/larpredictor/internal/monitor"
 	"github.com/acis-lab/larpredictor/internal/obs"
@@ -67,6 +69,8 @@ func main() {
 		cooldown  = flag.Duration("cooldown", 2*time.Hour, "simulated quarantine before restarting a panicked or Failed pipeline")
 		stateDir  = flag.String("state", "", "state directory for durable snapshots and WALs; empty runs stateless")
 		snapEvery = flag.Duration("snapshot-every", 6*time.Hour, "simulated interval between durable snapshots")
+		shards    = flag.Int("shards", 0, "prediction-engine shards (0 = one per CPU)")
+		backpress = flag.String("backpressure", "block", "engine ingest policy when a shard queue fills: block, drop-oldest, or reject")
 	)
 	flag.Parse()
 
@@ -75,21 +79,23 @@ func main() {
 		vms = append(vms, vmtrace.VMID(strings.TrimSpace(v)))
 	}
 	opts := options{
-		seed:      *seed,
-		duration:  *duration,
-		vms:       vms,
-		window:    *window,
-		trainSize: *train,
-		auditWin:  *audit,
-		threshold: *thresh,
-		quiet:     *quiet,
-		listen:    *listen,
-		pprof:     *pprofOn,
-		faultSpec: *faultSpec,
-		faultSeed: *faultSeed,
-		cooldown:  *cooldown,
-		stateDir:  *stateDir,
-		snapEvery: *snapEvery,
+		seed:         *seed,
+		duration:     *duration,
+		vms:          vms,
+		window:       *window,
+		trainSize:    *train,
+		auditWin:     *audit,
+		threshold:    *thresh,
+		quiet:        *quiet,
+		listen:       *listen,
+		pprof:        *pprofOn,
+		faultSpec:    *faultSpec,
+		faultSeed:    *faultSeed,
+		cooldown:     *cooldown,
+		stateDir:     *stateDir,
+		snapEvery:    *snapEvery,
+		shards:       *shards,
+		backpressure: *backpress,
 	}
 	if _, err := run(os.Stdout, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "monitord:", err)
@@ -115,6 +121,12 @@ type options struct {
 	stateDir  string
 	snapEvery time.Duration
 
+	// shards is the prediction-engine shard count (0 = one per CPU);
+	// backpressure is the engine ingest policy ("" or "block", "drop-oldest",
+	// "reject").
+	shards       int
+	backpressure string
+
 	// crashAfterHours, when positive, aborts the run with errSimulatedCrash
 	// after that many simulated hours — no final snapshot, no cleanup. The
 	// crash-recovery test uses it as an in-process SIGKILL.
@@ -124,19 +136,23 @@ type options struct {
 	// once it is serving (tests use :0 and need the real port).
 	addrReady func(addr string)
 	// panicHook, when set, runs at the start of every pipeline processing
-	// slice. Tests use it to crash a chosen pipeline and exercise the
-	// supervisor's recovery path.
+	// slice, behind the supervisor's panic recovery. Tests use it to crash
+	// a chosen pipeline and exercise the recovery path.
 	panicHook func(p *pipeline, hour int)
 }
 
 // pipeline binds one (vm, metric) series to its streaming predictor and
-// prediction-database key. Each pipeline is owned by exactly one goroutine
-// per processing slice; the supervisor aggregates after all slices join.
+// prediction-database key. The sharded engine owns the hot path: all rows
+// for one pipeline hash to one shard, whose worker updates the feed
+// bookkeeping below; the supervisor loop reads it only behind the engine's
+// Drain barrier.
 type pipeline struct {
 	vm     vmtrace.VMID
 	metric vmtrace.Metric
 	online *core.Online
 	key    preddb.Key
+	// id is key.String(), cached as the engine stream ID.
+	id string
 	// lastSeen is the timestamp of the newest consolidated row already fed
 	// to the predictor.
 	lastSeen time.Time
@@ -147,15 +163,21 @@ type pipeline struct {
 	predictions int
 
 	// Durability state: the observation WAL (nil when stateless), how many
-	// WAL records the warm restart replayed, and the recovery outcome
-	// ("recovered", "cold", "quarantined"; empty when stateless).
+	// WAL records the warm restart replayed, the records awaiting replay
+	// through the engine, and the recovery outcome ("recovered", "cold",
+	// "quarantined"; empty when stateless).
 	wal         *durable.WAL
 	walReplayed int
+	replay      []durable.Record
 	recovery    string
 
 	// Supervision state (accessed only by the supervisor loop).
+	// enginePanics mirrors the engine's cumulative panic count for this
+	// stream so the fault-mapping pass can accumulate deltas into panics
+	// without clobbering slice-level hook panics.
 	quarantineUntil time.Time
 	panics          int
+	enginePanics    int
 	restarts        int
 	lastFault       string
 }
@@ -322,9 +344,14 @@ func run(out io.Writer, o options) (*runSummary, error) {
 			pipes = append(pipes, &pipeline{
 				vm: vm, metric: m, online: online,
 				key:      key,
+				id:       key.String(),
 				lastSeen: cfg.Start,
 			})
 		}
+	}
+	byKey := make(map[string]*pipeline, len(pipes))
+	for _, p := range pipes {
+		byKey[p.id] = p
 	}
 
 	step := cfg.ConsolidationInterval
@@ -341,7 +368,7 @@ func run(out io.Writer, o options) (*runSummary, error) {
 		if err != nil {
 			return nil, err
 		}
-		db, err = st.recover(agent, db, pipes, o, step, os.Stderr)
+		db, err = st.recover(agent, db, pipes, o, os.Stderr)
 		if err != nil {
 			return nil, err
 		}
@@ -352,6 +379,69 @@ func run(out io.Writer, o options) (*runSummary, error) {
 	if err != nil {
 		return nil, err
 	}
+
+	// The sharded engine drives every pipeline's hot path: rows enqueue to
+	// the owning shard, whose worker steps the predictor and runs the feed
+	// bookkeeping below.
+	policy := engine.Block
+	if o.backpressure != "" {
+		if policy, err = engine.ParsePolicy(o.backpressure); err != nil {
+			return nil, err
+		}
+	}
+	eng, err := engine.New(engine.Config{
+		Shards:  o.shards,
+		Policy:  policy,
+		Metrics: reg,
+		OnResult: func(r engine.Result) {
+			// The per-row feed path, run on the owning shard's worker: the
+			// observation into the prediction DB, then any new forecast back
+			// into the DB. Live rows and WAL replay share it, so recovery
+			// reproduces exactly what the crashed run did.
+			p := byKey[r.ID]
+			ts := time.Unix(r.TS, 0).UTC()
+			db.PutObservation(p.key, ts, r.Value)
+			if p.hasPending && ts.Equal(p.pendingFor) {
+				// Forecast scored implicitly by the preddb QA.
+				p.hasPending = false
+			}
+			if errors.Is(r.Err, engine.ErrPoisoned) {
+				// The step panicked mid-row: like the old in-slice panic, the
+				// row is logged but never marked seen.
+				return
+			}
+			p.lastSeen = ts
+			if r.Err != nil {
+				return // not ready, or terminally Failed (supervisor acts on health)
+			}
+			p.pending = r.Pred.Value
+			p.pendingFor = ts.Add(step)
+			p.hasPending = true
+			db.PutPrediction(p.key, p.pendingFor, r.Pred.Value, r.Pred.SelectedName)
+			p.predictions++
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+	for _, p := range pipes {
+		if err := eng.Register(p.id, p.online); err != nil {
+			return nil, err
+		}
+	}
+
+	// Warm restart, phase 2: replay the WAL records the snapshot missed
+	// through the same engine path live rows take.
+	for _, p := range pipes {
+		for _, rec := range p.replay {
+			if err := eng.IngestSample(engine.Sample{ID: p.id, TS: rec.TS, Value: rec.Value}); err != nil {
+				return nil, fmt.Errorf("replay %s: %w", p.id, err)
+			}
+		}
+		p.replay = nil
+	}
+	eng.Drain()
 
 	hours := int(o.duration / time.Hour)
 	hoursDone := int(agent.Now().Sub(cfg.Start) / time.Hour)
@@ -366,9 +456,9 @@ func run(out io.Writer, o options) (*runSummary, error) {
 		now := agent.Now()
 
 		// Supervise: restart pipelines whose quarantine expired, then
-		// process the live ones concurrently. Each goroutine owns its
-		// pipeline exclusively; agent and db are internally locked.
-		var wg sync.WaitGroup
+		// enqueue the live ones' new rows onto the engine. Shard workers
+		// step the predictors concurrently; Drain is the barrier behind
+		// which the loop reads the pipelines back.
 		for _, p := range pipes {
 			if !p.quarantineUntil.IsZero() {
 				if now.Before(p.quarantineUntil) {
@@ -379,6 +469,9 @@ func run(out io.Writer, o options) (*runSummary, error) {
 					return nil, err
 				}
 				p.online = online
+				if err := eng.Replace(p.id, online); err != nil {
+					return nil, err
+				}
 				p.restarts++
 				restarts.Inc()
 				p.quarantineUntil = time.Time{}
@@ -388,15 +481,42 @@ func run(out io.Writer, o options) (*runSummary, error) {
 				p.lastSeen = now
 				continue // warm up from the next slice
 			}
-			wg.Add(1)
-			go func(p *pipeline) {
-				defer wg.Done()
-				supervise(p, agent, db, now, step, h, o)
-			}(p)
+			if fault := runHook(o.panicHook, p, h); fault != "" {
+				// A hook panic poisons the whole slice, like the old
+				// in-process supervisor: the hour's rows are skipped and the
+				// pipeline is flagged for quarantine below.
+				p.panics++
+				p.lastFault = fault
+				continue
+			}
+			if err := enqueueSlice(eng, p, agent, now); err != nil {
+				return nil, err
+			}
 		}
-		wg.Wait()
+		eng.Drain()
 
-		// Quarantine pipelines that panicked or failed this slice.
+		// Map engine supervision state back onto the pipelines, then
+		// quarantine the ones that panicked or failed this slice.
+		for _, p := range pipes {
+			es, ok := eng.Stats(p.id)
+			if !ok {
+				continue
+			}
+			if es.Panics > p.enginePanics {
+				p.panics += es.Panics - p.enginePanics
+				p.enginePanics = es.Panics
+			}
+			switch es.Fault {
+			case "":
+			case engine.FaultFailed:
+				p.lastFault = engine.FaultFailed
+				if err := p.online.LastError(); err != nil {
+					p.lastFault = fmt.Sprintf("%s (%v)", engine.FaultFailed, err)
+				}
+			default:
+				p.lastFault = es.Fault
+			}
+		}
 		for _, p := range pipes {
 			if p.lastFault != "" && p.quarantineUntil.IsZero() {
 				p.quarantineUntil = now.Add(o.cooldown)
@@ -461,79 +581,55 @@ func run(out io.Writer, o options) (*runSummary, error) {
 	return summary, nil
 }
 
-// supervise runs one pipeline's processing slice behind panic recovery: a
-// panicking pipeline is recorded (and later quarantined) instead of taking
-// the daemon down.
-func supervise(p *pipeline, agent *monitor.Agent, db *preddb.DB, now time.Time, step time.Duration, hour int, o options) {
+// runHook invokes the test-only panic hook for one pipeline slice under its
+// own recovery envelope, returning the fault string when the hook panicked
+// and "" otherwise (including when no hook is set).
+func runHook(hook func(*pipeline, int), p *pipeline, hour int) (fault string) {
+	if hook == nil {
+		return ""
+	}
 	defer func() {
 		if r := recover(); r != nil {
-			p.panics++
-			p.lastFault = fmt.Sprintf("panic: %v", r)
+			fault = fmt.Sprintf("panic: %v", r)
 		}
 	}()
-	if o.panicHook != nil {
-		o.panicHook(p, hour)
-	}
-	process(p, agent, db, now, step)
-	if p.online.Health() == core.Failed {
-		p.lastFault = "health: Failed"
-		if err := p.online.LastError(); err != nil {
-			p.lastFault = fmt.Sprintf("health: Failed (%v)", err)
-		}
-	}
+	hook(p, hour)
+	return ""
 }
 
-// process feeds one pipeline every consolidated row that landed since its
-// last slice and records the forecasts it issues.
-func process(p *pipeline, agent *monitor.Agent, db *preddb.DB, now time.Time, step time.Duration) {
+// enqueueSlice queries one pipeline's consolidated rows that landed since
+// its last slice and enqueues them onto the engine, logging each row to the
+// WAL before it is applied so a crash replays it through the very same
+// path. The pipeline's feed bookkeeping runs in the engine's OnResult; the
+// caller must Drain before reading it back.
+func enqueueSlice(eng *engine.Engine, p *pipeline, agent *monitor.Agent, now time.Time) error {
+	// Snapshot lastSeen before the first enqueue: the shard worker advances
+	// it as rows process, and rows arrive in time order anyway.
+	since := p.lastSeen
 	s, err := agent.Profile(monitor.Query{
 		VM: p.vm, Metric: p.metric,
-		Start: p.lastSeen.Add(time.Second), End: now,
+		Start: since.Add(time.Second), End: now,
 	})
 	if err != nil {
-		return // no data yet (warm-up, or a stream silenced by faults)
+		return nil // no data yet (warm-up, or a stream silenced by faults)
 	}
 	for i := 0; i < s.Len(); i++ {
 		ts := s.TimeAt(i)
-		if !ts.After(p.lastSeen) {
+		if !ts.After(since) {
 			continue
 		}
 		v := s.At(i)
-		// Log the row before applying it; on a crash the WAL replays it
-		// through the very same feed path.
 		if p.wal != nil {
 			_ = p.wal.Append(durable.Record{TS: ts.Unix(), Value: v})
 		}
-		feed(p, db, ts, v, step)
+		if err := eng.IngestSample(engine.Sample{ID: p.id, TS: ts.Unix(), Value: v}); err != nil {
+			return fmt.Errorf("ingest %s: %w", p.id, err)
+		}
 	}
 	if p.wal != nil {
 		_ = p.wal.Sync()
 	}
-}
-
-// feed pushes one consolidated row through the pipeline: the observation
-// into the prediction DB, then the predictor, then any new forecast back
-// into the DB. Live processing and WAL replay share it, so recovery
-// reproduces exactly what the crashed run did.
-func feed(p *pipeline, db *preddb.DB, ts time.Time, v float64, step time.Duration) {
-	db.PutObservation(p.key, ts, v)
-	if p.hasPending && ts.Equal(p.pendingFor) {
-		// Forecast scored implicitly by the preddb QA.
-		p.hasPending = false
-	}
-	// Step absorbs retrain failures into the pipeline's health state; a
-	// Forecast error means not ready, or terminally Failed (the
-	// supervisor acts on health, not on this return).
-	pred, _, err := p.online.Step(v)
-	p.lastSeen = ts
-	if err != nil {
-		return
-	}
-	p.pending = pred.Value
-	p.pendingFor = ts.Add(step)
-	p.hasPending = true
-	db.PutPrediction(p.key, p.pendingFor, pred.Value, pred.SelectedName)
-	p.predictions++
+	return nil
 }
 
 // pipeStatuses snapshots every pipeline for the status endpoint and the

@@ -247,10 +247,12 @@ func (st *stateStore) snapshot(agent *monitor.Agent, db *preddb.DB, pipes []*pip
 
 // recover performs the warm restart: it verifies the manifest, restores
 // RRDs and the prediction DB (quarantining anything damaged), restores each
-// pipeline's predictor state or cold-starts it, and replays WAL records.
-// It returns the prediction DB the run should continue with. logw receives
-// one line per abnormal event.
-func (st *stateStore) recover(agent *monitor.Agent, db *preddb.DB, pipes []*pipeline, o options, step time.Duration, logw io.Writer) (*preddb.DB, error) {
+// pipeline's predictor state or cold-starts it, and stages the WAL records
+// the snapshot missed on pipeline.replay — the caller pushes them through
+// the engine so replay takes the very same path live rows do. It returns
+// the prediction DB the run should continue with. logw receives one line
+// per abnormal event.
+func (st *stateStore) recover(agent *monitor.Agent, db *preddb.DB, pipes []*pipeline, o options, logw io.Writer) (*preddb.DB, error) {
 	for _, p := range pipes {
 		p.recovery = recoveryCold
 	}
@@ -338,8 +340,8 @@ func (st *stateStore) recover(agent *monitor.Agent, db *preddb.DB, pipes []*pipe
 		}
 
 		// Open (or create) the WAL regardless of how the snapshot fared and
-		// replay the records the snapshot missed. Replay feeds cold
-		// pipelines too: whatever survived the crash still warms them up.
+		// stage the records the snapshot missed for replay. Replay feeds
+		// cold pipelines too: whatever survived the crash still warms them.
 		wal, recs, truncated, werr := durable.OpenWAL(st.walPath(p))
 		if werr != nil {
 			st.quarantineAndLog(st.walPath(p), werr, logw)
@@ -353,15 +355,15 @@ func (st *stateStore) recover(agent *monitor.Agent, db *preddb.DB, pipes []*pipe
 			st.walTruncBytes.Add(uint64(truncated))
 		}
 		p.wal = wal
+		p.replay = p.replay[:0]
 		for _, rec := range recs {
-			ts := time.Unix(rec.TS, 0).UTC()
-			if !ts.After(p.lastSeen) {
+			if ts := time.Unix(rec.TS, 0).UTC(); !ts.After(p.lastSeen) {
 				continue
 			}
-			feed(p, db, ts, rec.Value, step)
-			p.walReplayed++
-			st.walReplayed.Inc()
+			p.replay = append(p.replay, rec)
 		}
+		p.walReplayed = len(p.replay)
+		st.walReplayed.Add(uint64(len(p.replay)))
 		if p.recovery == recoveryRecovered {
 			st.pipesRecovered.Inc()
 		}

@@ -1,0 +1,78 @@
+package larpredictor
+
+import (
+	"github.com/acis-lab/larpredictor/internal/engine"
+)
+
+// Sharded multi-stream prediction engine, re-exported from the internal
+// engine package. An Engine fans thousands of concurrent prediction streams
+// across a fixed set of shards: each stream ID hashes to one shard, whose
+// single worker goroutine steps that shard's predictors in ingestion order,
+// so individual Online predictors never need locking. Producers enqueue
+// observations with Engine.Ingest / Engine.IngestBatch against a bounded
+// per-shard queue whose overflow behavior is selected by a BackpressurePolicy;
+// EngineDrain-style barriers (Engine.Drain) flush everything in flight.
+type (
+	// Engine is the sharded multi-stream prediction engine; see NewEngine.
+	Engine = engine.Engine
+	// EngineConfig parameterizes an Engine (shard count, queue depth,
+	// backpressure policy, stream factory, result callback, metrics).
+	EngineConfig = engine.Config
+	// EngineSample is one observation of one stream; ID picks the shard.
+	EngineSample = engine.Sample
+	// EngineResult is the outcome of one processed sample, delivered to
+	// EngineConfig.OnResult on the owning shard's worker goroutine.
+	EngineResult = engine.Result
+	// EngineStreamStats is a supervision snapshot of one stream.
+	EngineStreamStats = engine.StreamStats
+	// EngineStats aggregates engine-wide counters.
+	EngineStats = engine.Stats
+	// BackpressurePolicy selects ingest behavior against a full shard
+	// queue: BlockPolicy, DropOldestPolicy, or RejectPolicy.
+	BackpressurePolicy = engine.Policy
+)
+
+// Backpressure policies for EngineConfig.Policy.
+const (
+	// BlockPolicy makes producers wait for queue space: lossless, applies
+	// backpressure upstream. The default.
+	BlockPolicy = engine.Block
+	// DropOldestPolicy evicts the oldest queued sample to admit the
+	// newest: bounded memory and staleness, never blocks producers.
+	DropOldestPolicy = engine.DropOldest
+	// RejectPolicy fails the ingest with ErrBacklog, shedding load at the
+	// caller.
+	RejectPolicy = engine.Reject
+)
+
+// Engine error values.
+var (
+	// ErrEngineClosed is returned by ingest after Engine.Close.
+	ErrEngineClosed = engine.ErrClosed
+	// ErrBacklog is returned under RejectPolicy when a shard queue is full.
+	ErrBacklog = engine.ErrBacklog
+	// ErrUnknownStream is returned by Engine.Stats lookups for IDs never
+	// registered or admitted.
+	ErrUnknownStream = engine.ErrUnknownStream
+	// ErrDuplicateStream is returned by Engine.Register for an ID already
+	// registered.
+	ErrDuplicateStream = engine.ErrDuplicateStream
+	// ErrStreamPoisoned wraps the error delivered in an EngineResult when
+	// a predictor panic poisoned its stream; match with errors.Is.
+	ErrStreamPoisoned = engine.ErrPoisoned
+)
+
+// NewEngine starts a sharded engine and its per-shard workers. A zero
+// EngineConfig yields one shard per CPU, queue depth 1024, and BlockPolicy.
+// Register streams up front with Engine.Register, or set
+// EngineConfig.NewStream to admit first-seen IDs on demand. Close the
+// engine to stop the workers.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	return engine.New(cfg)
+}
+
+// ParseBackpressurePolicy maps the flag spellings "block", "drop-oldest",
+// and "reject" to a BackpressurePolicy.
+func ParseBackpressurePolicy(s string) (BackpressurePolicy, error) {
+	return engine.ParsePolicy(s)
+}

@@ -1,0 +1,53 @@
+package larpredictor_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// TestExamplesBuild compiles every directory under examples/ as a standalone
+// binary. Unlike a bare `go build ./...`, this asserts each example is a
+// complete, runnable main package — a new example directory is covered the
+// moment it lands, and one that rots (or silently stops being package main)
+// fails by name.
+func TestExamplesBuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping example builds in -short mode")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go binary not on PATH")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	built := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		built++
+		dir := e.Name()
+		t.Run(dir, func(t *testing.T) {
+			t.Parallel()
+			out := filepath.Join(t.TempDir(), dir)
+			if runtime.GOOS == "windows" {
+				out += ".exe"
+			}
+			cmd := exec.Command(goBin, "build", "-o", out, "./"+filepath.Join("examples", dir))
+			if msg, err := cmd.CombinedOutput(); err != nil {
+				t.Fatalf("go build examples/%s: %v\n%s", dir, err, msg)
+			}
+			if _, err := os.Stat(out); err != nil {
+				t.Fatalf("examples/%s built but produced no binary (not package main?): %v", dir, err)
+			}
+		})
+	}
+	if built == 0 {
+		t.Fatal("no example directories found under examples/")
+	}
+}

@@ -318,9 +318,33 @@ type Prediction struct {
 	Source string
 }
 
+// forecastScratch holds the hot forecast path's working buffers — the
+// normalized window, the PCA projection, and the k-NN query scratch. The
+// buffers are recycled through forecastScratchPool, so the steady-state
+// forecast path of every predictor in a process shares a small set of
+// scratches (sized by the worker count, not the stream count) and performs
+// zero heap allocations.
+type forecastScratch struct {
+	z    []float64
+	feat []float64
+	knn  knn.Scratch
+}
+
+var forecastScratchPool = sync.Pool{New: func() any { return new(forecastScratch) }}
+
 // Forecast predicts the value following a raw trailing window of at least
-// WindowSize samples. Only the classifier-selected expert runs.
+// WindowSize samples. Only the classifier-selected expert runs. The
+// steady-state path allocates nothing: working buffers come from a shared
+// scratch pool.
 func (l *LARPredictor) Forecast(window []float64) (Prediction, error) {
+	s := forecastScratchPool.Get().(*forecastScratch)
+	p, err := l.forecast(window, s)
+	forecastScratchPool.Put(s)
+	return p, err
+}
+
+// forecast is Forecast against an explicit scratch.
+func (l *LARPredictor) forecast(window []float64, s *forecastScratch) (Prediction, error) {
 	if !l.trained {
 		return Prediction{}, ErrNotTrained
 	}
@@ -335,9 +359,10 @@ func (l *LARPredictor) Forecast(window []float64) (Prediction, error) {
 		start = time.Now()
 	}
 	sp := obs.StartSpan(l.tracer, obs.StageNormalize)
-	z := l.norm.Apply(window[len(window)-m:])
+	s.z = l.norm.ApplyInto(s.z, window[len(window)-m:])
+	z := s.z
 	obs.EndSpan(sp, nil)
-	sel, err := l.classify(z)
+	sel, err := l.classifyScratch(z, s)
 	if err != nil {
 		return Prediction{}, err
 	}
@@ -366,18 +391,27 @@ func (l *LARPredictor) Forecast(window []float64) (Prediction, error) {
 
 // classify forecasts the best expert for a normalized window.
 func (l *LARPredictor) classify(z []float64) (int, error) {
+	s := forecastScratchPool.Get().(*forecastScratch)
+	sel, err := l.classifyScratch(z, s)
+	forecastScratchPool.Put(s)
+	return sel, err
+}
+
+// classifyScratch is classify against an explicit scratch.
+func (l *LARPredictor) classifyScratch(z []float64, s *forecastScratch) (int, error) {
 	feat := z
 	if l.proj != nil {
 		sp := obs.StartSpan(l.tracer, obs.StagePCAProject)
 		var err error
-		feat, err = l.proj.Transform(z)
+		s.feat, err = l.proj.TransformInto(s.feat, z)
+		feat = s.feat
 		obs.EndSpan(sp, err)
 		if err != nil {
 			return 0, fmt.Errorf("core: project window: %w", err)
 		}
 	}
 	sp := obs.StartSpan(l.tracer, obs.StageKNNClassify)
-	sel, err := l.clf.Classify(feat)
+	sel, err := l.clf.ClassifyScratch(feat, &s.knn)
 	obs.EndSpan(sp, err)
 	if err != nil {
 		return 0, fmt.Errorf("core: classify window: %w", err)

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestStepSteadyStateZeroAlloc pins the zero-allocation contract of the
+// steady-state Online.Step path: once a stream is trained and Healthy,
+// observing a sample and serving the next forecast must not touch the heap.
+// The sharded engine relies on this to hold its per-sample cost flat across
+// hundreds of thousands of streams.
+func TestStepSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	o, err := NewOnline(OnlineConfig{
+		Predictor:   DefaultConfig(5),
+		TrainSize:   60,
+		AuditWindow: 12,
+		// MSEThreshold 0 disables QA retraining: the steady state under
+		// test is the pure ingest→forecast path.
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	next := func() float64 {
+		i++
+		return 10 + 3*math.Sin(float64(i)/7) + 0.1*float64(i%5)
+	}
+	for j := 0; j < 500; j++ {
+		o.Step(next())
+	}
+	if !o.Trained() || o.Health() != Healthy {
+		t.Fatalf("warm-up did not reach trained/Healthy: trained=%v health=%v",
+			o.Trained(), o.Health())
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, _, err := o.Step(next()); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Step allocates %v per op, want 0", allocs)
+	}
+}
+
+// TestForecastZeroAlloc pins the same contract for the bare LARPredictor
+// forecast path (normalize → project → classify → expert predict).
+func TestForecastZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	lar, err := New(DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := make([]float64, 120)
+	for i := range train {
+		train[i] = 10 + 3*math.Sin(float64(i)/7) + 0.1*float64(i%5)
+	}
+	if err := lar.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	window := train[len(train)-5:]
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := lar.Forecast(window); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Forecast allocates %v per op, want 0", allocs)
+	}
+}

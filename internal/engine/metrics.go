@@ -1,0 +1,62 @@
+package engine
+
+import (
+	"strconv"
+
+	"github.com/acis-lab/larpredictor/internal/obs"
+)
+
+// engineMetrics holds the engine's instruments, pre-bound at construction
+// so the ingest and worker hot paths never format labels or hash lookup a
+// metric family. Every instrument is nil when the engine is built without
+// a registry; obs instruments are nil-safe, so call sites stay unguarded.
+type engineMetrics struct {
+	streams   *obs.Gauge     // registered streams
+	panics    *obs.Counter   // recovered per-stream panics
+	unknown   *obs.Counter   // samples dropped for unregistered streams
+	batchSize *obs.Histogram // samples drained per worker batch
+	perShard  []shardMetrics
+}
+
+// shardMetrics is one shard's pre-bound slice of the engine instruments.
+type shardMetrics struct {
+	ingested *obs.Counter // accepted samples
+	dropped  *obs.Counter // drop-oldest evictions
+	depth    *obs.Gauge   // current ingest queue occupancy
+}
+
+// batchBuckets spans the worker batch-size range 1..MaxBatch in powers of
+// two; a drain of the default 256-cap batch lands in the last finite bucket.
+var batchBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+func newEngineMetrics(r *obs.Registry, shards int) *engineMetrics {
+	m := &engineMetrics{perShard: make([]shardMetrics, shards)}
+	if r == nil {
+		return m
+	}
+	m.streams = r.Gauge1("larpredictor_engine_streams",
+		"Streams registered with the prediction engine.")
+	m.panics = r.Counter1("larpredictor_engine_stream_panics_total",
+		"Panics recovered while stepping a stream (the stream is poisoned).")
+	m.unknown = r.Counter1("larpredictor_engine_unknown_dropped_total",
+		"Samples dropped because their stream is unregistered and the engine has no factory.")
+	m.batchSize = r.Histogram1("larpredictor_engine_batch_size",
+		"Samples drained per shard-worker batch.", batchBuckets)
+	ingested := r.Counter("larpredictor_engine_ingested_total",
+		"Samples accepted into a shard ingest queue.", "shard")
+	dropped := r.Counter("larpredictor_engine_dropped_total",
+		"Samples evicted by the drop-oldest backpressure policy.", "shard")
+	depth := r.Gauge("larpredictor_engine_queue_depth",
+		"Current shard ingest queue occupancy.", "shard")
+	for i := range m.perShard {
+		label := strconv.Itoa(i)
+		m.perShard[i] = shardMetrics{
+			ingested: ingested.WithLabels(label),
+			dropped:  dropped.WithLabels(label),
+			depth:    depth.WithLabels(label),
+		}
+	}
+	return m
+}
+
+func (m *engineMetrics) streamsUp() { m.streams.Add(1) }

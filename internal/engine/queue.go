@@ -1,0 +1,157 @@
+package engine
+
+import "sync"
+
+// queue is the bounded MPSC ingest queue of one shard: many producers
+// (Ingest/IngestBatch callers) enqueue under a mutex, exactly one shard
+// worker dequeues in batches. The ring buffer is allocated once at
+// construction, so steady-state enqueue/dequeue never touches the heap.
+//
+// pending counts samples enqueued but not yet fully processed by the
+// worker (not merely dequeued): Drain waits for it to reach zero, giving
+// callers a precise ingest barrier.
+type queue struct {
+	mu       sync.Mutex
+	notEmpty sync.Cond
+	notFull  sync.Cond
+	idle     sync.Cond
+
+	buf     []Sample
+	head    int // index of the oldest queued sample
+	n       int // queued samples
+	pending int // enqueued but not fully processed
+	closed  bool
+	dropped uint64 // samples evicted by the drop-oldest policy
+}
+
+func newQueue(depth int) *queue {
+	q := &queue{buf: make([]Sample, depth)}
+	q.notEmpty.L = &q.mu
+	q.notFull.L = &q.mu
+	q.idle.L = &q.mu
+	return q
+}
+
+// enqueue adds one sample under the backpressure policy. It reports whether
+// the sample was accepted; ErrClosed after close, ErrBacklog when the
+// Reject policy meets a full queue.
+func (q *queue) enqueue(s Sample, policy Policy) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.enqueueLocked(s, policy)
+}
+
+// enqueueBatch adds a run of samples under one lock acquisition, stopping
+// at the first rejection.
+func (q *queue) enqueueBatch(batch []Sample, policy Policy) (int, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i, s := range batch {
+		if err := q.enqueueLocked(s, policy); err != nil {
+			return i, err
+		}
+	}
+	return len(batch), nil
+}
+
+func (q *queue) enqueueLocked(s Sample, policy Policy) error {
+	for q.n == len(q.buf) {
+		switch policy {
+		case DropOldest:
+			// Evict the oldest queued sample to admit the newest: fresh
+			// telemetry beats stale telemetry when the consumer lags.
+			q.head = (q.head + 1) % len(q.buf)
+			q.n--
+			q.pending--
+			q.dropped++
+		case Reject:
+			return ErrBacklog
+		default: // Block
+			if q.closed {
+				return ErrClosed
+			}
+			q.notFull.Wait()
+		}
+	}
+	if q.closed {
+		return ErrClosed
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = s
+	q.n++
+	q.pending++
+	q.notEmpty.Signal()
+	return nil
+}
+
+// dequeueBatch copies up to len(dst) samples into dst, blocking until at
+// least one is available or the queue is closed and empty (in which case it
+// returns 0, false).
+func (q *queue) dequeueBatch(dst []Sample) (int, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.n == 0 {
+		if q.closed {
+			return 0, false
+		}
+		q.notEmpty.Wait()
+	}
+	n := q.n
+	if n > len(dst) {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = q.buf[q.head]
+		q.buf[q.head] = Sample{} // release the ID string
+		q.head = (q.head + 1) % len(q.buf)
+	}
+	q.n -= n
+	q.notFull.Broadcast()
+	return n, true
+}
+
+// done reports n samples fully processed by the worker; the idle broadcast
+// wakes Drain waiters once nothing is queued or in flight.
+func (q *queue) done(n int) {
+	q.mu.Lock()
+	q.pending -= n
+	if q.pending == 0 {
+		q.idle.Broadcast()
+	}
+	q.mu.Unlock()
+}
+
+// drain blocks until every previously enqueued sample has been processed.
+func (q *queue) drain() {
+	q.mu.Lock()
+	for q.pending > 0 {
+		q.idle.Wait()
+	}
+	q.mu.Unlock()
+}
+
+// close marks the queue closed and wakes everyone. Queued samples are still
+// drained by the worker; new enqueues fail with ErrClosed.
+func (q *queue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.notEmpty.Broadcast()
+	q.notFull.Broadcast()
+	q.idle.Broadcast()
+	q.mu.Unlock()
+}
+
+// depth returns the current queue occupancy.
+func (q *queue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}
+
+// takeDropped returns and resets the drop-oldest eviction count.
+func (q *queue) takeDropped() uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	d := q.dropped
+	q.dropped = 0
+	return d
+}

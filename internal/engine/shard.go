@@ -1,0 +1,153 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/acis-lab/larpredictor/internal/core"
+)
+
+// shard owns a partition of the engine's streams: one bounded ingest queue,
+// one worker goroutine, and the stream table for the IDs that hash here.
+// The worker holds mu for the duration of each batch, so external readers
+// (Stats, Each, Do, EngineStats) always observe stream state between
+// samples, never mid-step.
+type shard struct {
+	e   *Engine
+	idx int
+	q   *queue
+	met shardMetrics
+
+	ingested atomic.Uint64 // accepted samples (producers bump this)
+	evicted  atomic.Uint64 // drop-oldest evictions (worker reconciles)
+
+	mu             sync.Mutex
+	streams        map[string]*stream
+	processed      uint64
+	unknownDropped uint64
+
+	batch []Sample // worker-private drain buffer, allocated once
+}
+
+func newShard(e *Engine, idx int) *shard {
+	return &shard{
+		e:       e,
+		idx:     idx,
+		q:       newQueue(e.cfg.QueueDepth),
+		met:     e.met.perShard[idx],
+		streams: make(map[string]*stream),
+		batch:   make([]Sample, e.cfg.MaxBatch),
+	}
+}
+
+// noteIngest records n accepted samples and refreshes the depth gauge.
+func (sh *shard) noteIngest(n int) {
+	if n <= 0 {
+		return
+	}
+	sh.ingested.Add(uint64(n))
+	sh.met.ingested.Add(uint64(n))
+	if sh.met.depth != nil {
+		sh.met.depth.Set(float64(sh.q.depth()))
+	}
+}
+
+// run is the shard worker loop: drain a batch, step every sample under the
+// shard lock, then retire the batch from the pending count so Drain can
+// observe a precise barrier. Exits when the queue is closed and empty.
+func (sh *shard) run() {
+	defer sh.e.wg.Done()
+	for {
+		n, ok := sh.q.dequeueBatch(sh.batch)
+		if !ok {
+			return
+		}
+		sh.e.met.batchSize.Observe(float64(n))
+		if sh.met.depth != nil {
+			sh.met.depth.Set(float64(sh.q.depth()))
+		}
+		sh.mu.Lock()
+		for i := 0; i < n; i++ {
+			sh.step(sh.batch[i])
+			sh.batch[i] = Sample{} // release the ID string
+		}
+		sh.mu.Unlock()
+		// Reconcile drop-oldest evictions observed since the last batch.
+		if d := sh.q.takeDropped(); d > 0 {
+			sh.evicted.Add(d)
+			sh.met.dropped.Add(d)
+		}
+		sh.q.done(n)
+	}
+}
+
+// step processes one sample for its stream under the shard lock. A panic
+// in the predictor poisons the stream — matching the old monitord
+// semantics where a panic unwound the rest of the pipeline's slice — but
+// never escapes to the worker or sibling streams. A terminal Failed health
+// is recorded as a fault while processing continues; quarantine and
+// restart policy stay with the supervisor (Replace clears both).
+func (sh *shard) step(s Sample) {
+	st, ok := sh.streams[s.ID]
+	if !ok {
+		st = sh.admit(s.ID)
+		if st == nil {
+			return
+		}
+	}
+	if st.poisoned {
+		st.dropped++
+		return
+	}
+	res := Result{Sample: s}
+	sh.supervisedStep(st, &res)
+	if !st.poisoned {
+		st.processed++
+		sh.processed++
+		if res.Health == core.Failed {
+			st.fault = FaultFailed
+		}
+	}
+	if cb := sh.e.cfg.OnResult; cb != nil {
+		cb(res)
+	}
+}
+
+// supervisedStep runs one predictor step inside the per-sample recover
+// envelope.
+func (sh *shard) supervisedStep(st *stream, res *Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			st.panics++
+			st.poisoned = true
+			st.fault = fmt.Sprintf("panic: %v", r)
+			sh.e.met.panics.Inc()
+			res.Err = fmt.Errorf("stream %q: %w: %v", st.id, ErrPoisoned, r)
+		}
+	}()
+	if hook := sh.e.cfg.StepHook; hook != nil {
+		hook(st.id)
+	}
+	res.Pred, res.Health, res.Err = st.online.Step(res.Value)
+}
+
+// admit creates the stream for a first-seen ID via the NewStream factory,
+// or counts the sample as unknown-dropped when the engine has none.
+func (sh *shard) admit(id string) *stream {
+	if sh.e.cfg.NewStream == nil {
+		sh.unknownDropped++
+		sh.e.met.unknown.Inc()
+		return nil
+	}
+	online, err := sh.e.cfg.NewStream(id)
+	if err != nil || online == nil {
+		sh.unknownDropped++
+		sh.e.met.unknown.Inc()
+		return nil
+	}
+	st := &stream{id: id, online: online}
+	sh.streams[id] = st
+	sh.e.met.streamsUp()
+	return st
+}

@@ -91,6 +91,10 @@ func (t *kdTree) widestAxis(idx []int) int {
 func (t *kdTree) Len() int { return len(t.points) }
 
 func (t *kdTree) Nearest(q []float64, k int) ([]Neighbor, error) {
+	return t.NearestInto(q, k, nil)
+}
+
+func (t *kdTree) NearestInto(q []float64, k int, buf []Neighbor) ([]Neighbor, error) {
 	if len(q) != t.dim {
 		return nil, fmt.Errorf("knn: query dimension %d, index dimension %d: %w", len(q), t.dim, ErrBadInput)
 	}
@@ -100,7 +104,11 @@ func (t *kdTree) Nearest(q []float64, k int) ([]Neighbor, error) {
 	if k > len(t.points) {
 		k = len(t.points)
 	}
-	cand := make([]Neighbor, 0, k)
+	cand := buf
+	if cap(cand) < k {
+		cand = make([]Neighbor, 0, k)
+	}
+	cand = cand[:0]
 	t.searchNode(t.root, q, k, &cand)
 	finishDistances(cand)
 	return cand, nil

@@ -39,6 +39,9 @@ type Searcher interface {
 	// It returns fewer than k neighbors only when the training set is
 	// smaller than k.
 	Nearest(q []float64, k int) ([]Neighbor, error)
+	// NearestInto is Nearest writing into buf (which must have length 0;
+	// its capacity is reused when sufficient), for allocation-free queries.
+	NearestInto(q []float64, k int, buf []Neighbor) ([]Neighbor, error)
 	// Len returns the number of indexed training points.
 	Len() int
 }
@@ -121,6 +124,38 @@ func (c *Classifier) Classify(q []float64) (int, error) {
 	return label, err
 }
 
+// Scratch holds the per-query working buffers of a classification —
+// neighbor candidates and vote tallies — so steady-state callers can
+// classify without allocating. The zero value is ready to use; buffers grow
+// on first use and are reused afterwards. A Scratch must not be shared
+// between concurrent queries.
+type Scratch struct {
+	cand    []Neighbor
+	votes   []int
+	closest []float64
+	weights []float64
+}
+
+// ClassifyScratch is Classify using s's reusable buffers. After the first
+// call with a given Scratch the query path performs no heap allocations.
+func (c *Classifier) ClassifyScratch(q []float64, s *Scratch) (int, error) {
+	if s == nil {
+		return c.Classify(q)
+	}
+	if cap(s.cand) < c.k {
+		s.cand = make([]Neighbor, 0, c.k)
+	}
+	nbrs, err := c.search.NearestInto(q, c.k, s.cand[:0])
+	if err != nil {
+		return 0, err
+	}
+	s.cand = nbrs
+	if len(nbrs) == 0 {
+		return 0, fmt.Errorf("knn: empty neighbor set: %w", ErrBadInput)
+	}
+	return voteScratch(nbrs, c.numClasses, c.vote, s), nil
+}
+
 // ClassifyNeighbors is Classify but additionally returns the neighbor set
 // that produced the vote, for callers that want to inspect or log it.
 func (c *Classifier) ClassifyNeighbors(q []float64) (int, []Neighbor, error) {
@@ -153,6 +188,10 @@ func newBruteForce(points [][]float64, labels []int) *bruteForce {
 func (b *bruteForce) Len() int { return len(b.points) }
 
 func (b *bruteForce) Nearest(q []float64, k int) ([]Neighbor, error) {
+	return b.NearestInto(q, k, nil)
+}
+
+func (b *bruteForce) NearestInto(q []float64, k int, buf []Neighbor) ([]Neighbor, error) {
 	if len(q) != len(b.points[0]) {
 		return nil, fmt.Errorf("knn: query dimension %d, index dimension %d: %w",
 			len(q), len(b.points[0]), ErrBadInput)
@@ -165,7 +204,11 @@ func (b *bruteForce) Nearest(q []float64, k int) ([]Neighbor, error) {
 	}
 	// Maintain a small sorted candidate list; k is tiny (3 in the paper) so
 	// insertion into a k-slot array beats a heap.
-	cand := make([]Neighbor, 0, k)
+	cand := buf
+	if cap(cand) < k {
+		cand = make([]Neighbor, 0, k)
+	}
+	cand = cand[:0]
 	for i, p := range b.points {
 		d := linalg.SquaredDistance(q, p)
 		if len(cand) == k && !lessNeighbor(d, i, cand[k-1]) {

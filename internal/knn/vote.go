@@ -41,9 +41,24 @@ const distanceEps = 1e-9
 
 // vote combines a non-empty neighbor set under the strategy.
 func vote(nbrs []Neighbor, numClasses int, strategy VoteStrategy) int {
+	return voteScratch(nbrs, numClasses, strategy, nil)
+}
+
+// voteScratch is vote using s's reusable tally buffers; a nil s allocates.
+func voteScratch(nbrs []Neighbor, numClasses int, strategy VoteStrategy, s *Scratch) int {
 	switch strategy {
 	case DistanceWeightedVote, ProbabilityVote:
-		w := classWeights(nbrs, numClasses)
+		var w []float64
+		if s != nil {
+			s.weights = growFloats(s.weights, numClasses)
+			w = s.weights
+			for i := range w {
+				w[i] = 0
+			}
+			accumWeights(w, nbrs)
+		} else {
+			w = classWeights(nbrs, numClasses)
+		}
 		best := -1
 		for cls, weight := range w {
 			if weight == 0 {
@@ -55,14 +70,37 @@ func vote(nbrs []Neighbor, numClasses int, strategy VoteStrategy) int {
 		}
 		return best
 	default:
-		return majority(nbrs, numClasses)
+		var votes []int
+		var closest []float64
+		if s != nil {
+			if cap(s.votes) < numClasses {
+				s.votes = make([]int, numClasses)
+			}
+			s.closest = growFloats(s.closest, numClasses)
+			votes, closest = s.votes[:numClasses], s.closest
+			for i := range votes {
+				votes[i] = 0
+			}
+		} else {
+			votes = make([]int, numClasses)
+			closest = make([]float64, numClasses)
+		}
+		return majority(nbrs, votes, closest)
 	}
 }
 
-// majority implements the paper's voting rule.
-func majority(nbrs []Neighbor, numClasses int) int {
-	votes := make([]int, numClasses)
-	closest := make([]float64, numClasses)
+// growFloats returns a length-n float slice reusing v's backing array when
+// possible.
+func growFloats(v []float64, n int) []float64 {
+	if cap(v) < n {
+		return make([]float64, n)
+	}
+	return v[:n]
+}
+
+// majority implements the paper's voting rule; votes and closest are
+// zeroed/overwritten tally buffers of length numClasses.
+func majority(nbrs []Neighbor, votes []int, closest []float64) int {
 	for i := range closest {
 		closest[i] = -1
 	}
@@ -90,10 +128,15 @@ func majority(nbrs []Neighbor, numClasses int) int {
 // classWeights accumulates 1/(d+ε) per class.
 func classWeights(nbrs []Neighbor, numClasses int) []float64 {
 	w := make([]float64, numClasses)
+	accumWeights(w, nbrs)
+	return w
+}
+
+// accumWeights folds the neighbors' 1/(d+ε) weights into w.
+func accumWeights(w []float64, nbrs []Neighbor) {
 	for _, n := range nbrs {
 		w[n.Label] += 1 / (n.Distance + distanceEps)
 	}
-	return w
 }
 
 // Probabilities returns the distance-weighted class distribution over the k

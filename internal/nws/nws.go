@@ -41,6 +41,10 @@ type Selector struct {
 
 	// decisions[i] counts selections of expert i; nil when uninstrumented.
 	decisions []*obs.Counter
+
+	// allBuf is the reusable prediction buffer Step hands to the pool, so
+	// the steady-state selector step performs no heap allocations.
+	allBuf []float64
 }
 
 // NewCumulativeMSE returns the classic NWS selector: lowest cumulative MSE
@@ -108,7 +112,9 @@ type StepResult struct {
 	Selected int
 	// Prediction is the published forecast.
 	Prediction float64
-	// All holds every expert's forecast, in pool order.
+	// All holds every expert's forecast, in pool order. The slice aliases a
+	// buffer the selector reuses: it is valid until the next Step call, so
+	// callers that retain it across steps must copy it.
 	All []float64
 }
 
@@ -117,10 +123,11 @@ type StepResult struct {
 // NWS operation: the selection for step t is based on errors from steps
 // < t; all experts run in parallel regardless of which is selected.
 func (s *Selector) Step(window []float64, observed float64) (StepResult, error) {
-	all, err := s.pool.PredictAll(window)
+	all, err := s.pool.PredictAllInto(s.allBuf, window)
 	if err != nil {
 		return StepResult{}, err
 	}
+	s.allBuf = all
 	sel := s.selectExpert()
 	s.countDecision(sel)
 	// Fold this step's errors in.

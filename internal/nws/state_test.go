@@ -1,0 +1,181 @@
+package nws
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// stateTrace returns a deterministic series long enough to fit the pool and
+// drive a few dozen selection steps.
+func stateTrace(n int) []float64 {
+	rng := rand.New(rand.NewSource(11))
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 50 + 30*math.Sin(float64(i)/7) + rng.NormFloat64()
+	}
+	return v
+}
+
+// driveSteps advances a selector over vals starting at offset m and returns
+// the selection sequence.
+func driveSteps(t *testing.T, s *Selector, m int, vals []float64) []int {
+	t.Helper()
+	var picks []int
+	for i := m; i < len(vals); i++ {
+		r, err := s.Step(vals[i-m:i], vals[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		picks = append(picks, r.Selected)
+	}
+	return picks
+}
+
+// TestStateRoundTrip checkpoints a mid-stream selector into a fresh one and
+// requires both to make identical decisions from then on — the property the
+// durable-state codec relies on across daemon restarts.
+func TestStateRoundTrip(t *testing.T) {
+	const m = 3
+	vals := stateTrace(160)
+	pool := fittedPool(t, m, vals[:80])
+
+	variants := []struct {
+		name string
+		mk   func() (*Selector, error)
+	}{
+		{"cumulative", func() (*Selector, error) { return NewCumulativeMSE(pool) }},
+		{"windowed", func() (*Selector, error) { return NewWindowedMSE(pool, 2) }},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			orig, err := v.mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			driveSteps(t, orig, m, vals[80:120])
+
+			restored, err := v.mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := restored.SetState(orig.State()); err != nil {
+				t.Fatal(err)
+			}
+			got := driveSteps(t, restored, m, vals[120:])
+			want := driveSteps(t, orig, m, vals[120:])
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("step %d: restored selected %d, original %d", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestStateIsDeepCopy mutates an exported State and checks the selector is
+// unaffected: a snapshot held by a checkpointer must not alias live rings.
+func TestStateIsDeepCopy(t *testing.T) {
+	const m = 3
+	vals := stateTrace(120)
+	pool := fittedPool(t, m, vals[:80])
+
+	s, err := NewWindowedMSE(pool, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveSteps(t, s, m, vals[80:100])
+
+	st := s.State()
+	before := s.State()
+	for i := range st.Recent {
+		for j := range st.Recent[i] {
+			st.Recent[i][j] = math.Inf(1)
+		}
+	}
+	after := s.State()
+	for i := range before.Recent {
+		for j := range before.Recent[i] {
+			if before.Recent[i][j] != after.Recent[i][j] {
+				t.Fatalf("ring %d slot %d changed after mutating an exported snapshot", i, j)
+			}
+		}
+	}
+
+	c, err := NewCumulativeMSE(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveSteps(t, c, m, vals[80:100])
+	cs := c.State()
+	cbefore := c.State()
+	for i := range cs.SumSq {
+		cs.SumSq[i] = -1
+	}
+	cafter := c.State()
+	for i := range cbefore.SumSq {
+		if cbefore.SumSq[i] != cafter.SumSq[i] {
+			t.Fatalf("sumSq %d changed after mutating an exported snapshot", i)
+		}
+	}
+}
+
+// TestSetStateRejectsMismatches feeds SetState snapshots that disagree with
+// the selector's shape and requires each to be rejected with a diagnostic
+// naming the mismatch, leaving the selector usable.
+func TestSetStateRejectsMismatches(t *testing.T) {
+	const m = 3
+	vals := stateTrace(120)
+	pool := fittedPool(t, m, vals[:80])
+
+	cum, err := NewCumulativeMSE(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	win, err := NewWindowedMSE(pool, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := pool.Size()
+
+	cases := []struct {
+		name string
+		dst  *Selector
+		st   State
+		want string
+	}{
+		{"window mismatch", cum, State{Window: 2}, "window"},
+		{"wrong expert count cumulative", cum, State{SumSq: make([]float64, n+1)}, "experts"},
+		{"negative count", cum, State{SumSq: make([]float64, n), Count: -1}, "negative"},
+		{"wrong expert count windowed", win, State{Window: 2, Recent: make([][]float64, n+1)}, "experts"},
+		{"next outside window", win, State{Window: 2, Recent: make([][]float64, n), Next: 2}, "ring position"},
+		{"filled outside window", win, State{Window: 2, Recent: make([][]float64, n), Filled: 3}, "ring position"},
+		{"short ring", win, func() State {
+			st := State{Window: 2, Recent: make([][]float64, n)}
+			for i := range st.Recent {
+				st.Recent[i] = make([]float64, 1)
+			}
+			return st
+		}(), "slots"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.dst.SetState(c.st)
+			if err == nil {
+				t.Fatal("mismatched state accepted")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+
+	// Both selectors must still step after the rejected restores.
+	if _, err := cum.Step(vals[80:80+m], vals[80+m]); err != nil {
+		t.Fatalf("cumulative selector broken after rejected SetState: %v", err)
+	}
+	if _, err := win.Step(vals[80:80+m], vals[80+m]); err != nil {
+		t.Fatalf("windowed selector broken after rejected SetState: %v", err)
+	}
+}

@@ -220,6 +220,15 @@ func (p *PCA) Eigenvalues() []float64 {
 
 // Transform projects a single window onto the kept components.
 func (p *PCA) Transform(row []float64) ([]float64, error) {
+	return p.TransformInto(nil, row)
+}
+
+// TransformInto projects a single window onto the kept components, writing
+// the projection into dst when its capacity suffices (allocating otherwise)
+// and returning the slice holding the result. Centering is fused into the
+// projection loop, so a sufficiently large dst makes the call allocation
+// free; dst may be nil.
+func (p *PCA) TransformInto(dst, row []float64) ([]float64, error) {
 	if !p.fitted {
 		return nil, ErrNotFitted
 	}
@@ -227,19 +236,18 @@ func (p *PCA) Transform(row []float64) ([]float64, error) {
 		return nil, fmt.Errorf("pca: transform row of %d values, fitted on %d: %w",
 			len(row), len(p.mean), ErrBadInput)
 	}
-	centered := make([]float64, len(row))
-	for i, v := range row {
-		centered[i] = v - p.mean[i]
+	if cap(dst) < p.kept {
+		dst = make([]float64, p.kept)
 	}
-	out := make([]float64, p.kept)
+	dst = dst[:p.kept]
 	for c := 0; c < p.kept; c++ {
 		var s float64
-		for r := 0; r < len(centered); r++ {
-			s += p.comps.At(r, c) * centered[r]
+		for r := 0; r < len(row); r++ {
+			s += p.comps.At(r, c) * (row[r] - p.mean[r])
 		}
-		out[c] = s
+		dst[c] = s
 	}
-	return out, nil
+	return dst, nil
 }
 
 // TransformAll projects each row, returning a new slice of projected rows.

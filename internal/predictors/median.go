@@ -38,12 +38,37 @@ func (s *SWMedian) Predict(window []float64) (float64, error) {
 	return median(window[len(window)-s.m:]), nil
 }
 
-// median returns the median of v without modifying it.
+// medianStackMax bounds the window size handled with a stack buffer; the
+// prediction orders in this system are small (5–16), so the steady-state
+// forecast path never allocates here.
+const medianStackMax = 64
+
+// median returns the median of v without modifying it. Windows up to
+// medianStackMax samples are sorted by insertion into a stack buffer —
+// allocation free and faster than the library sort at these sizes.
 func median(v []float64) float64 {
-	tmp := make([]float64, len(v))
+	n := len(v)
+	if n <= medianStackMax {
+		var buf [medianStackMax]float64
+		tmp := buf[:0]
+		for _, x := range v {
+			// Insert x into the sorted prefix.
+			i := len(tmp)
+			tmp = append(tmp, x)
+			for i > 0 && tmp[i-1] > x {
+				tmp[i] = tmp[i-1]
+				i--
+			}
+			tmp[i] = x
+		}
+		if n%2 == 1 {
+			return tmp[n/2]
+		}
+		return (tmp[n/2-1] + tmp[n/2]) / 2
+	}
+	tmp := make([]float64, n)
 	copy(tmp, v)
 	sort.Float64s(tmp)
-	n := len(tmp)
 	if n%2 == 1 {
 		return tmp[n/2]
 	}

@@ -210,15 +210,26 @@ func (p *Pool) Fit(train []float64) error {
 // within one window and callers parallelize across windows instead (see
 // LabelParallel), which has far better granularity.
 func (p *Pool) PredictAll(window []float64) ([]float64, error) {
-	out := make([]float64, len(p.preds))
+	return p.PredictAllInto(nil, window)
+}
+
+// PredictAllInto is PredictAll writing into dst when its capacity suffices
+// (allocating otherwise) and returning the slice holding the predictions.
+// With a sufficiently large dst and allocation-free experts, the call does
+// not touch the heap; dst may be nil.
+func (p *Pool) PredictAllInto(dst []float64, window []float64) ([]float64, error) {
+	if cap(dst) < len(p.preds) {
+		dst = make([]float64, len(p.preds))
+	}
+	dst = dst[:len(p.preds)]
 	for i, pr := range p.preds {
 		v, err := pr.Predict(window)
 		if err != nil {
 			return nil, fmt.Errorf("predict %s: %w", pr.Name(), err)
 		}
-		out[i] = v
+		dst[i] = v
 	}
-	return out, nil
+	return dst, nil
 }
 
 // Best returns the pool index of the expert whose prediction for the window

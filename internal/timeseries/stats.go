@@ -139,6 +139,22 @@ func (n Normalizer) Apply(v []float64) []float64 {
 	return out
 }
 
+// ApplyInto normalizes v into dst, reusing dst's backing array when its
+// capacity suffices, and returns the slice holding the result. It is the
+// allocation-free variant of Apply for steady-state hot paths; dst may be
+// nil (the first call then allocates a right-sized buffer to reuse).
+func (n Normalizer) ApplyInto(dst, v []float64) []float64 {
+	if cap(dst) < len(v) {
+		dst = make([]float64, len(v))
+	}
+	dst = dst[:len(v)]
+	inv := 1 / n.Std
+	for i, x := range v {
+		dst[i] = (x - n.Mean) * inv
+	}
+	return dst
+}
+
 // ApplyValue normalizes a single value.
 func (n Normalizer) ApplyValue(x float64) float64 {
 	return (x - n.Mean) / n.Std
