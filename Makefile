@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet staticcheck vuln fmt fuzz-seeds crash-test bench bench-baseline bench-guard cover cover-html ci
+.PHONY: build test race vet staticcheck vuln fmt fuzz-seeds crash-test run-predictd bench bench-baseline bench-guard cover cover-html ci
 
 build:
 	$(GO) build ./...
@@ -22,9 +22,14 @@ fuzz-seeds:
 	$(GO) test -run Fuzz ./internal/rrd ./internal/preddb ./internal/durable
 
 # Kill-and-restart durability tests: crash mid-run, warm restart, and
-# require bit-identical results versus an uninterrupted run.
+# require bit-identical results versus an uninterrupted run (monitord), or
+# identical served forecasts across a drain/restart cycle (predictd).
 crash-test:
-	$(GO) test -v -run 'Crash|Corrupt|Fingerprint|Extends' ./cmd/monitord
+	$(GO) test -v -run 'Crash|Corrupt|Fingerprint|Extends' ./cmd/monitord ./cmd/predictd
+
+# Run the HTTP prediction service locally (ctrl-C drains and snapshots).
+run-predictd:
+	$(GO) run ./cmd/predictd -listen :8100 -state .predictd-state
 
 # Race-enabled test run; includes the monitord chaos/supervision tests,
 # which exercise the concurrent per-pipeline supervisor.

@@ -6,7 +6,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
@@ -51,8 +50,8 @@ const (
 // cleanup — exactly what a SIGKILL would leave behind.
 var errSimulatedCrash = errors.New("monitord: simulated crash")
 
-// errPipeState covers unreadable or checksum-failing pipe snapshots.
-var errPipeState = errors.New("monitord: bad pipeline state file")
+// Unreadable or checksum-failing pipe snapshots surface as durable.ErrFrame
+// from durable.ReadChecksummedFile; recover quarantines them.
 
 // manifest is the commit record of a snapshot.
 type manifest struct {
@@ -142,45 +141,6 @@ func (st *stateStore) walPath(p *pipeline) string {
 	return filepath.Join(st.dir, "wal", pipeFile(p)+".wal")
 }
 
-// writeChecksummed frames payload as magic + payload + CRC32-IEEE footer.
-func writeChecksummed(w io.Writer, magic string, payload []byte) error {
-	sum := crc32.NewIEEE()
-	mw := io.MultiWriter(w, sum)
-	if _, err := io.WriteString(mw, magic); err != nil {
-		return err
-	}
-	if _, err := mw.Write(payload); err != nil {
-		return err
-	}
-	var foot [4]byte
-	c := sum.Sum32()
-	foot[0] = byte(c)
-	foot[1] = byte(c >> 8)
-	foot[2] = byte(c >> 16)
-	foot[3] = byte(c >> 24)
-	_, err := w.Write(foot[:])
-	return err
-}
-
-// readChecksummedFile reads a file written by writeChecksummed and returns
-// the payload. A missing file surfaces as os.IsNotExist; anything malformed
-// is errPipeState.
-func readChecksummedFile(path, magic string) ([]byte, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	if len(data) < len(magic)+4 || string(data[:len(magic)]) != magic {
-		return nil, errPipeState
-	}
-	body, foot := data[:len(data)-4], data[len(data)-4:]
-	want := uint32(foot[0]) | uint32(foot[1])<<8 | uint32(foot[2])<<16 | uint32(foot[3])<<24
-	if crc32.ChecksumIEEE(body) != want {
-		return nil, fmt.Errorf("%w: checksum mismatch", errPipeState)
-	}
-	return body[len(magic):], nil
-}
-
 // snapshot persists the whole daemon: every VM's RRD, the prediction DB,
 // every pipeline's predictor state, then the manifest, then WAL resets.
 // Called from the supervisor loop only, after all slice goroutines joined.
@@ -215,7 +175,7 @@ func (st *stateStore) snapshot(agent *monitor.Agent, db *preddb.DB, pipes []*pip
 			return fmt.Errorf("snapshot %s: %w", pipeFile(p), err)
 		}
 		err := durable.WriteFileAtomic(st.pipePath(p), func(w io.Writer) error {
-			return writeChecksummed(w, pipeMagic, payload.Bytes())
+			return durable.WriteChecksummed(w, pipeMagic, payload.Bytes())
 		})
 		if err != nil {
 			return fmt.Errorf("snapshot %s: %w", pipeFile(p), err)
@@ -305,7 +265,7 @@ func (st *stateStore) recover(agent *monitor.Agent, db *preddb.DB, pipes []*pipe
 
 	for _, p := range pipes {
 		path := st.pipePath(p)
-		payload, err := readChecksummedFile(path, pipeMagic)
+		payload, err := durable.ReadChecksummedFile(path, pipeMagic)
 		switch {
 		case os.IsNotExist(err):
 			// cold: nothing checkpointed yet.

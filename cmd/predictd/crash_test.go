@@ -1,0 +1,156 @@
+package main
+
+import (
+	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/acis-lab/larpredictor/internal/server"
+)
+
+// TestPredictdCrashRestartServesSameForecasts is the end-to-end durability
+// check: train streams over HTTP while readers poll concurrently, stop the
+// daemon through the SIGTERM path (graceful drain writes the snapshot), then
+// restart against the same state directory and require the same latest
+// forecasts before a single new sample arrives — and that training continues
+// from restored state.
+func TestPredictdCrashRestartServesSameForecasts(t *testing.T) {
+	dir := t.TempDir()
+	o := testOptions()
+	o.stateDir = dir
+
+	d := startDaemon(t, o)
+	streams := []string{"VM2/CPU/CPU_usedsec", "VM4/MEM/phymem"}
+
+	// Forecast readers run throughout ingest: the drain must be clean even
+	// with reads in flight.
+	stopReaders := make(chan struct{})
+	var readers sync.WaitGroup
+	for _, s := range streams {
+		s := s
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stopReaders:
+					return
+				default:
+				}
+				resp, err := http.Get(d.url + "/v1/forecast/" + s)
+				if err != nil {
+					t.Errorf("forecast %s during ingest: %v", s, err)
+					return
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	for _, s := range streams {
+		ingestBatch(t, d.url, s, 0, 60)
+	}
+	before := map[string]server.ForecastResponse{}
+	tail := time.Now().Add(10 * time.Second)
+	for _, s := range streams {
+		fr := waitForForecast(t, d.url, s)
+		for fr.LastTS != 59 { // wait out the async tail of the batch
+			if time.Now().After(tail) {
+				t.Fatalf("%s: batch tail never landed (last_ts %d)", s, fr.LastTS)
+			}
+			time.Sleep(10 * time.Millisecond)
+			getJSON(t, d.url+"/v1/forecast/"+s, &fr)
+		}
+		before[s] = fr
+	}
+	close(stopReaders)
+	readers.Wait()
+
+	out, err := d.stop(t)
+	if err != nil {
+		t.Fatalf("graceful stop: %v\noutput:\n%s", err, out)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "predictd.snap")); err != nil {
+		t.Fatalf("drain left no snapshot: %v", err)
+	}
+
+	// Restart on the same state directory: the warm restart must serve the
+	// exact forecasts the previous run last issued, with no new samples.
+	d2 := startDaemon(t, o)
+	if !strings.Contains(d2.out.String(), "warm restart") {
+		t.Errorf("restart output missing warm-restart line:\n%s", d2.out.String())
+	}
+	for _, s := range streams {
+		var fr server.ForecastResponse
+		if resp := getJSON(t, d2.url+"/v1/forecast/"+s, &fr); resp.StatusCode != http.StatusOK {
+			t.Fatalf("restarted daemon: forecast %s = %d, want 200", s, resp.StatusCode)
+		}
+		want, got := before[s], fr
+		// Processed counts samples this process stepped; a restarted daemon
+		// legitimately starts at zero.
+		want.Processed, got.Processed = 0, 0
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("restarted forecast for %s diverged:\n before: %+v\n after:  %+v", s, want, got)
+		}
+	}
+
+	// Restored predictors keep accepting samples and forecasting.
+	ingestBatch(t, d2.url, streams[0], 60, 10)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var fr server.ForecastResponse
+		getJSON(t, d2.url+"/v1/forecast/"+streams[0], &fr)
+		if fr.LastTS == 69 {
+			if fr.Forecast == nil {
+				t.Error("restored stream stopped forecasting after new samples")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("restored stream never processed new samples (last_ts %d)", fr.LastTS)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, err := d2.stop(t); err != nil {
+		t.Fatalf("second stop: %v", err)
+	}
+}
+
+// TestPredictdCorruptSnapshotColdStarts damages the snapshot and requires the
+// daemon to quarantine it and come up cold instead of refusing to start.
+func TestPredictdCorruptSnapshotColdStarts(t *testing.T) {
+	dir := t.TempDir()
+	o := testOptions()
+	o.stateDir = dir
+
+	d := startDaemon(t, o)
+	ingestBatch(t, d.url, "s1", 0, 40)
+	waitForForecast(t, d.url, "s1")
+	if _, err := d.stop(t); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := filepath.Join(dir, "predictd.snap")
+	if err := os.WriteFile(snap, []byte("LARPRED1 garbage, not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	d2 := startDaemon(t, o)
+	var fr server.ForecastResponse
+	if resp := getJSON(t, d2.url+"/v1/forecast/s1", &fr); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("cold start after corruption: forecast = %d, want 404", resp.StatusCode)
+	}
+	if _, err := os.Stat(snap + ".corrupt"); err != nil {
+		t.Errorf("corrupt snapshot was not quarantined: %v", err)
+	}
+	// A cold daemon over a quarantined snapshot still works end to end.
+	ingestBatch(t, d2.url, "s1", 0, 40)
+	waitForForecast(t, d2.url, "s1")
+	if _, err := d2.stop(t); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,245 @@
+// Command predictd serves the sharded prediction engine over HTTP/JSON: a
+// networked front end for callers that stream observations in and read
+// forecasts back instead of linking the library.
+//
+//	predictd -listen :8100 -state /var/lib/predictd
+//
+// Endpoints:
+//
+//	POST /v1/ingest            one sample or a batch; 202 on acceptance,
+//	                           429 + Retry-After when the reject policy sheds
+//	                           load, 503 while draining
+//	GET  /v1/forecast/{stream} the stream's latest forecast and health
+//	GET  /v1/streams           paginated per-stream statistics
+//	GET  /metrics              Prometheus text-format metrics
+//	GET  /healthz              readiness; flips to 503 during drain
+//
+// Streams are created on first ingest — no registration step. With -state the
+// daemon snapshots every stream's predictor and latest forecast periodically
+// and again during graceful shutdown, so a restart serves the previous run's
+// forecasts immediately and keeps training from where it left off.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/acis-lab/larpredictor/internal/core"
+	"github.com/acis-lab/larpredictor/internal/engine"
+	"github.com/acis-lab/larpredictor/internal/obs"
+	"github.com/acis-lab/larpredictor/internal/server"
+)
+
+func main() {
+	var (
+		listen     = flag.String("listen", ":8100", "HTTP listen address")
+		shards     = flag.Int("shards", 0, "prediction-engine shards (0 = one per CPU)")
+		queueDepth = flag.Int("queue-depth", 1024, "per-shard ingest queue depth")
+		maxBatch   = flag.Int("max-batch", 0, "max samples a shard worker steps per drain (0 = engine default)")
+		backpress  = flag.String("backpressure", "block", "ingest policy when a shard queue fills: block, drop-oldest, or reject")
+		window     = flag.Int("window", 5, "prediction window size m")
+		train      = flag.Int("train", 60, "samples before initial training")
+		audit      = flag.Int("audit", 12, "QA audit window (scored predictions)")
+		thresh     = flag.Float64("threshold", 2.0, "QA normalized-MSE retrain threshold")
+		stateDir   = flag.String("state", "", "state directory for durable snapshots; empty runs stateless")
+		snapEvery  = flag.Duration("snapshot-every", 5*time.Minute, "interval between durable snapshots (0 disables periodic snapshots)")
+		inflight   = flag.Int("max-inflight", 256, "max concurrently served /v1 requests before shedding with 503")
+		reqTimeout = flag.Duration("request-timeout", 10*time.Second, "per-request handler timeout")
+		maxBody    = flag.Int64("max-body", 1<<20, "max ingest request body bytes")
+	)
+	flag.Parse()
+
+	opts := options{
+		listen:       *listen,
+		shards:       *shards,
+		queueDepth:   *queueDepth,
+		maxBatch:     *maxBatch,
+		backpressure: *backpress,
+		window:       *window,
+		trainSize:    *train,
+		auditWin:     *audit,
+		threshold:    *thresh,
+		stateDir:     *stateDir,
+		snapEvery:    *snapEvery,
+		maxInFlight:  *inflight,
+		reqTimeout:   *reqTimeout,
+		maxBody:      *maxBody,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Stdout, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "predictd:", err)
+		os.Exit(1)
+	}
+}
+
+// options collects everything run needs; the zero-value hooks are inert.
+type options struct {
+	listen       string
+	shards       int
+	queueDepth   int
+	maxBatch     int
+	backpressure string
+	window       int
+	trainSize    int
+	auditWin     int
+	threshold    float64
+	stateDir     string
+	snapEvery    time.Duration
+	maxInFlight  int
+	reqTimeout   time.Duration
+	maxBody      int64
+
+	// addrReady, when set, receives the bound listen address once the
+	// daemon is accepting connections — tests listen on :0 and learn the
+	// port this way.
+	addrReady func(addr string)
+	// stepHook, when set, runs on the shard worker before every predictor
+	// step — the chaos hook tests use to stall or poison a stream.
+	stepHook func(id string)
+	// shutdownTimeout bounds the graceful drain; zero means 15s.
+	shutdownTimeout time.Duration
+}
+
+func parsePolicy(s string) (engine.Policy, error) {
+	switch s {
+	case "block", "":
+		return engine.Block, nil
+	case "drop-oldest":
+		return engine.DropOldest, nil
+	case "reject":
+		return engine.Reject, nil
+	default:
+		return 0, fmt.Errorf("unknown backpressure policy %q (want block, drop-oldest, or reject)", s)
+	}
+}
+
+// run assembles cache, engine, durable store, and HTTP server, then serves
+// until ctx is cancelled and performs the graceful drain: stop accepting,
+// drain the engine, snapshot, close. It returns nil after a clean shutdown.
+func run(ctx context.Context, out io.Writer, o options) error {
+	policy, err := parsePolicy(o.backpressure)
+	if err != nil {
+		return err
+	}
+	newStream := func(id string) (*core.Online, error) {
+		return core.NewOnline(core.OnlineConfig{
+			Predictor:    core.DefaultConfig(o.window),
+			TrainSize:    o.trainSize,
+			AuditWindow:  o.auditWin,
+			MSEThreshold: o.threshold,
+		})
+	}
+
+	reg := obs.NewRegistry()
+	cache := server.NewResultCache()
+	eng, err := engine.New(engine.Config{
+		Shards:     o.shards,
+		QueueDepth: o.queueDepth,
+		MaxBatch:   o.maxBatch,
+		Policy:     policy,
+		NewStream:  newStream,
+		OnResult:   cache.Record,
+		StepHook:   o.stepHook,
+		Metrics:    reg,
+	})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+
+	var st *snapStore
+	if o.stateDir != "" {
+		st, err = openSnapStore(o.stateDir, fingerprintOptions(o), reg)
+		if err != nil {
+			return err
+		}
+		restored, rerr := st.restore(eng, cache, newStream, os.Stderr)
+		if rerr != nil {
+			return rerr
+		}
+		if restored > 0 {
+			fmt.Fprintf(out, "predictd: warm restart: %d streams restored from %s\n", restored, o.stateDir)
+		}
+	}
+
+	srv, err := server.New(server.Config{
+		Engine:         eng,
+		Cache:          cache,
+		Registry:       reg,
+		MaxInFlight:    o.maxInFlight,
+		RequestTimeout: o.reqTimeout,
+		MaxBodyBytes:   o.maxBody,
+		OnDrain: func() {
+			if st == nil {
+				return
+			}
+			if serr := st.save(eng, cache); serr != nil {
+				fmt.Fprintln(os.Stderr, "predictd: final snapshot:", serr)
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", o.listen)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "predictd: serving on %s (policy %s)\n", ln.Addr(), o.backpressure)
+	if o.addrReady != nil {
+		o.addrReady(ln.Addr().String())
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	var snapC <-chan time.Time
+	if st != nil && o.snapEvery > 0 {
+		t := time.NewTicker(o.snapEvery)
+		defer t.Stop()
+		snapC = t.C
+	}
+
+	for {
+		select {
+		case <-snapC:
+			if serr := st.save(eng, cache); serr != nil {
+				fmt.Fprintln(os.Stderr, "predictd: periodic snapshot:", serr)
+			}
+		case err := <-serveErr:
+			// Serve only returns early on a listener error.
+			return fmt.Errorf("serve: %w", err)
+		case <-ctx.Done():
+			timeout := o.shutdownTimeout
+			if timeout == 0 {
+				timeout = 15 * time.Second
+			}
+			shCtx, cancel := context.WithTimeout(context.Background(), timeout)
+			defer cancel()
+			// Shutdown stops accepting, waits out in-flight requests,
+			// drains the engine, then snapshots via OnDrain.
+			err := srv.Shutdown(shCtx)
+			<-serveErr
+			if cerr := eng.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil && !errors.Is(err, context.Canceled) {
+				return fmt.Errorf("shutdown: %w", err)
+			}
+			es := eng.EngineStats()
+			fmt.Fprintf(out, "predictd: drained and stopped (%d streams, %d samples processed)\n",
+				es.Streams, es.Processed)
+			return nil
+		}
+	}
+}

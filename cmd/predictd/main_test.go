@@ -1,0 +1,389 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/acis-lab/larpredictor/internal/server"
+)
+
+// testOptions returns a daemon configuration that trains after 20 samples so
+// tests reach real forecasts quickly.
+func testOptions() options {
+	return options{
+		listen:          "127.0.0.1:0",
+		shards:          2,
+		queueDepth:      256,
+		backpressure:    "block",
+		window:          5,
+		trainSize:       20,
+		auditWin:        6,
+		threshold:       2.0,
+		maxInFlight:     64,
+		reqTimeout:      5 * time.Second,
+		maxBody:         1 << 20,
+		shutdownTimeout: 10 * time.Second,
+	}
+}
+
+// daemon is one run() instance serving on a real listener.
+type daemon struct {
+	url    string
+	out    *bytes.Buffer
+	cancel context.CancelFunc
+	done   chan error
+}
+
+// startDaemon launches run() on a random port and waits until it accepts
+// connections.
+func startDaemon(t *testing.T, o options) *daemon {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	addr := make(chan string, 1)
+	prev := o.addrReady
+	o.addrReady = func(a string) {
+		if prev != nil {
+			prev(a)
+		}
+		addr <- a
+	}
+	d := &daemon{out: &bytes.Buffer{}, cancel: cancel, done: make(chan error, 1)}
+	go func() { d.done <- run(ctx, d.out, o) }()
+	select {
+	case a := <-addr:
+		d.url = "http://" + a
+	case err := <-d.done:
+		cancel()
+		t.Fatalf("daemon exited before binding: %v", err)
+	case <-time.After(10 * time.Second):
+		cancel()
+		t.Fatal("daemon did not bind within 10s")
+	}
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case <-d.done:
+		case <-time.After(15 * time.Second):
+			t.Error("daemon did not exit during cleanup")
+		}
+	})
+	return d
+}
+
+// stop triggers the SIGTERM path (context cancellation) and waits for run to
+// return, handing back its error and captured output.
+func (d *daemon) stop(t *testing.T) (string, error) {
+	t.Helper()
+	d.cancel()
+	select {
+	case err := <-d.done:
+		// Re-arm done so the Cleanup's receive does not block.
+		d.done <- err
+		return d.out.String(), err
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not stop within 15s")
+		return "", nil
+	}
+}
+
+func postJSON(t *testing.T, url string, doc any) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func getJSON(t *testing.T, url string, doc any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(body, doc); err != nil {
+			t.Fatalf("decode %s: %v\nbody: %s", url, err, body)
+		}
+	}
+	return resp
+}
+
+// ingestBatch posts n samples for one stream with timestamps start..start+n-1.
+func ingestBatch(t *testing.T, baseURL, stream string, start, n int) {
+	t.Helper()
+	samples := make([]server.IngestSample, n)
+	for i := range samples {
+		ts := start + i
+		samples[i] = server.IngestSample{Stream: stream, TS: int64(ts), Value: 10 + float64(ts%7)}
+	}
+	resp, body := postJSON(t, baseURL+"/v1/ingest", server.IngestRequest{Samples: samples})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ingest %s: status %d, body %s", stream, resp.StatusCode, body)
+	}
+}
+
+// waitForForecast polls the forecast endpoint until the stream serves a
+// non-nil forecast document.
+func waitForForecast(t *testing.T, baseURL, stream string) server.ForecastResponse {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var fr server.ForecastResponse
+		resp := getJSON(t, baseURL+"/v1/forecast/"+stream, &fr)
+		if resp.StatusCode == http.StatusOK && fr.Forecast != nil {
+			return fr
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stream %s: no forecast within deadline (last status %d)", stream, resp.StatusCode)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestPredictdServesForecasts drives the full HTTP surface of a stateless
+// daemon: ingest to a trained forecast, stream listing, health, and metrics.
+func TestPredictdServesForecasts(t *testing.T) {
+	d := startDaemon(t, testOptions())
+
+	ingestBatch(t, d.url, "VM2/CPU/CPU_usedsec", 0, 40)
+	ingestBatch(t, d.url, "VM3/NET/rx_bytes", 0, 40)
+
+	fr := waitForForecast(t, d.url, "VM2/CPU/CPU_usedsec")
+	if fr.Stream != "VM2/CPU/CPU_usedsec" {
+		t.Errorf("forecast stream = %q (slash-containing IDs must route)", fr.Stream)
+	}
+	// Ingest is asynchronous; wait for the tail of the batch to land.
+	deadline := time.Now().Add(10 * time.Second)
+	for fr.LastTS != 39 {
+		if time.Now().After(deadline) {
+			t.Fatalf("last_ts = %d, want 39", fr.LastTS)
+		}
+		time.Sleep(10 * time.Millisecond)
+		getJSON(t, d.url+"/v1/forecast/VM2/CPU/CPU_usedsec", &fr)
+	}
+	waitForForecast(t, d.url, "VM3/NET/rx_bytes")
+
+	var sr server.StreamsResponse
+	if resp := getJSON(t, d.url+"/v1/streams", &sr); resp.StatusCode != http.StatusOK {
+		t.Fatalf("streams: status %d", resp.StatusCode)
+	}
+	if sr.Total != 2 || len(sr.Streams) != 2 {
+		t.Errorf("streams = %d/%d docs, want 2/2", sr.Total, len(sr.Streams))
+	}
+
+	if resp := getJSON(t, d.url+"/healthz", nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz = %d, want 200", resp.StatusCode)
+	}
+	mresp, err := http.Get(d.url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{"larpredictor_engine_ingested_total", "predictd_http_requests_total"} {
+		if !strings.Contains(string(mbody), want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+
+	out, err := d.stop(t)
+	if err != nil {
+		t.Fatalf("clean stop: %v", err)
+	}
+	if !strings.Contains(out, "drained and stopped") {
+		t.Errorf("shutdown line missing from output:\n%s", out)
+	}
+}
+
+// TestPredictdConcurrentIngestForecastChaos runs writers and readers against
+// the daemon at once while a chaos hook panics inside one stream's predictor
+// step: the poisoned stream is reported as such, every healthy stream keeps
+// forecasting, and the daemon survives to drain cleanly.
+func TestPredictdConcurrentIngestForecastChaos(t *testing.T) {
+	o := testOptions()
+	var badSeen atomic.Int64
+	o.stepHook = func(id string) {
+		if id == "chaos/bad" && badSeen.Add(1) == 3 {
+			panic("chaos: injected step failure")
+		}
+	}
+	d := startDaemon(t, o)
+
+	streams := []string{"vm1/cpu", "vm2/cpu", "vm3/mem"}
+	var wg sync.WaitGroup
+	for _, s := range streams {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for batch := 0; batch < 4; batch++ {
+				samples := make([]server.IngestSample, 10)
+				for i := range samples {
+					ts := batch*10 + i
+					samples[i] = server.IngestSample{Stream: s, TS: int64(ts), Value: 10 + float64(ts%7)}
+				}
+				body, _ := json.Marshal(server.IngestRequest{Samples: samples})
+				resp, err := http.Post(d.url+"/v1/ingest", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Errorf("ingest %s: %v", s, err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusAccepted {
+					t.Errorf("ingest %s: status %d", s, resp.StatusCode)
+				}
+			}
+		}()
+	}
+	// The chaos stream ingests alongside; its third sample panics the step.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			body, _ := json.Marshal(server.IngestRequest{Stream: "chaos/bad", TS: int64(i), Value: 1})
+			resp, err := http.Post(d.url+"/v1/ingest", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Errorf("ingest chaos/bad: %v", err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	// Readers hammer forecasts and the stream list while ingest runs; any
+	// status is acceptable mid-flight (404 before first sample), no errors.
+	stopReaders := make(chan struct{})
+	var readers sync.WaitGroup
+	for _, s := range append([]string{"chaos/bad"}, streams...) {
+		s := s
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stopReaders:
+					return
+				default:
+				}
+				resp, err := http.Get(d.url + "/v1/forecast/" + s)
+				if err != nil {
+					t.Errorf("forecast %s during ingest: %v", s, err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stopReaders)
+	readers.Wait()
+
+	for _, s := range streams {
+		waitForForecast(t, d.url, s)
+	}
+	// The poisoned stream must be reported; poisoning happens on the shard
+	// worker, so poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var fr server.ForecastResponse
+		getJSON(t, d.url+"/v1/forecast/chaos/bad", &fr)
+		if fr.Poisoned {
+			if fr.Fault == "" {
+				t.Error("poisoned stream has empty fault description")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("chaos/bad never reported poisoned")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if _, err := d.stop(t); err != nil {
+		t.Fatalf("clean stop after chaos: %v", err)
+	}
+}
+
+// TestPredictdRejectBackpressure maps engine saturation onto HTTP: with a
+// one-deep queue, a stalled worker, and the reject policy, ingest answers
+// 429 with a Retry-After header.
+func TestPredictdRejectBackpressure(t *testing.T) {
+	o := testOptions()
+	o.shards = 1
+	o.queueDepth = 1
+	o.maxBatch = 1
+	o.backpressure = "reject"
+	gate := make(chan struct{})
+	o.stepHook = func(string) { <-gate }
+	// Once the gate closes every stalled step returns immediately, so the
+	// drain during shutdown completes.
+	defer close(gate)
+	d := startDaemon(t, o)
+
+	saw429 := false
+	for i := 0; i < 100 && !saw429; i++ {
+		resp, body := postJSON(t, d.url+"/v1/ingest", server.IngestRequest{Stream: "s", TS: int64(i), Value: 1})
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			// queue or worker still had room
+		case http.StatusTooManyRequests:
+			saw429 = true
+			if ra := resp.Header.Get("Retry-After"); ra == "" {
+				t.Error("429 without Retry-After header")
+			}
+			var ir server.IngestResponse
+			if err := json.Unmarshal(body, &ir); err != nil {
+				t.Fatalf("decode 429 body: %v", err)
+			}
+			if ir.Accepted != 0 || ir.Rejected != 1 {
+				t.Errorf("429 body accepted/rejected = %d/%d, want 0/1", ir.Accepted, ir.Rejected)
+			}
+		default:
+			t.Fatalf("unexpected ingest status %d: %s", resp.StatusCode, body)
+		}
+	}
+	if !saw429 {
+		t.Fatal("never saw 429 despite one-deep queue and stalled worker")
+	}
+}
+
+// TestPredictdBadFlags exercises option validation through run.
+func TestPredictdBadFlags(t *testing.T) {
+	o := testOptions()
+	o.backpressure = "bounce"
+	if err := run(context.Background(), io.Discard, o); err == nil ||
+		!strings.Contains(err.Error(), "backpressure") {
+		t.Errorf("bad policy: err = %v, want backpressure parse error", err)
+	}
+
+	o = testOptions()
+	o.listen = "127.0.0.1:-1"
+	if err := run(context.Background(), io.Discard, o); err == nil {
+		t.Error("bad listen address: err = nil, want listen error")
+	}
+}

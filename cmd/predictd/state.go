@@ -1,0 +1,186 @@
+package main
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/acis-lab/larpredictor/internal/core"
+	"github.com/acis-lab/larpredictor/internal/durable"
+	"github.com/acis-lab/larpredictor/internal/engine"
+	"github.com/acis-lab/larpredictor/internal/obs"
+	"github.com/acis-lab/larpredictor/internal/server"
+)
+
+// Durable state is one file, <dir>/predictd.snap: a gob snapFile framed by
+// durable.WriteChecksummed (magic + payload + CRC32-IEEE footer) and written
+// via durable.WriteFileAtomic, so a crash mid-snapshot leaves the previous
+// complete snapshot in place. Unlike monitord there is no WAL: predictd's
+// clients own their data and can re-send the window since the last snapshot,
+// so the durability contract is "latest snapshot wins".
+
+const snapMagic = "LARPRED1"
+
+// snapFile is the whole daemon's persisted state.
+type snapFile struct {
+	// Fingerprint digests the predictor-shaping options; a snapshot written
+	// under one fingerprint is not restored under another.
+	Fingerprint string
+	Streams     map[string]streamState
+}
+
+// streamState is one stream's persisted state: the core codec's framed
+// predictor bytes plus the serving snapshot (latest observation + forecast)
+// so a restarted daemon answers GET /v1/forecast before any new sample.
+type streamState struct {
+	Online []byte
+	Cache  server.Snapshot
+}
+
+// snapStore owns a predictd state directory.
+type snapStore struct {
+	dir         string
+	fingerprint string
+
+	// Durability instruments; nil-safe when no registry was attached.
+	snapshots   *obs.Counter
+	restored    *obs.Counter
+	quarantines *obs.Counter
+}
+
+// fingerprintOptions digests every option that shapes predictor state. The
+// per-stream core codec carries its own config fingerprint too; this
+// coarse check just lets the daemon log one clear line instead of N
+// mismatch warnings.
+func fingerprintOptions(o options) string {
+	return fmt.Sprintf("window=%d train=%d audit=%d threshold=%g",
+		o.window, o.trainSize, o.auditWin, o.threshold)
+}
+
+// openSnapStore creates the state directory if needed and binds durability
+// counters on reg.
+func openSnapStore(dir, fingerprint string, reg *obs.Registry) (*snapStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("state dir: %w", err)
+	}
+	st := &snapStore{dir: dir, fingerprint: fingerprint}
+	if reg != nil {
+		st.snapshots = reg.Counter1("larpredictor_snapshots_total",
+			"Completed durable snapshots.")
+		st.restored = reg.Counter1("larpredictor_pipelines_recovered_total",
+			"Streams whose predictor state was restored on warm restart.")
+		st.quarantines = reg.Counter1("larpredictor_state_quarantines_total",
+			"Damaged state files quarantined during warm restart.")
+	}
+	return st, nil
+}
+
+func (st *snapStore) path() string { return filepath.Join(st.dir, "predictd.snap") }
+
+// save captures every stream's predictor state and serving snapshot and
+// writes one atomic checksummed file. Per-stream capture runs inside
+// eng.Do, which holds the stream's shard lock: the predictor bytes and the
+// cache entry read right after describe the same step, because OnResult
+// (the cache writer) runs under that same lock.
+func (st *snapStore) save(eng *engine.Engine, cache *server.ResultCache) error {
+	snap := snapFile{Fingerprint: st.fingerprint, Streams: map[string]streamState{}}
+	var ids []string
+	eng.Each(func(id string, _ engine.StreamStats) { ids = append(ids, id) })
+	var saveErr error
+	for _, id := range ids {
+		id := id
+		eng.Do(id, func(o *core.Online) {
+			var buf bytes.Buffer
+			if err := o.SaveState(&buf); err != nil {
+				if saveErr == nil {
+					saveErr = fmt.Errorf("save %s: %w", id, err)
+				}
+				return
+			}
+			ss := streamState{Online: buf.Bytes()}
+			ss.Cache, _ = cache.Latest(id)
+			snap.Streams[id] = ss
+		})
+	}
+	if saveErr != nil {
+		return saveErr
+	}
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&snap); err != nil {
+		return fmt.Errorf("encode snapshot: %w", err)
+	}
+	err := durable.WriteFileAtomic(st.path(), func(w io.Writer) error {
+		return durable.WriteChecksummed(w, snapMagic, payload.Bytes())
+	})
+	if err != nil {
+		return err
+	}
+	st.snapshots.Inc()
+	return nil
+}
+
+// restore performs the warm restart: it reads the snapshot (quarantining a
+// damaged one and cold-starting), registers each stream's restored predictor
+// with the engine, and primes the serving cache so the first forecast read
+// needs no new samples. It returns how many streams were restored. logw
+// receives one line per abnormal event.
+func (st *snapStore) restore(eng *engine.Engine, cache *server.ResultCache,
+	newStream func(id string) (*core.Online, error), logw io.Writer) (int, error) {
+	payload, err := durable.ReadChecksummedFile(st.path(), snapMagic)
+	switch {
+	case os.IsNotExist(err):
+		return 0, nil // cold: nothing checkpointed yet
+	case err != nil:
+		st.quarantineAndLog(st.path(), err, logw)
+		return 0, nil
+	}
+	var snap snapFile
+	if derr := gob.NewDecoder(bytes.NewReader(payload)).Decode(&snap); derr != nil {
+		st.quarantineAndLog(st.path(), derr, logw)
+		return 0, nil
+	}
+	if snap.Fingerprint != st.fingerprint {
+		// Valid snapshot from another configuration: not damage, just
+		// unusable. Cold start and overwrite it at the next snapshot.
+		fmt.Fprintf(logw, "predictd: snapshot was written by a different configuration (have %q, want %q), cold starting\n",
+			snap.Fingerprint, st.fingerprint)
+		return 0, nil
+	}
+	restored := 0
+	for id, ss := range snap.Streams {
+		online, nerr := newStream(id)
+		if nerr != nil {
+			return restored, fmt.Errorf("restore %s: %w", id, nerr)
+		}
+		if rerr := online.RestoreState(bytes.NewReader(ss.Online)); rerr != nil {
+			if errors.Is(rerr, core.ErrStateMismatch) {
+				fmt.Fprintf(logw, "predictd: %s: predictor state mismatch, cold starting stream: %v\n", id, rerr)
+				continue
+			}
+			fmt.Fprintf(logw, "predictd: %s: unreadable predictor state, cold starting stream: %v\n", id, rerr)
+			continue
+		}
+		if rerr := eng.Register(id, online); rerr != nil {
+			return restored, fmt.Errorf("restore %s: %w", id, rerr)
+		}
+		cache.Restore(id, ss.Cache)
+		restored++
+		st.restored.Inc()
+	}
+	return restored, nil
+}
+
+// quarantineAndLog moves a damaged state file aside and counts it.
+func (st *snapStore) quarantineAndLog(path string, cause error, logw io.Writer) {
+	st.quarantines.Inc()
+	moved, err := durable.Quarantine(path)
+	if err != nil {
+		fmt.Fprintf(logw, "predictd: quarantine %s failed: %v (cause: %v)\n", path, err, cause)
+		return
+	}
+	fmt.Fprintf(logw, "predictd: quarantined %s -> %s: %v\n", path, moved, cause)
+}

@@ -1,0 +1,109 @@
+// Predictclient: a minimal HTTP client for a running predictd. It streams a
+// synthetic CPU trace into POST /v1/ingest in batches, then reads the
+// stream's latest forecast back from GET /v1/forecast/{stream} — the whole
+// serving loop a real collector would run, in ~80 lines of stdlib.
+//
+// Start the daemon, then run the client:
+//
+//	go run ./cmd/predictd -listen :8100 &
+//	go run ./examples/predictclient -addr http://localhost:8100
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"time"
+
+	larpredictor "github.com/acis-lab/larpredictor"
+)
+
+type sample struct {
+	Stream string  `json:"stream"`
+	TS     int64   `json:"ts"`
+	Value  float64 `json:"value"`
+}
+
+type ingestRequest struct {
+	Samples []sample `json:"samples"`
+}
+
+type forecastResponse struct {
+	Stream   string `json:"stream"`
+	Health   string `json:"health"`
+	LastTS   int64  `json:"last_ts"`
+	Forecast *struct {
+		Value  float64 `json:"value"`
+		Expert string  `json:"expert"`
+	} `json:"forecast"`
+}
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8100", "predictd base URL")
+	stream := flag.String("stream", "VM2/CPU_usedsec", "stream ID to ingest and query")
+	flag.Parse()
+
+	// A day of five-minute CPU samples from the synthetic VM workload
+	// generator; any float64 series a collector produces works the same way.
+	traces := larpredictor.StandardTraceSet(1)
+	series, err := traces.Get("VM2", "CPU_usedsec")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Ingest in batches of 32. The daemon creates the stream on first sight
+	// and trains the predictor once enough samples have arrived; 429 means
+	// back off and retry, exactly as the Retry-After header says.
+	const batchSize = 32
+	for start := 0; start < len(series.Values); start += batchSize {
+		end := min(start+batchSize, len(series.Values))
+		req := ingestRequest{}
+		for i := start; i < end; i++ {
+			req.Samples = append(req.Samples, sample{Stream: *stream, TS: int64(i), Value: series.Values[i]})
+		}
+		body, _ := json.Marshal(req)
+		for {
+			resp, err := http.Post(*addr+"/v1/ingest", "application/json", bytes.NewReader(body))
+			if err != nil {
+				log.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusTooManyRequests {
+				time.Sleep(time.Second)
+				continue
+			}
+			if resp.StatusCode != http.StatusAccepted {
+				log.Fatalf("ingest: unexpected status %s", resp.Status)
+			}
+			break
+		}
+	}
+
+	// Ingest is asynchronous: poll until the daemon has folded in the tail.
+	lastTS := int64(len(series.Values) - 1)
+	var fc forecastResponse
+	for {
+		resp, err := http.Get(*addr + "/v1/forecast/" + *stream)
+		if err != nil {
+			log.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			if err := json.Unmarshal(data, &fc); err != nil {
+				log.Fatal(err)
+			}
+			if fc.LastTS == lastTS && fc.Forecast != nil {
+				break
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	fmt.Printf("stream %s (health %s): next value ≈ %.2f (forecast by the %s expert)\n",
+		fc.Stream, fc.Health, fc.Forecast.Value, fc.Forecast.Expert)
+}

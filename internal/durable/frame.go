@@ -1,0 +1,56 @@
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// ErrFrame covers unreadable or checksum-failing framed snapshot files: a
+// missing or wrong magic, a truncated footer, or a CRC mismatch. Callers
+// typically quarantine the file and cold-start.
+var ErrFrame = errors.New("durable: bad checksummed frame")
+
+// WriteChecksummed frames payload as magic + payload + CRC32-IEEE footer.
+// Both daemons persist their per-stream predictor snapshots in this framing;
+// pair it with WriteFileAtomic so a crash leaves either the whole old frame
+// or the whole new one.
+func WriteChecksummed(w io.Writer, magic string, payload []byte) error {
+	sum := crc32.NewIEEE()
+	mw := io.MultiWriter(w, sum)
+	if _, err := io.WriteString(mw, magic); err != nil {
+		return err
+	}
+	if _, err := mw.Write(payload); err != nil {
+		return err
+	}
+	var foot [4]byte
+	c := sum.Sum32()
+	foot[0] = byte(c)
+	foot[1] = byte(c >> 8)
+	foot[2] = byte(c >> 16)
+	foot[3] = byte(c >> 24)
+	_, err := w.Write(foot[:])
+	return err
+}
+
+// ReadChecksummedFile reads a file written by WriteChecksummed and returns
+// the payload. A missing file surfaces as os.IsNotExist; anything malformed
+// wraps ErrFrame.
+func ReadChecksummedFile(path, magic string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(magic)+4 || string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: missing or wrong magic", ErrFrame)
+	}
+	body, foot := data[:len(data)-4], data[len(data)-4:]
+	want := uint32(foot[0]) | uint32(foot[1])<<8 | uint32(foot[2])<<16 | uint32(foot[3])<<24
+	if crc32.ChecksumIEEE(body) != want {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrFrame)
+	}
+	return body[len(magic):], nil
+}

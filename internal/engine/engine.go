@@ -326,8 +326,13 @@ func (e *Engine) IngestSample(s Sample) error {
 
 // IngestBatch enqueues a batch of samples, grouping them by shard so each
 // shard's queue lock is taken once per run of samples rather than once per
-// sample. Sample order is preserved per stream. It stops at the first
-// rejection, returning how many samples were accepted.
+// sample. Sample order is preserved per stream. Each shard's run stops at
+// that shard's first rejection while other shards' runs proceed
+// independently, so under Reject a partially accepted batch returns the
+// total accepted count (not an original-batch prefix) plus the first error
+// observed; accepted samples are counted as ingested exactly once and are
+// always processed. ErrClosed is reported as ErrClosed even when the losing
+// shard's queue was also full.
 func (e *Engine) IngestBatch(batch []Sample) (int, error) {
 	if len(batch) == 0 {
 		return 0, nil

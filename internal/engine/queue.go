@@ -55,6 +55,11 @@ func (q *queue) enqueueBatch(batch []Sample, policy Policy) (int, error) {
 }
 
 func (q *queue) enqueueLocked(s Sample, policy Policy) error {
+	// Closed wins over every policy: a full queue must not report backlog
+	// (Reject) or evict into a dead queue (DropOldest) after close.
+	if q.closed {
+		return ErrClosed
+	}
 	for q.n == len(q.buf) {
 		switch policy {
 		case DropOldest:

@@ -121,6 +121,111 @@ func TestZeroDistanceNeighborsDoNotBlowUp(t *testing.T) {
 	}
 }
 
+// TestMajorityTieBreaking pins the documented tie rule: a vote tie breaks
+// toward the class whose nearest member is closest to the query, and when
+// even those distances tie, toward the lower class index.
+func TestMajorityTieBreaking(t *testing.T) {
+	cases := []struct {
+		name string
+		nbrs []Neighbor
+		want int
+	}{
+		{
+			name: "tie broken by closest member",
+			nbrs: []Neighbor{
+				{Label: 0, Distance: 2.0}, {Label: 0, Distance: 3.0},
+				{Label: 1, Distance: 0.5}, {Label: 1, Distance: 9.0},
+			},
+			want: 1,
+		},
+		{
+			name: "tie broken by closest member, reversed classes",
+			nbrs: []Neighbor{
+				{Label: 1, Distance: 2.0}, {Label: 1, Distance: 3.0},
+				{Label: 0, Distance: 0.5}, {Label: 0, Distance: 9.0},
+			},
+			want: 0,
+		},
+		{
+			name: "equal closest distances fall to lower class index",
+			nbrs: []Neighbor{
+				{Label: 2, Distance: 1.0}, {Label: 2, Distance: 4.0},
+				{Label: 1, Distance: 1.0}, {Label: 1, Distance: 4.0},
+			},
+			want: 1,
+		},
+		{
+			name: "three-way tie, all equidistant",
+			nbrs: []Neighbor{
+				{Label: 2, Distance: 1}, {Label: 1, Distance: 1}, {Label: 0, Distance: 1},
+			},
+			want: 0,
+		},
+		{
+			name: "clear majority ignores a closer minority neighbor",
+			nbrs: []Neighbor{
+				{Label: 0, Distance: 5}, {Label: 0, Distance: 6},
+				{Label: 1, Distance: 0.1},
+			},
+			want: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := vote(tc.nbrs, 3, MajorityVote); got != tc.want {
+				t.Errorf("vote = %d, want %d", got, tc.want)
+			}
+			// The scratch-buffer path must agree with the allocating path.
+			var s Scratch
+			if got := voteScratch(tc.nbrs, 3, MajorityVote, &s); got != tc.want {
+				t.Errorf("voteScratch = %d, want %d", got, tc.want)
+			}
+			// Reused (dirty) scratch buffers must not leak tallies between
+			// calls.
+			if got := voteScratch(tc.nbrs, 3, MajorityVote, &s); got != tc.want {
+				t.Errorf("voteScratch (reused) = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestDistanceWeightedDeterministicOnEqualWeights locks in the argmax rule
+// for the weighted strategies: exactly equal class weights resolve to the
+// lower class index, independent of neighbor order.
+func TestDistanceWeightedDeterministicOnEqualWeights(t *testing.T) {
+	// One neighbor per class at identical distance: weights are bit-for-bit
+	// equal, so the argmax must settle on class 0 for every permutation.
+	perms := [][]Neighbor{
+		{{Label: 0, Distance: 2}, {Label: 1, Distance: 2}, {Label: 2, Distance: 2}},
+		{{Label: 2, Distance: 2}, {Label: 0, Distance: 2}, {Label: 1, Distance: 2}},
+		{{Label: 1, Distance: 2}, {Label: 2, Distance: 2}, {Label: 0, Distance: 2}},
+	}
+	for _, strategy := range []VoteStrategy{DistanceWeightedVote, ProbabilityVote} {
+		for i, nbrs := range perms {
+			if got := vote(nbrs, 3, strategy); got != 0 {
+				t.Errorf("%v perm %d: vote = %d, want 0 (lower class index)", strategy, i, got)
+			}
+			var s Scratch
+			if got := voteScratch(nbrs, 3, strategy, &s); got != 0 {
+				t.Errorf("%v perm %d: voteScratch = %d, want 0", strategy, i, got)
+			}
+		}
+	}
+	// Two neighbors for class 2 vs one of class 1 at half the distance:
+	// 1/(d+ε) weights tie only approximately, so the strictly-greater argmax
+	// must still pick deterministically — the first class reaching the
+	// maximal weight.
+	nbrs := []Neighbor{
+		{Label: 2, Distance: 4}, {Label: 2, Distance: 4}, {Label: 1, Distance: 1},
+	}
+	want := vote(nbrs, 3, DistanceWeightedVote)
+	for i := 0; i < 100; i++ {
+		if got := vote(nbrs, 3, DistanceWeightedVote); got != want {
+			t.Fatalf("iteration %d: vote = %d, want stable %d", i, got, want)
+		}
+	}
+}
+
 func TestMajorityIsDefaultStrategy(t *testing.T) {
 	pts := [][]float64{{0.1}, {10}, {11}}
 	labels := []int{1, 0, 0}

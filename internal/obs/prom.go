@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"sort"
 	"strconv"
@@ -99,9 +100,15 @@ func (h *Histogram) writeProm(w io.Writer, name string) error {
 	return err
 }
 
-// withLE merges an le label into a rendered label set.
+// withLE merges an le label into a rendered label set. It is defensive
+// about the input: anything that is not a well-formed non-empty "{...}"
+// rendering falls back to a bare le-only label set rather than slicing
+// blindly and emitting a malformed exposition.
 func withLE(labels, le string) string {
-	if labels == "" {
+	if len(labels) < 2 || labels[0] != '{' || labels[len(labels)-1] != '}' {
+		return `{le="` + le + `"}`
+	}
+	if labels == "{}" {
 		return `{le="` + le + `"}`
 	}
 	return labels[:len(labels)-1] + `,le="` + le + `"}`
@@ -129,6 +136,11 @@ func Handler(r *Registry) http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
-		io.WriteString(w, b.String())
+		// Rendering already succeeded, so a failure here means the write to
+		// the client broke (connection gone, response cut short). Headers are
+		// out the door — a 500 would be a lie — so log and move on.
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			log.Printf("obs: writing /metrics response: %v", err)
+		}
 	})
 }

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"log"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestWithLE(t *testing.T) {
+	cases := []struct {
+		name   string
+		labels string
+		le     string
+		want   string
+	}{
+		{"empty label set", "", "0.5", `{le="0.5"}`},
+		{"non-empty label set", `{shard="3"}`, "+Inf", `{shard="3",le="+Inf"}`},
+		{"two labels", `{a="1",b="2"}`, "10", `{a="1",b="2",le="10"}`},
+		{"empty braces", "{}", "1", `{le="1"}`},
+		// Malformed renderings must degrade to a valid le-only set, never a
+		// blind slice that emits broken exposition text.
+		{"missing closing brace", `{a="1"`, "1", `{le="1"}`},
+		{"missing opening brace", `a="1"}`, "1", `{le="1"}`},
+		{"single char", "x", "1", `{le="1"}`},
+	}
+	for _, tc := range cases {
+		if got := withLE(tc.labels, tc.le); got != tc.want {
+			t.Errorf("%s: withLE(%q, %q) = %q, want %q", tc.name, tc.labels, tc.le, got, tc.want)
+		}
+	}
+}
+
+// TestWithLERenderedHistograms checks the merge against labels produced by
+// the real rendering path, for both unlabeled and labeled histograms.
+func TestWithLERenderedHistograms(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram1("plain_seconds", "Plain.", []float64{1}).Observe(0.5)
+	r.Histogram("scoped_seconds", "Scoped.", []float64{1}, "shard").WithLabels("7").Observe(0.5)
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`plain_seconds_bucket{le="1"} 1`,
+		`scoped_seconds_bucket{shard="7",le="1"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// brokenWriter fails every write after headers, simulating a client that
+// hung up mid-scrape.
+type brokenWriter struct {
+	*httptest.ResponseRecorder
+}
+
+func (b brokenWriter) Write([]byte) (int, error) {
+	return 0, errors.New("client gone")
+}
+
+// WriteString shadows the recorder's io.StringWriter so io.WriteString
+// cannot bypass the failing Write.
+func (b brokenWriter) WriteString(string) (int, error) {
+	return 0, errors.New("client gone")
+}
+
+func TestHandlerWriteErrorIsLoggedNot500(t *testing.T) {
+	var logged bytes.Buffer
+	prev := log.Writer()
+	log.SetOutput(&logged)
+	defer log.SetOutput(prev)
+
+	r := NewRegistry()
+	r.Counter1("up_total", "Up.").Inc()
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	Handler(r).ServeHTTP(brokenWriter{rec}, req)
+
+	// The handler must not retroactively turn a mid-body failure into a 500.
+	if rec.Code != 200 {
+		t.Errorf("status = %d, want 200 (headers were already committed)", rec.Code)
+	}
+	if !strings.Contains(logged.String(), "client gone") {
+		t.Errorf("write error was not logged: %q", logged.String())
+	}
+}

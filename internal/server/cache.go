@@ -1,0 +1,88 @@
+package server
+
+import (
+	"sync"
+
+	"github.com/acis-lab/larpredictor/internal/core"
+	"github.com/acis-lab/larpredictor/internal/engine"
+)
+
+// Snapshot is the latest serving state of one stream: the newest observation
+// folded in, the newest forecast issued (when any), and the health rung and
+// error the last step reported. It is the document GET /v1/forecast serves
+// and the per-stream payload the predictd snapshot persists, which is why
+// every field is exported and plainly encodable.
+type Snapshot struct {
+	// LastTS and LastValue describe the newest observation processed.
+	LastTS    int64
+	LastValue float64
+	// Health is the fallback-ladder rung after the last step.
+	Health core.Health
+	// LastErr is the last step's error text ("" when the step forecast
+	// cleanly); core.ErrNotReady during warm-up, core.ErrFailed when the
+	// predictor is terminally failed.
+	LastErr string
+	// Pred is the newest successful forecast; valid only when HasPred is
+	// true. PredTS is the caller timestamp tag of the sample that produced
+	// it.
+	Pred    core.Prediction
+	PredTS  int64
+	HasPred bool
+}
+
+// ResultCache holds the latest Snapshot per stream. The engine's shard
+// workers write it through Record (wired as Config.OnResult); HTTP handlers
+// read it lock-free. Per-stream updates are single-writer — one shard owns a
+// stream — so a plain atomic pointer swap per key suffices.
+type ResultCache struct {
+	m sync.Map // stream id -> *Snapshot (immutable once stored)
+}
+
+// NewResultCache returns an empty cache.
+func NewResultCache() *ResultCache {
+	return &ResultCache{}
+}
+
+// Record folds one engine result into the stream's snapshot. It is safe to
+// wire directly as engine.Config.OnResult.
+func (c *ResultCache) Record(r engine.Result) {
+	next := Snapshot{
+		LastTS:    r.TS,
+		LastValue: r.Value,
+		Health:    r.Health,
+	}
+	if prev, ok := c.m.Load(r.ID); ok {
+		p := prev.(*Snapshot)
+		next.Pred, next.PredTS, next.HasPred = p.Pred, p.PredTS, p.HasPred
+	}
+	if r.Err != nil {
+		next.LastErr = r.Err.Error()
+	} else {
+		next.Pred, next.PredTS, next.HasPred = r.Pred, r.TS, true
+	}
+	c.m.Store(r.ID, &next)
+}
+
+// Restore primes a stream's snapshot, the warm-restart path: a restarted
+// predictd serves the previous run's latest forecasts before any new sample
+// arrives.
+func (c *ResultCache) Restore(id string, s Snapshot) {
+	c.m.Store(id, &s)
+}
+
+// Latest returns the stream's snapshot.
+func (c *ResultCache) Latest(id string) (Snapshot, bool) {
+	v, ok := c.m.Load(id)
+	if !ok {
+		return Snapshot{}, false
+	}
+	return *v.(*Snapshot), true
+}
+
+// Each calls f for every cached stream. Iteration order is unspecified.
+func (c *ResultCache) Each(f func(id string, s Snapshot)) {
+	c.m.Range(func(k, v any) bool {
+		f(k.(string), *v.(*Snapshot))
+		return true
+	})
+}

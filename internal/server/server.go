@@ -1,0 +1,519 @@
+// Package server exposes the sharded prediction engine over HTTP/JSON — the
+// deployment shape of fleet-scale forecasting: many producers POST samples
+// into the engine's backpressured ingest path, request-path consumers GET
+// the latest forecast for a stream, and operators scrape Prometheus metrics
+// and probe readiness. Everything is stdlib net/http.
+//
+// The serving layer maps the engine's backpressure policies onto HTTP
+// status codes: an accepted ingest is 202, a Reject-policy backlog is 429
+// with a Retry-After hint, and a draining or closed engine is 503. The
+// server itself applies admission control (a bounded in-flight semaphore),
+// per-request timeouts, and request-size limits, so overload sheds at the
+// edge instead of piling onto the shard queues.
+//
+// Shutdown is a drain sequence, not a teardown: stop accepting requests,
+// wait out the in-flight ones, barrier the engine with Drain, then hand
+// control to the OnDrain hook (predictd snapshots durable state there).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"github.com/acis-lab/larpredictor/internal/engine"
+	"github.com/acis-lab/larpredictor/internal/obs"
+)
+
+// Config parameterizes a Server. Engine is required; everything else has a
+// serving-safe default.
+type Config struct {
+	// Engine is the prediction engine the server fronts. Required.
+	Engine *engine.Engine
+	// Cache is the latest-result cache the forecast endpoint serves from.
+	// It must be wired to the engine (Config.OnResult = Cache.Record) by
+	// the composer. Required.
+	Cache *ResultCache
+	// Registry instruments the server (request counters by endpoint and
+	// code, latency histograms, in-flight gauge) and backs /metrics. Nil
+	// serves an empty exposition and skips instrumentation.
+	Registry *obs.Registry
+	// MaxInFlight bounds concurrently served /v1 requests; excess requests
+	// are shed with 503 + Retry-After before touching the engine. Defaults
+	// to 256.
+	MaxInFlight int
+	// RequestTimeout bounds each /v1 request, including time spent blocked
+	// on a full ingest queue under the Block policy. Defaults to 10s.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps the ingest request body. Defaults to 1 MiB.
+	MaxBodyBytes int64
+	// OnDrain, when set, runs at the end of Shutdown, after the listener
+	// has stopped accepting and the engine has drained — the hook where
+	// predictd snapshots durable state.
+	OnDrain func()
+}
+
+// Server serves the prediction API. Construct with New, start with Serve,
+// stop with Shutdown.
+type Server struct {
+	cfg   Config
+	eng   *engine.Engine
+	cache *ResultCache
+
+	handler  http.Handler
+	http     *http.Server
+	sem      chan struct{}
+	draining atomic.Bool
+
+	met serverMetrics
+}
+
+// serverMetrics is the server's obs instrumentation; all fields are nil-safe
+// when no registry is configured.
+type serverMetrics struct {
+	requests *obs.CounterVec   // endpoint, code
+	latency  *obs.HistogramVec // endpoint
+	inflight *obs.Gauge
+	accepted *obs.Counter
+	rejected *obs.Counter
+}
+
+// New validates cfg and builds the server (no listener yet).
+func New(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, errors.New("server: nil engine")
+	}
+	if cfg.Cache == nil {
+		return nil, errors.New("server: nil result cache")
+	}
+	if cfg.MaxInFlight == 0 {
+		cfg.MaxInFlight = 256
+	}
+	if cfg.MaxInFlight < 1 {
+		return nil, fmt.Errorf("server: max in-flight %d < 1", cfg.MaxInFlight)
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 10 * time.Second
+	}
+	if cfg.RequestTimeout < 0 {
+		return nil, fmt.Errorf("server: negative request timeout %v", cfg.RequestTimeout)
+	}
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	if cfg.MaxBodyBytes < 1 {
+		return nil, fmt.Errorf("server: max body bytes %d < 1", cfg.MaxBodyBytes)
+	}
+	s := &Server{
+		cfg:   cfg,
+		eng:   cfg.Engine,
+		cache: cfg.Cache,
+		sem:   make(chan struct{}, cfg.MaxInFlight),
+	}
+	if reg := cfg.Registry; reg != nil {
+		s.met = serverMetrics{
+			requests: reg.Counter("predictd_http_requests_total",
+				"HTTP requests served, by endpoint and status code.", "endpoint", "code"),
+			latency: reg.Histogram("predictd_http_request_seconds",
+				"HTTP request latency by endpoint.",
+				[]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}, "endpoint"),
+			inflight: reg.Gauge1("predictd_http_in_flight",
+				"HTTP requests currently being served."),
+			accepted: reg.Counter1("predictd_ingest_samples_accepted_total",
+				"Samples accepted into the engine over HTTP."),
+			rejected: reg.Counter1("predictd_ingest_samples_rejected_total",
+				"Samples rejected at ingest (backlog, closed, or invalid)."),
+		}
+	}
+	s.handler = s.buildHandler()
+	s.http = &http.Server{
+		Handler:           s.handler,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	return s, nil
+}
+
+// buildHandler assembles the route table and the middleware stack:
+// instrumentation outside, then admission control and the request timeout
+// around the /v1 API. /healthz and /metrics bypass admission so probes and
+// scrapes keep working under load.
+func (s *Server) buildHandler() http.Handler {
+	api := http.NewServeMux()
+	api.HandleFunc("POST /v1/ingest", s.handleIngest)
+	api.HandleFunc("GET /v1/forecast/{stream...}", s.handleForecast)
+	api.HandleFunc("GET /v1/streams", s.handleStreams)
+
+	var v1 http.Handler = api
+	if s.cfg.RequestTimeout > 0 {
+		v1 = http.TimeoutHandler(v1, s.cfg.RequestTimeout, `{"error":"request timed out"}`)
+	}
+	v1 = s.admit(v1)
+
+	root := http.NewServeMux()
+	root.Handle("/v1/", v1)
+	root.Handle("GET /metrics", obs.Handler(s.cfg.Registry))
+	root.HandleFunc("GET /healthz", s.handleHealthz)
+	return s.instrument(root)
+}
+
+// Handler returns the fully assembled HTTP handler (tests drive it through
+// httptest without a real listener).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Serve accepts connections on ln until Shutdown. It returns nil after a
+// clean Shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	err := s.http.Serve(ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Draining reports whether the server has entered its shutdown sequence.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Shutdown runs the graceful drain sequence: flip to draining (readiness
+// probes and new ingests see 503), stop accepting and wait out in-flight
+// requests (bounded by ctx), barrier the engine with Drain so every accepted
+// sample is fully processed, then run the OnDrain hook. The engine itself is
+// left open — its owner closes it.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	err := s.http.Shutdown(ctx)
+	s.eng.Drain()
+	if s.cfg.OnDrain != nil {
+		s.cfg.OnDrain()
+	}
+	return err
+}
+
+// admit is the admission-control middleware: a full in-flight semaphore
+// sheds the request with 503 + Retry-After instead of queueing it.
+func (s *Server) admit(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+			next.ServeHTTP(w, r)
+		default:
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, errorDoc{Error: "server at capacity"})
+		}
+	})
+}
+
+// instrument wraps the whole route table with the request counter, latency
+// histogram, and in-flight gauge.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.met.inflight.Add(1)
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		s.met.inflight.Add(-1)
+		ep := endpointLabel(r)
+		s.met.requests.WithLabels(ep, strconv.Itoa(rec.code)).Inc()
+		s.met.latency.WithLabels(ep).Observe(time.Since(start).Seconds())
+	})
+}
+
+// endpointLabel maps a request to a bounded-cardinality metric label.
+func endpointLabel(r *http.Request) string {
+	switch p := r.URL.Path; {
+	case p == "/v1/ingest":
+		return "ingest"
+	case p == "/v1/streams":
+		return "streams"
+	case len(p) > len("/v1/forecast/") && p[:len("/v1/forecast/")] == "/v1/forecast/":
+		return "forecast"
+	case p == "/healthz":
+		return "healthz"
+	case p == "/metrics":
+		return "metrics"
+	}
+	return "other"
+}
+
+// statusRecorder captures the response code for instrumentation.
+type statusRecorder struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if !r.wrote {
+		r.code = code
+		r.wrote = true
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	r.wrote = true
+	return r.ResponseWriter.Write(b)
+}
+
+// ---- API documents ----
+
+// IngestSample is one observation in an ingest request.
+type IngestSample struct {
+	// Stream identifies the prediction stream; required, non-empty.
+	Stream string `json:"stream"`
+	// TS is an opaque caller tag (conventionally a unix timestamp) carried
+	// through to the forecast document untouched.
+	TS int64 `json:"ts,omitempty"`
+	// Value is the observation.
+	Value float64 `json:"value"`
+}
+
+// IngestRequest carries one sample (inline fields) or a batch (Samples).
+// Setting both is allowed: the inline sample is ingested first.
+type IngestRequest struct {
+	Stream  string         `json:"stream,omitempty"`
+	TS      int64          `json:"ts,omitempty"`
+	Value   float64        `json:"value,omitempty"`
+	Samples []IngestSample `json:"samples,omitempty"`
+}
+
+// IngestResponse reports how a (possibly partially accepted) ingest fared.
+type IngestResponse struct {
+	Accepted int    `json:"accepted"`
+	Rejected int    `json:"rejected,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// ForecastDoc is the forecast part of a forecast response.
+type ForecastDoc struct {
+	TS          int64   `json:"ts"`
+	Value       float64 `json:"value"`
+	Normalized  float64 `json:"normalized"`
+	Expert      string  `json:"expert,omitempty"`
+	StdEstimate float64 `json:"std_estimate,omitempty"`
+	Source      string  `json:"source,omitempty"`
+}
+
+// ForecastResponse is the GET /v1/forecast/{stream} document: the latest
+// forecast (absent during warm-up), the newest observation, and the
+// stream's health and supervision state.
+type ForecastResponse struct {
+	Stream    string       `json:"stream"`
+	Health    string       `json:"health"`
+	LastTS    int64        `json:"last_ts"`
+	LastValue float64      `json:"last_value"`
+	LastError string       `json:"last_error,omitempty"`
+	Forecast  *ForecastDoc `json:"forecast,omitempty"`
+	Poisoned  bool         `json:"poisoned,omitempty"`
+	Fault     string       `json:"fault,omitempty"`
+	Processed uint64       `json:"processed"`
+}
+
+// StreamDoc is one row of the GET /v1/streams listing.
+type StreamDoc struct {
+	ID        string `json:"id"`
+	Health    string `json:"health"`
+	Processed uint64 `json:"processed"`
+	Dropped   uint64 `json:"dropped,omitempty"`
+	Panics    int    `json:"panics,omitempty"`
+	Poisoned  bool   `json:"poisoned,omitempty"`
+	Fault     string `json:"fault,omitempty"`
+}
+
+// StreamsResponse is the paginated stream listing: streams sorted by ID,
+// NextOffset present while more pages remain.
+type StreamsResponse struct {
+	Total      int         `json:"total"`
+	Offset     int         `json:"offset"`
+	Streams    []StreamDoc `json:"streams"`
+	NextOffset *int        `json:"next_offset,omitempty"`
+}
+
+type errorDoc struct {
+	Error string `json:"error"`
+}
+
+// ---- handlers ----
+
+// handleIngest decodes a single sample or a batch and pushes it into the
+// engine, mapping the backpressure outcome onto the status code: 202 all
+// accepted, 429 + Retry-After on backlog (Reject policy), 503 when the
+// server is draining or the engine is closed.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, errorDoc{Error: "draining"})
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req IngestRequest
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorDoc{Error: fmt.Sprintf("body exceeds %d bytes", tooBig.Limit)})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, errorDoc{Error: "bad request: " + err.Error()})
+		return
+	}
+
+	batch := make([]engine.Sample, 0, len(req.Samples)+1)
+	if req.Stream != "" {
+		batch = append(batch, engine.Sample{ID: req.Stream, TS: req.TS, Value: req.Value})
+	}
+	for i, smp := range req.Samples {
+		if smp.Stream == "" {
+			writeJSON(w, http.StatusBadRequest,
+				errorDoc{Error: fmt.Sprintf("samples[%d]: empty stream", i)})
+			return
+		}
+		batch = append(batch, engine.Sample{ID: smp.Stream, TS: smp.TS, Value: smp.Value})
+	}
+	if len(batch) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorDoc{Error: "no samples"})
+		return
+	}
+
+	accepted, err := s.eng.IngestBatch(batch)
+	s.met.accepted.Add(uint64(accepted))
+	s.met.rejected.Add(uint64(len(batch) - accepted))
+	resp := IngestResponse{Accepted: accepted, Rejected: len(batch) - accepted}
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, resp)
+	case errors.Is(err, engine.ErrBacklog):
+		resp.Error = "ingest backlog"
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, resp)
+	case errors.Is(err, engine.ErrClosed):
+		resp.Error = "engine closed"
+		writeJSON(w, http.StatusServiceUnavailable, resp)
+	default:
+		resp.Error = err.Error()
+		writeJSON(w, http.StatusInternalServerError, resp)
+	}
+}
+
+// handleForecast serves the stream's latest forecast and health document.
+func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("stream")
+	if id == "" {
+		writeJSON(w, http.StatusBadRequest, errorDoc{Error: "empty stream"})
+		return
+	}
+	snap, haveSnap := s.cache.Latest(id)
+	st, haveStats := s.eng.Stats(id)
+	if !haveSnap && !haveStats {
+		writeJSON(w, http.StatusNotFound, errorDoc{Error: "unknown stream " + id})
+		return
+	}
+	resp := ForecastResponse{
+		Stream:    id,
+		Health:    snap.Health.String(),
+		LastTS:    snap.LastTS,
+		LastValue: snap.LastValue,
+		LastError: snap.LastErr,
+	}
+	if haveStats {
+		// The engine's supervision view is fresher than the cache for
+		// health: a restored-but-idle stream has stats and no snapshot yet.
+		resp.Health = st.Health.State.String()
+		resp.Poisoned = st.Poisoned
+		resp.Fault = st.Fault
+		resp.Processed = st.Processed
+	}
+	if snap.HasPred {
+		resp.Forecast = &ForecastDoc{
+			TS:          snap.PredTS,
+			Value:       snap.Pred.Value,
+			Normalized:  snap.Pred.Normalized,
+			Expert:      snap.Pred.SelectedName,
+			StdEstimate: snap.Pred.StdEstimate,
+			Source:      snap.Pred.Source,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// maxStreamsPage caps one page of the stream listing.
+const maxStreamsPage = 1000
+
+// handleStreams serves the paginated, ID-sorted stream listing.
+func (s *Server) handleStreams(w http.ResponseWriter, r *http.Request) {
+	offset, err := queryInt(r, "offset", 0)
+	if err != nil || offset < 0 {
+		writeJSON(w, http.StatusBadRequest, errorDoc{Error: "bad offset"})
+		return
+	}
+	limit, err := queryInt(r, "limit", 100)
+	if err != nil || limit < 1 {
+		writeJSON(w, http.StatusBadRequest, errorDoc{Error: "bad limit"})
+		return
+	}
+	if limit > maxStreamsPage {
+		limit = maxStreamsPage
+	}
+
+	type row struct {
+		id string
+		st engine.StreamStats
+	}
+	var rows []row
+	s.eng.Each(func(id string, st engine.StreamStats) {
+		rows = append(rows, row{id, st})
+	})
+	sort.Slice(rows, func(i, j int) bool { return rows[i].id < rows[j].id })
+
+	resp := StreamsResponse{Total: len(rows), Offset: offset, Streams: []StreamDoc{}}
+	for i := offset; i < len(rows) && i < offset+limit; i++ {
+		resp.Streams = append(resp.Streams, StreamDoc{
+			ID:        rows[i].id,
+			Health:    rows[i].st.Health.State.String(),
+			Processed: rows[i].st.Processed,
+			Dropped:   rows[i].st.Dropped,
+			Panics:    rows[i].st.Panics,
+			Poisoned:  rows[i].st.Poisoned,
+			Fault:     rows[i].st.Fault,
+		})
+	}
+	if next := offset + len(resp.Streams); next < len(rows) && len(resp.Streams) > 0 {
+		resp.NextOffset = &next
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleHealthz is the readiness probe: 200 while serving, 503 once the
+// drain sequence has begun so load balancers stop routing here.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// queryInt parses an optional integer query parameter.
+func queryInt(r *http.Request, key string, def int) (int, error) {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return def, nil
+	}
+	return strconv.Atoi(v)
+}
+
+// writeJSON renders one response document.
+func writeJSON(w http.ResponseWriter, code int, doc any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(doc)
+}

@@ -89,8 +89,16 @@ func AutocovarianceSeq(v []float64, maxLag int) ([]float64, error) {
 }
 
 // Autocorrelation returns the lag-k autocorrelation c_k / c_0. For a
-// zero-variance series it returns 0 for k > 0 and 1 for k == 0.
+// zero-variance series it returns 0 for k > 0 and 1 for k == 0. An
+// out-of-range lag errors regardless of the series' variance, matching
+// Autocovariance.
 func Autocorrelation(v []float64, k int) (float64, error) {
+	if k < 0 {
+		return 0, fmt.Errorf("timeseries: negative lag %d", k)
+	}
+	if k >= len(v) {
+		return 0, fmt.Errorf("timeseries: lag %d >= series length %d: %w", k, len(v), ErrShort)
+	}
 	c0, err := Autocovariance(v, 0)
 	if err != nil {
 		return 0, err

@@ -90,6 +90,36 @@ func TestAutocorrelationConstantSeries(t *testing.T) {
 	}
 }
 
+func TestAutocorrelationLagValidation(t *testing.T) {
+	// A zero-variance series must not mask out-of-range lags: every lag
+	// outside [0, len) errors exactly as it does for a varying series.
+	cases := []struct {
+		name   string
+		v      []float64
+		k      int
+		wantOK bool
+	}{
+		{"constant valid lag", []float64{3, 3, 3, 3}, 2, true},
+		{"constant lag == len", []float64{3, 3, 3, 3}, 4, false},
+		{"constant lag > len", []float64{3, 3, 3, 3}, 7, false},
+		{"constant negative lag", []float64{3, 3, 3, 3}, -1, false},
+		{"varying lag == len", []float64{1, 2, 3}, 3, false},
+		{"empty series lag 0", nil, 0, false},
+	}
+	for _, tc := range cases {
+		rho, err := Autocorrelation(tc.v, tc.k)
+		if tc.wantOK {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: Autocorrelation(%v, %d) = %g, want error", tc.name, tc.v, tc.k, rho)
+		}
+	}
+}
+
 func TestAutocovarianceSeqPSD(t *testing.T) {
 	// The biased estimator must produce |c_k| <= c_0.
 	f := func(raw [32]float64, lag uint8) bool {
