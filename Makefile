@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet staticcheck vuln fmt fuzz-seeds crash-test run-predictd bench bench-baseline bench-guard cover cover-html ci
+.PHONY: build test race vet staticcheck vuln fmt fuzz-seeds crash-test chaos-soak run-predictd bench bench-baseline bench-guard cover cover-html ci
 
 build:
 	$(GO) build ./...
@@ -19,13 +19,21 @@ fmt:
 # Run the fuzz targets' seed corpora as ordinary tests (no fuzzing engine;
 # deterministic and fast, so it belongs in ci).
 fuzz-seeds:
-	$(GO) test -run Fuzz ./internal/rrd ./internal/preddb ./internal/durable
+	$(GO) test -run Fuzz ./internal/rrd ./internal/preddb ./internal/durable ./cmd/predictd
 
 # Kill-and-restart durability tests: crash mid-run, warm restart, and
 # require bit-identical results versus an uninterrupted run (monitord), or
-# identical served forecasts across a drain/restart cycle (predictd).
+# identical served forecasts across a drain/restart cycle and WAL replay
+# after kill -9 (predictd).
 crash-test:
 	$(GO) test -v -run 'Crash|Corrupt|Fingerprint|Extends' ./cmd/monitord ./cmd/predictd
+
+# End-to-end chaos soak: keyed ingest through the fault-injecting proxy at
+# a WAL-mode predictd that is kill -9'd and restarted mid-stream; passes
+# only if every acked sample is applied exactly once and forecasts kept
+# serving. Race-enabled and deterministic (seeded fault schedule).
+chaos-soak:
+	$(GO) test -race -v -count=1 -run TestChaosSoak ./cmd/predictd
 
 # Run the HTTP prediction service locally (ctrl-C drains and snapshots).
 run-predictd:
@@ -62,11 +70,13 @@ vuln:
 BENCH ?= BenchmarkForecastPath
 BENCHFLAGS ?= -run '^$$' -bench '$(BENCH)' -benchmem -count 6
 
+BENCH_PKGS ?= . ./cmd/predictd
+
 bench-baseline:
-	$(GO) test $(BENCHFLAGS) . | tee bench-old.txt
+	$(GO) test $(BENCHFLAGS) $(BENCH_PKGS) | tee bench-old.txt
 
 bench:
-	$(GO) test $(BENCHFLAGS) . | tee bench-new.txt
+	$(GO) test $(BENCHFLAGS) $(BENCH_PKGS) | tee bench-new.txt
 	@if [ -f bench-old.txt ] && command -v benchstat >/dev/null 2>&1; then \
 		benchstat bench-old.txt bench-new.txt; \
 	elif [ -f bench-old.txt ]; then \

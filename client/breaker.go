@@ -1,0 +1,102 @@
+package client
+
+import (
+	"sync"
+	"time"
+
+	"github.com/acis-lab/larpredictor/internal/obs"
+)
+
+// Breaker states, exported through the predictclient_breaker_state gauge.
+const (
+	breakerClosed   = 0
+	breakerHalfOpen = 1
+	breakerOpen     = 2
+)
+
+// breaker is a half-open circuit breaker over consecutive transport/5xx
+// failures. Explicit backpressure (429/503) deliberately does not count:
+// a daemon shedding load is alive, and backoff alone is the right response.
+//
+// Closed: all calls pass. After threshold consecutive failures it opens:
+// calls fail fast with ErrBreakerOpen for cooldown. Then it half-opens and
+// admits exactly one probe; the probe's outcome closes it again or re-opens
+// it for another cooldown.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // test seam
+
+	state    int
+	failures int
+	openedAt time.Time
+	probing  bool
+
+	gauge *obs.Gauge
+}
+
+func newBreaker(threshold int, cooldown time.Duration, gauge *obs.Gauge) *breaker {
+	b := &breaker{threshold: threshold, cooldown: cooldown, now: time.Now, gauge: gauge}
+	gauge.Set(breakerClosed)
+	return b
+}
+
+// allow reports whether a call may proceed, admitting the single half-open
+// probe when the cooldown has elapsed.
+func (b *breaker) allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return nil
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return ErrBreakerOpen
+		}
+		b.setState(breakerHalfOpen)
+		b.probing = true
+		return nil
+	default: // half-open
+		if b.probing {
+			return ErrBreakerOpen // one probe at a time
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// success records a completed round trip (any definitive server response).
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.probing = false
+	b.setState(breakerClosed)
+}
+
+// failure records a transport or 5xx failure.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		// The probe failed: back to a full cooldown.
+		b.probing = false
+		b.openedAt = b.now()
+		b.setState(breakerOpen)
+	case breakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.openedAt = b.now()
+			b.setState(breakerOpen)
+		}
+	}
+}
+
+func (b *breaker) setState(s int) {
+	if b.state != s {
+		b.state = s
+		b.gauge.Set(float64(s))
+	}
+}

@@ -1,0 +1,122 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/acis-lab/larpredictor/internal/obs"
+)
+
+// TestBreakerLifecycle drives the state machine with a fake clock:
+// closed → open after threshold failures → half-open single probe after
+// cooldown → closed on probe success, or open again on probe failure.
+func TestBreakerLifecycle(t *testing.T) {
+	now := time.Unix(0, 0)
+	reg := obs.NewRegistry()
+	gauge := reg.Gauge1("predictclient_breaker_state", "state")
+	b := newBreaker(3, time.Second, gauge)
+	b.now = func() time.Time { return now }
+
+	for i := 0; i < 3; i++ {
+		if err := b.allow(); err != nil {
+			t.Fatalf("closed breaker blocked call %d: %v", i, err)
+		}
+		b.failure()
+	}
+	if err := b.allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("breaker not open after threshold: %v", err)
+	}
+	if gauge.Value() != breakerOpen {
+		t.Errorf("gauge = %v, want open", gauge.Value())
+	}
+
+	// Cooldown elapses: exactly one probe gets through.
+	now = now.Add(time.Second)
+	if err := b.allow(); err != nil {
+		t.Fatalf("half-open probe blocked: %v", err)
+	}
+	if err := b.allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatal("second concurrent probe admitted")
+	}
+	if gauge.Value() != breakerHalfOpen {
+		t.Errorf("gauge = %v, want half-open", gauge.Value())
+	}
+
+	// Probe fails: open again for a fresh cooldown.
+	b.failure()
+	if err := b.allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatal("breaker closed after failed probe")
+	}
+
+	// Next probe succeeds: closed, failures reset.
+	now = now.Add(time.Second)
+	if err := b.allow(); err != nil {
+		t.Fatalf("second probe blocked: %v", err)
+	}
+	b.success()
+	if gauge.Value() != breakerClosed {
+		t.Errorf("gauge = %v, want closed", gauge.Value())
+	}
+	for i := 0; i < 2; i++ { // under threshold again: still closed
+		b.failure()
+	}
+	if err := b.allow(); err != nil {
+		t.Fatalf("breaker opened below threshold: %v", err)
+	}
+}
+
+// TestBreakerShedsWithoutRequests: once open, the client fails fast — no
+// HTTP traffic reaches a down server until the cooldown admits a probe.
+func TestBreakerShedsWithoutRequests(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	c := newTestClient(t, ts.URL, func(cfg *Config) {
+		cfg.MaxAttempts = 1 // isolate breaker behavior from retry loop
+		cfg.BreakerThreshold = 2
+		cfg.BreakerCooldown = time.Hour
+	})
+	for i := 0; i < 2; i++ {
+		if _, err := c.Ingest(context.Background(), []Sample{{Stream: "s", Value: 1}}); err == nil {
+			t.Fatal("500 ingest succeeded")
+		}
+	}
+	before := calls.Load()
+	for i := 0; i < 5; i++ {
+		if _, err := c.Ingest(context.Background(), []Sample{{Stream: "s", Value: 1}}); !errors.Is(err, ErrBreakerOpen) {
+			t.Fatalf("open breaker let call through: %v", err)
+		}
+	}
+	if calls.Load() != before {
+		t.Errorf("open breaker issued %d requests", calls.Load()-before)
+	}
+}
+
+// TestBackpressureDoesNotTrip: 429/503 are an alive server shedding load —
+// they must not open the breaker no matter how many arrive.
+func TestBackpressureDoesNotTrip(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	c := newTestClient(t, ts.URL, func(cfg *Config) {
+		cfg.MaxAttempts = 1
+		cfg.BreakerThreshold = 2
+	})
+	for i := 0; i < 6; i++ {
+		_, err := c.Ingest(context.Background(), []Sample{{Stream: "s", Value: 1}})
+		if errors.Is(err, ErrBreakerOpen) {
+			t.Fatalf("throttle opened the breaker on call %d", i)
+		}
+	}
+}

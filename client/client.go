@@ -1,0 +1,407 @@
+// Package client is the resilient Go client for predictd. It wraps the
+// HTTP/JSON API with the retry discipline a production caller needs:
+// exponential backoff with full jitter, Retry-After honored as a floor on
+// 429/503, a per-attempt request deadline, and a half-open circuit breaker
+// that sheds calls while the daemon is down instead of hammering it.
+//
+// Retried ingests are safe to repeat: the Ingester assigns each sample a
+// client-side (source, seq) idempotency key that stays fixed across
+// retries, and a predictd running with -durability=wal applies each key
+// exactly once. That makes every retryable failure — including a 503 with
+// reason "timeout", where the first attempt may still have committed
+// server-side — safe to resend blindly.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/acis-lab/larpredictor/internal/obs"
+)
+
+// Reason labels for the retries counter; 503 responses carry the server's
+// X-Predictd-Reason verbatim (drain, shed, timeout).
+const (
+	reasonNetwork     = "network"
+	reasonThrottle    = "throttle"
+	reasonUnavailable = "unavailable"
+	reasonServer      = "server"
+)
+
+// reasonHeader mirrors server.ReasonHeader without importing the server
+// package: the wire contract is the header name, not the Go identifier.
+const reasonHeader = "X-Predictd-Reason"
+
+// ErrBreakerOpen is returned without issuing a request while the circuit
+// breaker is open. The caller may retry later; the breaker half-opens after
+// its cooldown and lets one probe through.
+var ErrBreakerOpen = errors.New("predictclient: circuit breaker open")
+
+// StatusError is a terminal (non-retryable) HTTP failure, or the last
+// retryable failure once attempts are exhausted.
+type StatusError struct {
+	Code   int
+	Reason string // X-Predictd-Reason when the server sent one
+	Body   string
+}
+
+func (e *StatusError) Error() string {
+	if e.Reason != "" {
+		return fmt.Sprintf("predictclient: HTTP %d (reason %s): %s", e.Code, e.Reason, e.Body)
+	}
+	return fmt.Sprintf("predictclient: HTTP %d: %s", e.Code, e.Body)
+}
+
+// Config shapes a Client. The zero value of every field has a sensible
+// default; only BaseURL is required.
+type Config struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8100".
+	BaseURL string
+	// HTTPClient overrides the transport; per-attempt deadlines come from
+	// RequestTimeout, so the default client carries no global timeout.
+	HTTPClient *http.Client
+	// Source is the client identity half of every idempotency key. Leave
+	// empty only for unkeyed (at-least-once) ingest.
+	Source string
+
+	// RequestTimeout bounds each attempt (default 5s).
+	RequestTimeout time.Duration
+	// MaxAttempts bounds the retry loop: 0 means the default (8), negative
+	// means retry forever (until ctx cancels).
+	MaxAttempts int
+	// BaseBackoff and MaxBackoff shape the full-jitter schedule: attempt n
+	// sleeps uniform(0, min(MaxBackoff, BaseBackoff<<n)), floored by any
+	// Retry-After the server sent. Defaults 50ms and 5s.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+
+	// BreakerThreshold consecutive transport/5xx failures open the breaker
+	// (default 5; negative disables the breaker). BreakerCooldown is how
+	// long it stays open before half-opening one probe (default 2s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+
+	// Metrics, when set, receives predictclient_retries_total{reason} and
+	// predictclient_breaker_state (0 closed, 1 half-open, 2 open).
+	Metrics *obs.Registry
+
+	// Seed fixes the jitter RNG for deterministic tests; 0 seeds from the
+	// clock.
+	Seed int64
+}
+
+// Client is a predictd API client. It is safe for concurrent use.
+type Client struct {
+	cfg     Config
+	httpc   *http.Client
+	breaker *breaker
+
+	retries *obs.CounterVec
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// New validates cfg, fills defaults, and returns a ready Client.
+func New(cfg Config) (*Client, error) {
+	if cfg.BaseURL == "" {
+		return nil, errors.New("predictclient: Config.BaseURL is required")
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = &http.Client{}
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 5 * time.Second
+	}
+	if cfg.MaxAttempts == 0 {
+		cfg.MaxAttempts = 8
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 50 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 5 * time.Second
+	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = 5
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 2 * time.Second
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	c := &Client{
+		cfg:   cfg,
+		httpc: cfg.HTTPClient,
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+	if cfg.Metrics != nil {
+		c.retries = cfg.Metrics.Counter("predictclient_retries_total",
+			"Retried predictd requests by retry reason.", "reason")
+	}
+	if cfg.BreakerThreshold > 0 {
+		var gauge *obs.Gauge
+		if cfg.Metrics != nil {
+			gauge = cfg.Metrics.Gauge1("predictclient_breaker_state",
+				"Circuit breaker state: 0 closed, 1 half-open, 2 open.")
+		}
+		c.breaker = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, gauge)
+	}
+	return c, nil
+}
+
+// Ingest posts one batch and returns the server's accounting. Keyed samples
+// (Seq != 0 with a Source on the client) retried through this method are
+// applied exactly once by a WAL-mode server; the response's Deduped counts
+// the replays it recognized.
+func (c *Client) Ingest(ctx context.Context, samples []Sample) (*IngestResponse, error) {
+	req := IngestRequest{Source: c.cfg.Source, Samples: samples}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	var resp IngestResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/ingest", body, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Forecast fetches the stream's latest forecast document.
+func (c *Client) Forecast(ctx context.Context, stream string) (*ForecastResponse, error) {
+	var resp ForecastResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/forecast/"+stream, nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Healthz reports whether the daemon is accepting work.
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// do runs the retry loop around one logical request. The request body is a
+// byte slice (not a Reader) precisely so every attempt resends identical
+// bytes — idempotency keys must not drift between attempts.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if c.breaker != nil {
+			if err := c.breaker.allow(); err != nil {
+				if lastErr != nil {
+					return fmt.Errorf("%w (last failure: %v)", err, lastErr)
+				}
+				return err
+			}
+		}
+		retryable, retryAfter, err := c.attempt(ctx, method, path, body, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryable {
+			return err
+		}
+		if c.cfg.MaxAttempts > 0 && attempt+1 >= c.cfg.MaxAttempts {
+			return fmt.Errorf("predictclient: %d attempts exhausted: %w", c.cfg.MaxAttempts, err)
+		}
+		c.retries.WithLabels(retryReason(err)).Inc()
+		if werr := c.sleep(ctx, c.backoff(attempt, retryAfter)); werr != nil {
+			return fmt.Errorf("%w (last failure: %v)", werr, err)
+		}
+	}
+}
+
+// attempt issues one HTTP round trip under the per-attempt deadline and
+// classifies the outcome: (retryable, server-requested floor, error).
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any) (bool, time.Duration, error) {
+	actx, cancel := context.WithTimeout(ctx, c.cfg.RequestTimeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, c.cfg.BaseURL+path, rd)
+	if err != nil {
+		return false, 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		// Transport failure or per-attempt deadline: nothing definitive
+		// was heard from the server, so retry (the idempotency keys make
+		// even a half-applied ingest safe to resend). Stop retrying when
+		// the caller's own ctx is the one that expired.
+		c.breakerFailure()
+		if ctx.Err() != nil {
+			return false, 0, ctx.Err()
+		}
+		return true, 0, fmt.Errorf("predictclient: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+
+	switch {
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		c.breakerSuccess()
+		if out != nil {
+			if derr := json.Unmarshal(raw, out); derr != nil {
+				return false, 0, fmt.Errorf("predictclient: decode %s response: %w", path, derr)
+			}
+		}
+		return false, 0, nil
+	case resp.StatusCode == http.StatusTooManyRequests,
+		resp.StatusCode == http.StatusServiceUnavailable:
+		// Explicit backpressure. The daemon is up and talking, so this
+		// does not trip the breaker; Retry-After floors the next sleep.
+		c.breakerSuccess()
+		serr := &StatusError{Code: resp.StatusCode, Reason: resp.Header.Get(reasonHeader), Body: string(raw)}
+		return true, parseRetryAfter(resp.Header.Get("Retry-After")), serr
+	case resp.StatusCode >= 500:
+		c.breakerFailure()
+		return true, 0, &StatusError{Code: resp.StatusCode, Body: string(raw)}
+	default:
+		// 4xx: the request itself is wrong; retrying cannot fix it.
+		c.breakerSuccess()
+		return false, 0, &StatusError{Code: resp.StatusCode, Body: string(raw)}
+	}
+}
+
+func (c *Client) breakerSuccess() {
+	if c.breaker != nil {
+		c.breaker.success()
+	}
+}
+
+func (c *Client) breakerFailure() {
+	if c.breaker != nil {
+		c.breaker.failure()
+	}
+}
+
+// backoff computes the full-jitter sleep for the given attempt, floored by
+// the server's Retry-After when one was sent.
+func (c *Client) backoff(attempt int, floor time.Duration) time.Duration {
+	ceil := c.cfg.MaxBackoff
+	if shifted := c.cfg.BaseBackoff << uint(attempt); attempt < 32 && shifted < ceil && shifted > 0 {
+		ceil = shifted
+	}
+	c.rngMu.Lock()
+	d := time.Duration(c.rng.Int63n(int64(ceil) + 1))
+	c.rngMu.Unlock()
+	if d < floor {
+		d = floor
+	}
+	return d
+}
+
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// retryReason maps a retryable failure to its metrics label.
+func retryReason(err error) string {
+	var serr *StatusError
+	if !errors.As(err, &serr) {
+		return reasonNetwork
+	}
+	switch {
+	case serr.Code == http.StatusTooManyRequests:
+		return reasonThrottle
+	case serr.Code == http.StatusServiceUnavailable:
+		if serr.Reason != "" {
+			return serr.Reason
+		}
+		return reasonUnavailable
+	default:
+		return reasonServer
+	}
+}
+
+// parseRetryAfter reads the delay-seconds form of Retry-After; the
+// http-date form and garbage both parse as no floor.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// ---- wire documents ----
+// These mirror predictd's JSON contract field-for-field; the client keeps
+// its own copies so importing it never drags in server internals.
+
+// Sample is one observation. Seq, with the client's Source, is its
+// idempotency key; zero means unkeyed (at-least-once).
+type Sample struct {
+	Stream string  `json:"stream"`
+	TS     int64   `json:"ts,omitempty"`
+	Value  float64 `json:"value"`
+	Seq    uint64  `json:"seq,omitempty"`
+}
+
+// IngestRequest is the POST /v1/ingest batch form.
+type IngestRequest struct {
+	Source  string   `json:"source,omitempty"`
+	Samples []Sample `json:"samples,omitempty"`
+}
+
+// IngestResponse is the server's ingest accounting.
+type IngestResponse struct {
+	Accepted int    `json:"accepted"`
+	Rejected int    `json:"rejected,omitempty"`
+	Deduped  int    `json:"deduped,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// ForecastDoc is the forecast half of a forecast response.
+type ForecastDoc struct {
+	TS          int64   `json:"ts"`
+	Value       float64 `json:"value"`
+	Normalized  float64 `json:"normalized"`
+	Expert      string  `json:"expert,omitempty"`
+	StdEstimate float64 `json:"std_estimate,omitempty"`
+	Source      string  `json:"source,omitempty"`
+}
+
+// ForecastResponse is the GET /v1/forecast/{stream} document.
+type ForecastResponse struct {
+	Stream    string       `json:"stream"`
+	Health    string       `json:"health"`
+	LastTS    int64        `json:"last_ts"`
+	LastValue float64      `json:"last_value"`
+	LastError string       `json:"last_error,omitempty"`
+	Forecast  *ForecastDoc `json:"forecast,omitempty"`
+	Poisoned  bool         `json:"poisoned,omitempty"`
+	Fault     string       `json:"fault,omitempty"`
+	Processed uint64       `json:"processed"`
+	Applied   uint64       `json:"applied,omitempty"`
+}

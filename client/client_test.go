@@ -1,0 +1,225 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/acis-lab/larpredictor/internal/obs"
+)
+
+func newTestClient(t *testing.T, url string, mut func(*Config)) *Client {
+	t.Helper()
+	cfg := Config{
+		BaseURL:        url,
+		Source:         "test-src",
+		RequestTimeout: 2 * time.Second,
+		BaseBackoff:    time.Millisecond,
+		MaxBackoff:     5 * time.Millisecond,
+		Seed:           1,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewRequiresBaseURL(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New without BaseURL succeeded")
+	}
+}
+
+// TestRetryUntilSuccess: two 503s (with Retry-After and a reason), then a
+// 202 — the client retries through, the caller sees only success, and the
+// retry metric carries the server's reason label.
+func TestRetryUntilSuccess(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set(reasonHeader, "shed")
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		var req IngestRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Source != "test-src" {
+			t.Errorf("bad request: %+v (%v)", req, err)
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(IngestResponse{Accepted: len(req.Samples)})
+	}))
+	defer ts.Close()
+
+	reg := obs.NewRegistry()
+	c := newTestClient(t, ts.URL, func(cfg *Config) { cfg.Metrics = reg })
+	resp, err := c.Ingest(context.Background(), []Sample{{Stream: "s", TS: 1, Value: 1, Seq: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted != 1 || calls.Load() != 3 {
+		t.Errorf("accepted %d after %d calls, want 1 after 3", resp.Accepted, calls.Load())
+	}
+	var prom strings.Builder
+	if err := reg.WriteProm(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prom.String(), `predictclient_retries_total{reason="shed"} 2`) {
+		t.Errorf("metrics missing shed retries:\n%s", prom.String())
+	}
+}
+
+// TestTerminal400NoRetry: a 4xx is the caller's bug; exactly one request
+// goes out and the status surfaces.
+func TestTerminal400NoRetry(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"empty stream id"}`, http.StatusBadRequest)
+	}))
+	defer ts.Close()
+
+	c := newTestClient(t, ts.URL, nil)
+	_, err := c.Ingest(context.Background(), []Sample{{Value: 1}})
+	var serr *StatusError
+	if !errors.As(err, &serr) || serr.Code != http.StatusBadRequest {
+		t.Fatalf("err = %v, want StatusError 400", err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("400 was retried: %d calls", calls.Load())
+	}
+}
+
+// TestMaxAttemptsExhausted: a permanently failing server consumes exactly
+// MaxAttempts requests, and the final error wraps the last failure.
+func TestMaxAttemptsExhausted(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	c := newTestClient(t, ts.URL, func(cfg *Config) { cfg.MaxAttempts = 3 })
+	_, err := c.Ingest(context.Background(), []Sample{{Stream: "s", Value: 1}})
+	var serr *StatusError
+	if !errors.As(err, &serr) || serr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want wrapped 503", err)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("%d calls, want 3", calls.Load())
+	}
+}
+
+// TestPerAttemptDeadline: a hung server trips the per-attempt timeout, not
+// a client hang; the caller's context is still honored for the loop.
+func TestPerAttemptDeadline(t *testing.T) {
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+	}))
+	defer ts.Close()
+	defer close(release) // before ts.Close, which waits on the handlers
+
+	c := newTestClient(t, ts.URL, func(cfg *Config) {
+		cfg.RequestTimeout = 30 * time.Millisecond
+		cfg.MaxAttempts = 2
+	})
+	start := time.Now()
+	_, err := c.Ingest(context.Background(), []Sample{{Stream: "s", Value: 1}})
+	if err == nil {
+		t.Fatal("hung server ingest succeeded")
+	}
+	if e := time.Since(start); e > 2*time.Second {
+		t.Errorf("deadline did not bound the attempt: %v", e)
+	}
+}
+
+// TestCallerContextStopsRetries: when the caller's own ctx dies mid-loop,
+// the error is the ctx error, not a retry classification.
+func TestCallerContextStopsRetries(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	c := newTestClient(t, ts.URL, func(cfg *Config) {
+		cfg.MaxAttempts = -1 // unlimited
+		cfg.BaseBackoff = 10 * time.Millisecond
+		cfg.MaxBackoff = 10 * time.Millisecond
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := c.Ingest(ctx, []Sample{{Stream: "s", Value: 1}})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want caller deadline", err)
+	}
+}
+
+// TestBackoffJitterAndFloor pins the schedule's two invariants: the sleep
+// never exceeds min(MaxBackoff, BaseBackoff<<attempt), and Retry-After
+// floors it.
+func TestBackoffJitterAndFloor(t *testing.T) {
+	c := newTestClient(t, "http://unused", func(cfg *Config) {
+		cfg.BaseBackoff = 10 * time.Millisecond
+		cfg.MaxBackoff = 80 * time.Millisecond
+	})
+	for attempt := 0; attempt < 10; attempt++ {
+		ceil := 10 * time.Millisecond << uint(attempt)
+		if ceil > 80*time.Millisecond || ceil <= 0 {
+			ceil = 80 * time.Millisecond
+		}
+		for i := 0; i < 50; i++ {
+			if d := c.backoff(attempt, 0); d < 0 || d > ceil {
+				t.Fatalf("attempt %d: backoff %v outside [0, %v]", attempt, d, ceil)
+			}
+		}
+	}
+	if d := c.backoff(0, 3*time.Second); d < 3*time.Second {
+		t.Errorf("Retry-After floor ignored: %v", d)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0}, {"2", 2 * time.Second}, {"0", 0}, {"-1", 0},
+		{"Wed, 21 Oct 2015 07:28:00 GMT", 0}, {"soon", 0},
+	} {
+		if got := parseRetryAfter(tc.in); got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestForecast exercises the GET path and document decode.
+func TestForecast(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/forecast/cpu" {
+			t.Errorf("path = %s", r.URL.Path)
+		}
+		json.NewEncoder(w).Encode(ForecastResponse{Stream: "cpu", Health: "ok", Applied: 7})
+	}))
+	defer ts.Close()
+
+	c := newTestClient(t, ts.URL, nil)
+	fr, err := c.Forecast(context.Background(), "cpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Stream != "cpu" || fr.Applied != 7 {
+		t.Errorf("forecast = %+v", fr)
+	}
+}

@@ -1,0 +1,207 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrIngesterClosed is returned by Add and Flush after Close.
+var ErrIngesterClosed = errors.New("predictclient: ingester closed")
+
+// IngesterConfig shapes an Ingester; every zero field has a default.
+type IngesterConfig struct {
+	// MaxBatch is the largest batch one ingest request carries (default 64).
+	MaxBatch int
+	// FlushInterval bounds how long a sample waits for batch-mates
+	// (default 100ms).
+	FlushInterval time.Duration
+	// QueueDepth is the Add buffer; Add blocks (honoring its ctx) when the
+	// worker falls behind (default 1024).
+	QueueDepth int
+	// OnAck, when set, observes every acknowledged batch.
+	OnAck func(resp *IngestResponse, batch []Sample)
+	// OnError, when set, observes a batch the retry loop gave up on —
+	// the samples (keys included) are handed back so the caller can
+	// re-submit them without minting new keys.
+	OnError func(err error, batch []Sample)
+}
+
+// Ingester batches samples and ships them asynchronously through the
+// client's retry loop. Each Add assigns the sample the next seq from one
+// monotonic counter, so every sample of this client carries a distinct
+// (source, seq) idempotency key that stays fixed however many times its
+// batch is retried — the server applies it exactly once.
+type Ingester struct {
+	c   *Client
+	cfg IngesterConfig
+
+	mu     sync.Mutex
+	seq    uint64
+	closed bool
+
+	in      chan Sample
+	flushes chan chan error
+	quit    chan struct{}
+	done    chan struct{}
+	ctx     context.Context
+	cancel  context.CancelFunc
+}
+
+// NewIngester starts the background flusher. Callers must Close it to
+// flush the tail.
+func (c *Client) NewIngester(cfg IngesterConfig) *Ingester {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 64
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = 100 * time.Millisecond
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1024
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ing := &Ingester{
+		c:       c,
+		cfg:     cfg,
+		in:      make(chan Sample, cfg.QueueDepth),
+		flushes: make(chan chan error),
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
+		ctx:     ctx,
+		cancel:  cancel,
+	}
+	go ing.run()
+	return ing
+}
+
+// Add enqueues one observation, assigning its idempotency seq. It blocks
+// when the queue is full until the worker catches up or ctx cancels.
+func (ing *Ingester) Add(ctx context.Context, s Sample) error {
+	ing.mu.Lock()
+	if ing.closed {
+		ing.mu.Unlock()
+		return ErrIngesterClosed
+	}
+	ing.seq++
+	s.Seq = ing.seq
+	ing.mu.Unlock()
+	select {
+	case ing.in <- s:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-ing.done:
+		return ErrIngesterClosed
+	}
+}
+
+// Flush sends everything queued so far and returns the outcome of that
+// synchronous flush.
+func (ing *Ingester) Flush(ctx context.Context) error {
+	res := make(chan error, 1)
+	select {
+	case ing.flushes <- res:
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-ing.done:
+		return ErrIngesterClosed
+	}
+	select {
+	case err := <-res:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close flushes the remaining queue and stops the worker. After Close, Add
+// and Flush fail with ErrIngesterClosed.
+func (ing *Ingester) Close() error {
+	ing.mu.Lock()
+	if ing.closed {
+		ing.mu.Unlock()
+		<-ing.done
+		return nil
+	}
+	ing.closed = true
+	ing.mu.Unlock()
+	close(ing.quit)
+	<-ing.done
+	ing.cancel()
+	return nil
+}
+
+func (ing *Ingester) run() {
+	defer close(ing.done)
+	ticker := time.NewTicker(ing.cfg.FlushInterval)
+	defer ticker.Stop()
+	var batch []Sample
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		resp, err := ing.c.Ingest(ing.ctx, batch)
+		if err != nil {
+			if ing.cfg.OnError != nil {
+				ing.cfg.OnError(err, batch)
+			}
+			batch = nil
+			return err
+		}
+		if ing.cfg.OnAck != nil {
+			ing.cfg.OnAck(resp, batch)
+		}
+		batch = nil
+		return nil
+	}
+	for {
+		select {
+		case <-ing.quit:
+			// Closing: drain whatever Adds completed, flush the tail, exit.
+			for drain := true; drain; {
+				select {
+				case s := <-ing.in:
+					batch = append(batch, s)
+					if len(batch) >= ing.cfg.MaxBatch {
+						flush()
+					}
+				default:
+					drain = false
+				}
+			}
+			flush()
+			return
+		case s := <-ing.in:
+			batch = append(batch, s)
+			if len(batch) >= ing.cfg.MaxBatch {
+				flush()
+			}
+		case <-ticker.C:
+			flush()
+		case res := <-ing.flushes:
+			// Pull everything already queued into this flush (in MaxBatch
+			// chunks) so the caller gets a true barrier over its prior Adds.
+			var ferr error
+			for {
+				fill := true
+				for fill && len(batch) < ing.cfg.MaxBatch {
+					select {
+					case s := <-ing.in:
+						batch = append(batch, s)
+					default:
+						fill = false
+					}
+				}
+				if len(batch) == 0 {
+					break
+				}
+				if err := flush(); err != nil && ferr == nil {
+					ferr = err
+				}
+			}
+			res <- ferr
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// The WAL durability tests need a real kill -9: an in-process run() always
+// takes the graceful-drain path, which writes a snapshot and would mask WAL
+// bugs. So the crash tests re-exec this test binary as a helper process
+// (the classic exec.Command(os.Args[0], "-test.run=...") pattern) and
+// SIGKILL it mid-ingest.
+
+// TestHelperPredictdProcess is not a test: it is the daemon body the crash
+// tests run as a child process. Guarded by env so normal runs skip it.
+func TestHelperPredictdProcess(t *testing.T) {
+	if os.Getenv("PREDICTD_HELPER") != "1" {
+		t.Skip("helper body for crash tests; started via startHelper")
+	}
+	o := testOptions()
+	o.stateDir = os.Getenv("PREDICTD_HELPER_STATE")
+	o.durability = "wal"
+	o.walSync = time.Millisecond
+	o.snapEvery = 0
+	if v := os.Getenv("PREDICTD_HELPER_SNAP_EVERY"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			t.Fatalf("bad PREDICTD_HELPER_SNAP_EVERY: %v", err)
+		}
+		o.snapEvery = d
+	}
+	addrFile := os.Getenv("PREDICTD_HELPER_ADDRFILE")
+	o.addrReady = func(a string) {
+		// Write-then-rename so the parent never reads a half-written addr.
+		tmp := addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(a), 0o644); err == nil {
+			os.Rename(tmp, addrFile)
+		}
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Stdout, o); err != nil {
+		t.Fatalf("helper run: %v", err)
+	}
+}
+
+// helperProc manages one predictd child process across kill/restart cycles.
+type helperProc struct {
+	t         *testing.T
+	stateDir  string
+	snapEvery time.Duration
+
+	cmd  *exec.Cmd
+	addr string
+	out  *bytes.Buffer
+}
+
+// startHelper launches the daemon as a child process in WAL mode on the
+// given state directory and waits for it to publish its listen address.
+// snapEvery 0 disables periodic snapshots, forcing all durability through
+// the WAL.
+func startHelper(t *testing.T, stateDir string, snapEvery time.Duration) *helperProc {
+	t.Helper()
+	h := &helperProc{t: t, stateDir: stateDir, snapEvery: snapEvery}
+	if err := h.start(); err != nil {
+		t.Fatalf("start helper: %v\noutput:\n%s", err, h.out)
+	}
+	t.Cleanup(func() {
+		if h.cmd != nil && h.cmd.ProcessState == nil {
+			h.cmd.Process.Kill()
+			h.cmd.Wait()
+		}
+	})
+	return h
+}
+
+// start (re)spawns the child and blocks until it serves; call again after
+// kill9 to model a crash restart (from the test goroutine — it registers
+// cleanups).
+func (h *helperProc) start() error {
+	dir, err := os.MkdirTemp("", "predictd-helper-addr")
+	if err != nil {
+		return err
+	}
+	h.t.Cleanup(func() { os.RemoveAll(dir) })
+	addrFile := filepath.Join(dir, "addr")
+	cmd := exec.Command(os.Args[0], "-test.run=^TestHelperPredictdProcess$", "-test.v")
+	cmd.Env = append(os.Environ(),
+		"PREDICTD_HELPER=1",
+		"PREDICTD_HELPER_STATE="+h.stateDir,
+		"PREDICTD_HELPER_ADDRFILE="+addrFile,
+		"PREDICTD_HELPER_SNAP_EVERY="+h.snapEvery.String(),
+	)
+	h.out = &bytes.Buffer{}
+	cmd.Stdout, cmd.Stderr = h.out, h.out
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	h.cmd = cmd
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if b, rerr := os.ReadFile(addrFile); rerr == nil && len(b) > 0 {
+			h.addr = string(b)
+			return nil
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			return errHelperNoAddr
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+var errHelperNoAddr = errTimeout("helper never published its listen address")
+
+type errTimeout string
+
+func (e errTimeout) Error() string { return string(e) }
+
+// kill9 SIGKILLs the child — no drain, no final snapshot — and reaps it.
+func (h *helperProc) kill9() {
+	h.t.Helper()
+	if err := h.cmd.Process.Kill(); err != nil {
+		h.t.Fatalf("kill -9 helper: %v", err)
+	}
+	h.cmd.Wait()
+}

@@ -17,7 +17,11 @@
 // Streams are created on first ingest — no registration step. With -state the
 // daemon snapshots every stream's predictor and latest forecast periodically
 // and again during graceful shutdown, so a restart serves the previous run's
-// forecasts immediately and keeps training from where it left off.
+// forecasts immediately and keeps training from where it left off. With
+// -durability=wal every acked ingest batch is additionally fsynced to a
+// write-ahead log before the 202 goes out, and client-assigned (source, seq)
+// keys are deduplicated so retried batches apply exactly once — a kill -9
+// loses nothing that was acknowledged.
 package main
 
 import (
@@ -51,6 +55,8 @@ func main() {
 		thresh     = flag.Float64("threshold", 2.0, "QA normalized-MSE retrain threshold")
 		stateDir   = flag.String("state", "", "state directory for durable snapshots; empty runs stateless")
 		snapEvery  = flag.Duration("snapshot-every", 5*time.Minute, "interval between durable snapshots (0 disables periodic snapshots)")
+		durability = flag.String("durability", "snapshot", "durability mode: snapshot (acks best-effort until the next snapshot) or wal (every ack fsynced to a write-ahead log; requires -state and -backpressure=block)")
+		walSync    = flag.Duration("wal-sync", 2*time.Millisecond, "group-commit window: max time an acked batch waits for its shared fsync (0 syncs every batch)")
 		inflight   = flag.Int("max-inflight", 256, "max concurrently served /v1 requests before shedding with 503")
 		reqTimeout = flag.Duration("request-timeout", 10*time.Second, "per-request handler timeout")
 		maxBody    = flag.Int64("max-body", 1<<20, "max ingest request body bytes")
@@ -69,6 +75,8 @@ func main() {
 		threshold:    *thresh,
 		stateDir:     *stateDir,
 		snapEvery:    *snapEvery,
+		durability:   *durability,
+		walSync:      *walSync,
 		maxInFlight:  *inflight,
 		reqTimeout:   *reqTimeout,
 		maxBody:      *maxBody,
@@ -94,6 +102,8 @@ type options struct {
 	threshold    float64
 	stateDir     string
 	snapEvery    time.Duration
+	durability   string
+	walSync      time.Duration
 	maxInFlight  int
 	reqTimeout   time.Duration
 	maxBody      int64
@@ -130,6 +140,23 @@ func run(ctx context.Context, out io.Writer, o options) error {
 	if err != nil {
 		return err
 	}
+	walMode := false
+	switch o.durability {
+	case "", "snapshot":
+	case "wal":
+		// A WAL ack is a promise the sample will be applied, so the engine
+		// must not be allowed to shed a committed batch: only the Block
+		// policy guarantees enqueue-after-commit succeeds.
+		if o.stateDir == "" {
+			return errors.New("-durability=wal requires -state")
+		}
+		if policy != engine.Block {
+			return errors.New("-durability=wal requires -backpressure=block")
+		}
+		walMode = true
+	default:
+		return fmt.Errorf("unknown durability mode %q (want snapshot or wal)", o.durability)
+	}
 	newStream := func(id string) (*core.Online, error) {
 		return core.NewOnline(core.OnlineConfig{
 			Predictor:    core.DefaultConfig(o.window),
@@ -157,21 +184,54 @@ func run(ctx context.Context, out io.Writer, o options) error {
 	defer eng.Close()
 
 	var st *snapStore
+	var ws *walStore
 	if o.stateDir != "" {
 		st, err = openSnapStore(o.stateDir, fingerprintOptions(o), reg)
 		if err != nil {
 			return err
 		}
-		restored, rerr := st.restore(eng, cache, newStream, os.Stderr)
+		if walMode {
+			// Open the WAL before restoring so the snapshot's dedup table
+			// is in place when replay runs.
+			ws, err = openWALStore(o.stateDir, o.walSync, reg, os.Stderr)
+			if err != nil {
+				return err
+			}
+			defer ws.close()
+		}
+		var dedup *server.Dedup
+		if ws != nil {
+			dedup = ws.dedup
+		}
+		restored, rerr := st.restore(eng, cache, newStream, dedup, os.Stderr)
 		if rerr != nil {
 			return rerr
 		}
 		if restored > 0 {
 			fmt.Fprintf(out, "predictd: warm restart: %d streams restored from %s\n", restored, o.stateDir)
 		}
+		if ws != nil {
+			recs, samples, rerr := ws.replay(eng, os.Stderr)
+			if rerr != nil {
+				return fmt.Errorf("WAL replay: %w", rerr)
+			}
+			if recs > 0 {
+				fmt.Fprintf(out, "predictd: replayed %d WAL records (%d samples) from %s\n",
+					recs, samples, o.stateDir)
+			}
+		}
 	}
 
-	srv, err := server.New(server.Config{
+	// saveState is the one snapshot entry point; in WAL mode it runs the
+	// coherent drain→snapshot→WAL-reset sequence.
+	saveState := func() error {
+		if ws != nil {
+			return ws.snapshot(st, eng, cache)
+		}
+		return st.save(eng, cache, nil)
+	}
+
+	scfg := server.Config{
 		Engine:         eng,
 		Cache:          cache,
 		Registry:       reg,
@@ -182,11 +242,18 @@ func run(ctx context.Context, out io.Writer, o options) error {
 			if st == nil {
 				return
 			}
-			if serr := st.save(eng, cache); serr != nil {
+			if serr := saveState(); serr != nil {
 				fmt.Fprintln(os.Stderr, "predictd: final snapshot:", serr)
 			}
 		},
-	})
+	}
+	if ws != nil {
+		scfg.Ingest = func(batch []server.KeyedSample) (int, int, error) {
+			return ws.ingest(eng, batch)
+		}
+		scfg.Applied = ws.dedup.Applied
+	}
+	srv, err := server.New(scfg)
 	if err != nil {
 		return err
 	}
@@ -195,7 +262,11 @@ func run(ctx context.Context, out io.Writer, o options) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "predictd: serving on %s (policy %s)\n", ln.Addr(), o.backpressure)
+	mode := "snapshot"
+	if walMode {
+		mode = "wal"
+	}
+	fmt.Fprintf(out, "predictd: serving on %s (policy %s, durability %s)\n", ln.Addr(), o.backpressure, mode)
 	if o.addrReady != nil {
 		o.addrReady(ln.Addr().String())
 	}
@@ -213,7 +284,7 @@ func run(ctx context.Context, out io.Writer, o options) error {
 	for {
 		select {
 		case <-snapC:
-			if serr := st.save(eng, cache); serr != nil {
+			if serr := saveState(); serr != nil {
 				fmt.Fprintln(os.Stderr, "predictd: periodic snapshot:", serr)
 			}
 		case err := <-serveErr:

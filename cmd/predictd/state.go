@@ -19,9 +19,12 @@ import (
 // Durable state is one file, <dir>/predictd.snap: a gob snapFile framed by
 // durable.WriteChecksummed (magic + payload + CRC32-IEEE footer) and written
 // via durable.WriteFileAtomic, so a crash mid-snapshot leaves the previous
-// complete snapshot in place. Unlike monitord there is no WAL: predictd's
-// clients own their data and can re-send the window since the last snapshot,
-// so the durability contract is "latest snapshot wins".
+// complete snapshot in place. Under the default snapshot durability mode
+// there is no WAL: predictd's clients own their data and can re-send the
+// window since the last snapshot, so the contract is "latest snapshot
+// wins". Under -durability=wal the snapshot additionally carries the
+// idempotency table, and <dir>/predictd.wal covers every ack made since it
+// was written (see wal.go).
 
 const snapMagic = "LARPRED1"
 
@@ -31,6 +34,10 @@ type snapFile struct {
 	// under one fingerprint is not restored under another.
 	Fingerprint string
 	Streams     map[string]streamState
+	// Dedup is the idempotency table at capture time (WAL mode only). A
+	// snapshot taken without it restores with an empty table, which is
+	// exactly right for snapshot-mode files.
+	Dedup server.DedupState
 }
 
 // streamState is one stream's persisted state: the core codec's framed
@@ -85,9 +92,13 @@ func (st *snapStore) path() string { return filepath.Join(st.dir, "predictd.snap
 // writes one atomic checksummed file. Per-stream capture runs inside
 // eng.Do, which holds the stream's shard lock: the predictor bytes and the
 // cache entry read right after describe the same step, because OnResult
-// (the cache writer) runs under that same lock.
-func (st *snapStore) save(eng *engine.Engine, cache *server.ResultCache) error {
+// (the cache writer) runs under that same lock. dedup, when non-nil, is
+// the idempotency table to persist alongside (WAL mode).
+func (st *snapStore) save(eng *engine.Engine, cache *server.ResultCache, dedup *server.Dedup) error {
 	snap := snapFile{Fingerprint: st.fingerprint, Streams: map[string]streamState{}}
+	if dedup != nil {
+		snap.Dedup = dedup.State()
+	}
 	var ids []string
 	eng.Each(func(id string, _ engine.StreamStats) { ids = append(ids, id) })
 	var saveErr error
@@ -128,8 +139,10 @@ func (st *snapStore) save(eng *engine.Engine, cache *server.ResultCache) error {
 // with the engine, and primes the serving cache so the first forecast read
 // needs no new samples. It returns how many streams were restored. logw
 // receives one line per abnormal event.
+// dedup, when non-nil, receives the snapshot's idempotency table so WAL
+// replay and client retries dedup against everything the snapshot covers.
 func (st *snapStore) restore(eng *engine.Engine, cache *server.ResultCache,
-	newStream func(id string) (*core.Online, error), logw io.Writer) (int, error) {
+	newStream func(id string) (*core.Online, error), dedup *server.Dedup, logw io.Writer) (int, error) {
 	payload, err := durable.ReadChecksummedFile(st.path(), snapMagic)
 	switch {
 	case os.IsNotExist(err):
@@ -149,6 +162,9 @@ func (st *snapStore) restore(eng *engine.Engine, cache *server.ResultCache,
 		fmt.Fprintf(logw, "predictd: snapshot was written by a different configuration (have %q, want %q), cold starting\n",
 			snap.Fingerprint, st.fingerprint)
 		return 0, nil
+	}
+	if dedup != nil {
+		dedup.Restore(snap.Dedup)
 	}
 	restored := 0
 	for id, ss := range snap.Streams {

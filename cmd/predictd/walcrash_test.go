@@ -1,0 +1,261 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/acis-lab/larpredictor/client"
+	"github.com/acis-lab/larpredictor/internal/chaosproxy"
+)
+
+func newCrashClient(t *testing.T, addr, source string, maxAttempts int) *client.Client {
+	t.Helper()
+	c, err := client.New(client.Config{
+		BaseURL:          "http://" + addr,
+		Source:           source,
+		RequestTimeout:   2 * time.Second,
+		MaxAttempts:      maxAttempts,
+		BaseBackoff:      5 * time.Millisecond,
+		MaxBackoff:       200 * time.Millisecond,
+		BreakerThreshold: -1, // crash tests want every retry to reach the wire
+		Seed:             1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// waitApplied polls the stream's durable applied count until it reaches
+// want, failing with the last observed state on timeout.
+func waitApplied(t *testing.T, c *client.Client, stream string, want uint64) *client.ForecastResponse {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	var last *client.ForecastResponse
+	var lastErr error
+	for time.Now().Before(deadline) {
+		fr, err := c.Forecast(context.Background(), stream)
+		if err == nil {
+			last = fr
+			if fr.Applied == want {
+				return fr
+			}
+		} else {
+			lastErr = err
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("stream %s: applied never reached %d (last: %+v, err %v)", stream, want, last, lastErr)
+	return nil
+}
+
+// TestPredictdWALCrashKill9NoAckedLoss is the durability contract test:
+// every batch a WAL-mode daemon acked with 202 survives kill -9 (no final
+// snapshot runs), and a client resending an already-acked batch after the
+// restart is deduplicated — applied exactly once, end to end.
+func TestPredictdWALCrashKill9NoAckedLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	dir := t.TempDir()
+	// snapEvery 0: the only durable copy of acked data is the WAL.
+	h := startHelper(t, dir, 0)
+	c := newCrashClient(t, h.addr, "crash-src", 6)
+
+	const stream = "wal/crash"
+	const batches, batchLen = 5, 10
+	var seq uint64
+	sent := make([][]client.Sample, 0, batches)
+	for b := 0; b < batches; b++ {
+		samples := make([]client.Sample, batchLen)
+		for i := range samples {
+			seq++
+			samples[i] = client.Sample{Stream: stream, TS: int64(seq), Value: 10 + float64(seq%7), Seq: seq}
+		}
+		resp, err := c.Ingest(context.Background(), samples)
+		if err != nil {
+			t.Fatalf("ingest batch %d: %v", b, err)
+		}
+		if resp.Accepted != batchLen || resp.Deduped != 0 {
+			t.Fatalf("batch %d accepted/deduped = %d/%d, want %d/0", b, resp.Accepted, resp.Deduped, batchLen)
+		}
+		sent = append(sent, samples)
+	}
+	total := uint64(batches * batchLen)
+
+	h.kill9()
+	if err := h.start(); err != nil {
+		t.Fatalf("restart after kill -9: %v\noutput:\n%s", err, h.out)
+	}
+	c2 := newCrashClient(t, h.addr, "crash-src", 6)
+
+	// Every acked sample must be present after replay: the durable applied
+	// count and the newest timestamp both match what was acknowledged.
+	fr := waitApplied(t, c2, stream, total)
+	if fr.LastTS != int64(total) {
+		t.Errorf("after replay last_ts = %d, want %d", fr.LastTS, total)
+	}
+
+	// Resend an already-acked batch (same source, same seqs — the retry a
+	// real client would issue after losing the 202): acked as fully
+	// deduplicated, applied count unchanged.
+	resp, err := c2.Ingest(context.Background(), sent[batches-1])
+	if err != nil {
+		t.Fatalf("resend acked batch: %v", err)
+	}
+	if resp.Accepted != 0 || resp.Deduped != batchLen {
+		t.Errorf("resend accepted/deduped = %d/%d, want 0/%d", resp.Accepted, resp.Deduped, batchLen)
+	}
+	fr2, err := c2.Forecast(context.Background(), stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr2.Applied != total {
+		t.Errorf("applied after resend = %d, want %d (double-apply)", fr2.Applied, total)
+	}
+}
+
+// TestChaosSoak drives keyed ingest through the fault-injecting proxy at a
+// WAL-mode daemon that is kill -9'd and restarted repeatedly mid-stream.
+// The client retries without limit, so at the end every sample was acked —
+// and the soak passes only if the durable applied count equals exactly the
+// distinct samples sent: nothing acked was lost, nothing applied twice.
+// Forecasts must also keep serving through the chaos. Deterministic: the
+// proxy's fault schedule is a pure function of its seed.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second soak with child processes")
+	}
+	dir := t.TempDir()
+	// Short periodic snapshots make the soak cross snapshot/WAL-truncate
+	// boundaries, the subtlest part of the commit protocol.
+	h := startHelper(t, dir, 300*time.Millisecond)
+
+	proxy, err := chaosproxy.Start("127.0.0.1:0", chaosproxy.Config{
+		Target:        h.addr,
+		Seed:          42,
+		LatencyProb:   0.20,
+		LatencyMin:    time.Millisecond,
+		LatencyMax:    10 * time.Millisecond,
+		ResetProb:     0.08,
+		PartialProb:   0.04,
+		BlackholeProb: 0.04,
+		BlackholeDur:  300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	const nStreams, batches, batchLen = 3, 12, 10
+	const perStream = uint64(batches * batchLen)
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+
+	var senders sync.WaitGroup
+	for s := 0; s < nStreams; s++ {
+		s := s
+		// Each sender talks through the proxy with unlimited retries: a
+		// send returns only once the daemon acked it.
+		c, cerr := client.New(client.Config{
+			BaseURL:          "http://" + proxy.Addr(),
+			Source:           fmt.Sprintf("soak-src-%d", s),
+			RequestTimeout:   time.Second,
+			MaxAttempts:      -1,
+			BaseBackoff:      5 * time.Millisecond,
+			MaxBackoff:       100 * time.Millisecond,
+			BreakerThreshold: -1,
+			Seed:             int64(100 + s),
+		})
+		if cerr != nil {
+			t.Fatal(cerr)
+		}
+		senders.Add(1)
+		go func() {
+			defer senders.Done()
+			stream := fmt.Sprintf("soak/stream-%d", s)
+			var seq uint64
+			for b := 0; b < batches; b++ {
+				samples := make([]client.Sample, batchLen)
+				for i := range samples {
+					seq++
+					samples[i] = client.Sample{Stream: stream, TS: int64(seq), Value: 10 + float64(seq%7), Seq: seq}
+				}
+				if _, err := c.Ingest(ctx, samples); err != nil {
+					t.Errorf("stream %s batch %d never acked: %v", stream, b, err)
+					return
+				}
+				time.Sleep(50 * time.Millisecond) // spread sends across the kill windows
+			}
+		}()
+	}
+
+	// A reader polls forecasts through the proxy for the whole soak; chaos
+	// and restarts may fail individual reads, but some must succeed.
+	var okReads atomic.Int64
+	readerStop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		rc, rerr := client.New(client.Config{
+			BaseURL:          "http://" + proxy.Addr(),
+			RequestTimeout:   500 * time.Millisecond,
+			MaxAttempts:      1,
+			BreakerThreshold: -1,
+			Seed:             7,
+		})
+		if rerr != nil {
+			t.Error(rerr)
+			return
+		}
+		for {
+			select {
+			case <-readerStop:
+				return
+			default:
+			}
+			if _, err := rc.Forecast(ctx, "soak/stream-0"); err == nil {
+				okReads.Add(1)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}()
+
+	// The kill loop runs on the test goroutine: three SIGKILLs spread
+	// across the sending window, each followed by a restart on the same
+	// state directory and a proxy retarget.
+	for k := 0; k < 3; k++ {
+		time.Sleep(700 * time.Millisecond)
+		h.kill9()
+		if err := h.start(); err != nil {
+			t.Fatalf("restart %d after kill -9: %v\noutput:\n%s", k, err, h.out)
+		}
+		proxy.SetTarget(h.addr)
+	}
+
+	senders.Wait()
+	close(readerStop)
+	readers.Wait()
+	if t.Failed() {
+		t.FailNow() // a sender already reported the root cause
+	}
+	if okReads.Load() == 0 {
+		t.Error("no forecast was served during the chaos window")
+	}
+
+	// Verify directly against the daemon (no proxy): applied must equal
+	// sent, exactly, for every stream — no acked loss, no double apply.
+	vc := newCrashClient(t, h.addr, "verify", 6)
+	for s := 0; s < nStreams; s++ {
+		stream := fmt.Sprintf("soak/stream-%d", s)
+		fr := waitApplied(t, vc, stream, perStream)
+		if fr.Applied != perStream {
+			t.Errorf("%s applied = %d, want exactly %d", stream, fr.Applied, perStream)
+		}
+	}
+}

@@ -1,7 +1,11 @@
-// Predictclient: a minimal HTTP client for a running predictd. It streams a
-// synthetic CPU trace into POST /v1/ingest in batches, then reads the
-// stream's latest forecast back from GET /v1/forecast/{stream} — the whole
-// serving loop a real collector would run, in ~80 lines of stdlib.
+// Predictclient: a resilient client for a running predictd, built on the
+// repo's client package. It streams a synthetic CPU trace into POST
+// /v1/ingest through the batching Ingester — exponential backoff with full
+// jitter, Retry-After honored, circuit breaker, and client-assigned
+// (source, seq) idempotency keys so retried batches apply exactly once on
+// a WAL-mode daemon — then reads the stream's forecast back. Ctrl-C exits
+// cleanly at any point: the first SIGINT stops new work, flushes what was
+// queued, and prints where the stream got to.
 //
 // Start the daemon, then run the client:
 //
@@ -10,42 +14,37 @@
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"log"
-	"net/http"
+	"os"
+	"os/signal"
 	"time"
 
 	larpredictor "github.com/acis-lab/larpredictor"
+	"github.com/acis-lab/larpredictor/client"
 )
-
-type sample struct {
-	Stream string  `json:"stream"`
-	TS     int64   `json:"ts"`
-	Value  float64 `json:"value"`
-}
-
-type ingestRequest struct {
-	Samples []sample `json:"samples"`
-}
-
-type forecastResponse struct {
-	Stream   string `json:"stream"`
-	Health   string `json:"health"`
-	LastTS   int64  `json:"last_ts"`
-	Forecast *struct {
-		Value  float64 `json:"value"`
-		Expert string  `json:"expert"`
-	} `json:"forecast"`
-}
 
 func main() {
 	addr := flag.String("addr", "http://localhost:8100", "predictd base URL")
 	stream := flag.String("stream", "VM2/CPU_usedsec", "stream ID to ingest and query")
+	source := flag.String("source", "predictclient-example", "idempotency source ID for this client")
 	flag.Parse()
+
+	// First SIGINT cancels ctx: in-flight work wraps up and the client
+	// exits 0. A second SIGINT kills the process the default way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	c, err := client.New(client.Config{
+		BaseURL: *addr,
+		Source:  *source,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// A day of five-minute CPU samples from the synthetic VM workload
 	// generator; any float64 series a collector produces works the same way.
@@ -55,55 +54,56 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Ingest in batches of 32. The daemon creates the stream on first sight
-	// and trains the predictor once enough samples have arrived; 429 means
-	// back off and retry, exactly as the Retry-After header says.
-	const batchSize = 32
-	for start := 0; start < len(series.Values); start += batchSize {
-		end := min(start+batchSize, len(series.Values))
-		req := ingestRequest{}
-		for i := start; i < end; i++ {
-			req.Samples = append(req.Samples, sample{Stream: *stream, TS: int64(i), Value: series.Values[i]})
-		}
-		body, _ := json.Marshal(req)
-		for {
-			resp, err := http.Post(*addr+"/v1/ingest", "application/json", bytes.NewReader(body))
-			if err != nil {
-				log.Fatal(err)
+	// The Ingester batches, retries, and keys every sample; Add blocks only
+	// when the daemon falls behind. Backpressure (429/503 + Retry-After)
+	// and transient failures are absorbed by the client's retry loop.
+	ing := c.NewIngester(client.IngesterConfig{
+		MaxBatch:      32,
+		FlushInterval: 100 * time.Millisecond,
+		OnError: func(err error, batch []client.Sample) {
+			log.Printf("batch of %d gave up: %v", len(batch), err)
+		},
+	})
+	sent := 0
+	for i, v := range series.Values {
+		if err := ing.Add(ctx, client.Sample{Stream: *stream, TS: int64(i), Value: v}); err != nil {
+			if errors.Is(err, context.Canceled) {
+				break // Ctrl-C: flush what we have and report
 			}
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-			if resp.StatusCode == http.StatusTooManyRequests {
-				time.Sleep(time.Second)
-				continue
-			}
-			if resp.StatusCode != http.StatusAccepted {
-				log.Fatalf("ingest: unexpected status %s", resp.Status)
-			}
-			break
-		}
-	}
-
-	// Ingest is asynchronous: poll until the daemon has folded in the tail.
-	lastTS := int64(len(series.Values) - 1)
-	var fc forecastResponse
-	for {
-		resp, err := http.Get(*addr + "/v1/forecast/" + *stream)
-		if err != nil {
 			log.Fatal(err)
 		}
-		data, _ := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode == http.StatusOK {
-			if err := json.Unmarshal(data, &fc); err != nil {
-				log.Fatal(err)
-			}
-			if fc.LastTS == lastTS && fc.Forecast != nil {
-				break
-			}
-		}
-		time.Sleep(50 * time.Millisecond)
+		sent++
 	}
-	fmt.Printf("stream %s (health %s): next value ≈ %.2f (forecast by the %s expert)\n",
-		fc.Stream, fc.Health, fc.Forecast.Value, fc.Forecast.Expert)
+	if err := ing.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if sent == 0 {
+		fmt.Println("interrupted before any sample was sent")
+		return
+	}
+
+	// Ingest is asynchronous server-side: poll until the daemon has folded
+	// in the tail of what was actually sent, then print the forecast.
+	lastTS := int64(sent - 1)
+	for {
+		fc, err := c.Forecast(ctx, *stream)
+		if err != nil {
+			if ctx.Err() != nil {
+				fmt.Printf("interrupted after sending %d samples\n", sent)
+				return
+			}
+			log.Fatal(err)
+		}
+		if fc.LastTS >= lastTS && fc.Forecast != nil {
+			fmt.Printf("stream %s (health %s): next value ≈ %.2f (forecast by the %s expert)\n",
+				fc.Stream, fc.Health, fc.Forecast.Value, fc.Forecast.Expert)
+			return
+		}
+		select {
+		case <-ctx.Done():
+			fmt.Printf("interrupted after sending %d samples (stream at ts %d)\n", sent, fc.LastTS)
+			return
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
 }

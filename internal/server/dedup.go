@@ -1,0 +1,185 @@
+package server
+
+import "sync"
+
+// dedupWindow is how many sequence numbers behind a source's highest applied
+// seq the table still distinguishes "applied" from "never seen". Anything at
+// or below the floor (max - window) is treated as applied: retries arrive
+// promptly, so by the time a seq falls out of the window its batch has long
+// been resolved one way or the other.
+const dedupWindow = 4096
+
+// Dedup is the server-side idempotency table: for every stream it tracks,
+// per client source, which sequence numbers have been applied, so a retried
+// ingest batch is applied exactly once no matter how many times the network
+// forced the client to resend it. It also keeps a durable per-stream count
+// of applied keyed samples — the end-to-end audit number the chaos soak
+// asserts on.
+//
+// Apply is the atomic check-and-mark: the caller treats a true return as a
+// commitment to apply the sample (predictd logs it in the WAL before
+// acking), and calls Revert only when that commitment could not be made.
+// All methods are safe for concurrent use.
+type Dedup struct {
+	mu      sync.Mutex
+	streams map[string]map[string]*seqWindow
+	applied map[string]uint64
+}
+
+// seqWindow is one (stream, source) pair's applied-seq set: everything at or
+// below Floor is applied; seqs above Floor are applied iff present in Seqs.
+type seqWindow struct {
+	floor uint64
+	max   uint64
+	seqs  map[uint64]struct{}
+}
+
+// NewDedup returns an empty table.
+func NewDedup() *Dedup {
+	return &Dedup{
+		streams: map[string]map[string]*seqWindow{},
+		applied: map[string]uint64{},
+	}
+}
+
+// Apply marks (stream, source, seq) applied and reports whether it was new.
+// A false return means the sample was already applied (or is so far behind
+// the source's window that it must have been) and must be skipped.
+func (d *Dedup) Apply(stream, source string, seq uint64) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	sources, ok := d.streams[stream]
+	if !ok {
+		sources = map[string]*seqWindow{}
+		d.streams[stream] = sources
+	}
+	w, ok := sources[source]
+	if !ok {
+		w = &seqWindow{seqs: map[uint64]struct{}{}}
+		sources[source] = w
+	}
+	if seq <= w.floor {
+		return false
+	}
+	if _, dup := w.seqs[seq]; dup {
+		return false
+	}
+	w.seqs[seq] = struct{}{}
+	if seq > w.max {
+		w.max = seq
+	}
+	w.compact()
+	d.applied[stream]++
+	return true
+}
+
+// Revert withdraws a mark made by Apply — the failure path when the durable
+// log rejected the batch after the mark, so a client retry must be admitted.
+func (d *Dedup) Revert(stream, source string, seq uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	sources := d.streams[stream]
+	if sources == nil {
+		return
+	}
+	w := sources[source]
+	if w == nil || seq <= w.floor {
+		return
+	}
+	if _, ok := w.seqs[seq]; !ok {
+		return
+	}
+	delete(w.seqs, seq)
+	d.applied[stream]--
+}
+
+// compact advances the floor so the live set stays bounded. Called with the
+// table lock held.
+func (w *seqWindow) compact() {
+	if w.max <= dedupWindow || len(w.seqs) <= 2*dedupWindow {
+		return
+	}
+	newFloor := w.max - dedupWindow
+	for s := range w.seqs {
+		if s <= newFloor {
+			delete(w.seqs, s)
+		}
+	}
+	if newFloor > w.floor {
+		w.floor = newFloor
+	}
+}
+
+// Applied returns the stream's cumulative count of applied keyed samples.
+func (d *Dedup) Applied(stream string) (uint64, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n, ok := d.applied[stream]
+	return n, ok
+}
+
+// DedupState is the table's exported snapshot form, persisted inside the
+// predictd snapshot so idempotency survives a restart: without it, a batch
+// acked just before a crash would be re-applied when the client retries it
+// against the recovered daemon.
+type DedupState struct {
+	// Streams maps stream -> source -> applied-seq window.
+	Streams map[string]map[string]SourceWindow
+	// Applied maps stream -> cumulative applied keyed samples.
+	Applied map[string]uint64
+}
+
+// SourceWindow is one (stream, source) window in exported form.
+type SourceWindow struct {
+	Floor, Max uint64
+	Seqs       []uint64
+}
+
+// State captures the table for a snapshot.
+func (d *Dedup) State() DedupState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := DedupState{
+		Streams: make(map[string]map[string]SourceWindow, len(d.streams)),
+		Applied: make(map[string]uint64, len(d.applied)),
+	}
+	for stream, sources := range d.streams {
+		out := make(map[string]SourceWindow, len(sources))
+		for source, w := range sources {
+			sw := SourceWindow{Floor: w.floor, Max: w.max, Seqs: make([]uint64, 0, len(w.seqs))}
+			for s := range w.seqs {
+				sw.Seqs = append(sw.Seqs, s)
+			}
+			out[source] = sw
+		}
+		st.Streams[stream] = out
+	}
+	for stream, n := range d.applied {
+		st.Applied[stream] = n
+	}
+	return st
+}
+
+// Restore replaces the table's contents with a snapshot captured by State.
+func (d *Dedup) Restore(st DedupState) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.streams = map[string]map[string]*seqWindow{}
+	d.applied = map[string]uint64{}
+	for stream, sources := range st.Streams {
+		in := map[string]*seqWindow{}
+		for source, sw := range sources {
+			w := &seqWindow{floor: sw.Floor, max: sw.Max, seqs: make(map[uint64]struct{}, len(sw.Seqs))}
+			for _, s := range sw.Seqs {
+				if s > w.floor {
+					w.seqs[s] = struct{}{}
+				}
+			}
+			in[source] = w
+		}
+		d.streams[stream] = in
+	}
+	for stream, n := range st.Applied {
+		d.applied[stream] = n
+	}
+}

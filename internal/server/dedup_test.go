@@ -1,0 +1,140 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestDedupApplyRetryAndRevert(t *testing.T) {
+	d := NewDedup()
+	if !d.Apply("s", "src", 1) {
+		t.Fatal("first apply rejected")
+	}
+	if d.Apply("s", "src", 1) {
+		t.Fatal("duplicate apply accepted")
+	}
+	if !d.Apply("s", "src", 2) {
+		t.Fatal("next seq rejected")
+	}
+	// Out-of-order older seq that was never applied is still admitted while
+	// inside the window.
+	if d.Apply("s", "src", 2) {
+		t.Fatal("duplicate seq 2 accepted")
+	}
+	if n, ok := d.Applied("s"); !ok || n != 2 {
+		t.Fatalf("applied = %d/%v, want 2/true", n, ok)
+	}
+
+	// Distinct sources and streams do not collide.
+	if !d.Apply("s", "other", 1) {
+		t.Error("other source's seq 1 rejected")
+	}
+	if !d.Apply("s2", "src", 1) {
+		t.Error("other stream's seq 1 rejected")
+	}
+
+	d.Revert("s", "src", 2)
+	if n, _ := d.Applied("s"); n != 2 { // 1 from src + 1 from other
+		t.Errorf("applied after revert = %d, want 2", n)
+	}
+	if !d.Apply("s", "src", 2) {
+		t.Error("reverted seq rejected on retry")
+	}
+	// Reverting something never applied is a no-op.
+	d.Revert("s", "src", 99)
+	d.Revert("nope", "src", 1)
+}
+
+func TestDedupStateRoundTrip(t *testing.T) {
+	d := NewDedup()
+	for seq := uint64(1); seq <= 10; seq++ {
+		d.Apply("a", "src", seq)
+	}
+	d.Apply("b", "src2", 7)
+
+	st := d.State()
+	d2 := NewDedup()
+	d2.Restore(st)
+	for seq := uint64(1); seq <= 10; seq++ {
+		if d2.Apply("a", "src", seq) {
+			t.Fatalf("restored table re-admitted a/src/%d", seq)
+		}
+	}
+	if d2.Apply("b", "src2", 7) {
+		t.Error("restored table re-admitted b/src2/7")
+	}
+	if !d2.Apply("a", "src", 11) {
+		t.Error("restored table rejected fresh seq")
+	}
+	if n, _ := d2.Applied("a"); n != 11 {
+		t.Errorf("restored applied = %d, want 11", n)
+	}
+}
+
+func TestDedupWindowFloor(t *testing.T) {
+	d := NewDedup()
+	// Push far past the window so compaction must advance the floor.
+	top := uint64(3 * dedupWindow)
+	for seq := uint64(1); seq <= top; seq++ {
+		if !d.Apply("s", "src", seq) {
+			t.Fatalf("seq %d rejected on first apply", seq)
+		}
+	}
+	// Anything at or below the floor is treated as applied.
+	if d.Apply("s", "src", 1) {
+		t.Error("ancient seq admitted after floor advanced")
+	}
+	if d.Apply("s", "src", top) {
+		t.Error("max seq re-admitted")
+	}
+	if !d.Apply("s", "src", top+1) {
+		t.Error("fresh seq rejected")
+	}
+	w := d.streams["s"]["src"]
+	if len(w.seqs) > 2*dedupWindow+1 {
+		t.Errorf("window not compacted: %d live seqs", len(w.seqs))
+	}
+}
+
+func TestDedupConcurrentExactlyOnce(t *testing.T) {
+	d := NewDedup()
+	const workers = 8
+	const seqs = 500
+	var wins [seqs + 1]int32
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seq := uint64(1); seq <= seqs; seq++ {
+				if d.Apply("s", "src", seq) {
+					mu.Lock()
+					wins[seq]++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for seq := 1; seq <= seqs; seq++ {
+		if wins[seq] != 1 {
+			t.Fatalf("seq %d applied %d times", seq, wins[seq])
+		}
+	}
+	if n, _ := d.Applied("s"); n != seqs {
+		t.Errorf("applied = %d, want %d", n, seqs)
+	}
+}
+
+func BenchmarkDedupApply(b *testing.B) {
+	d := NewDedup()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Apply("bench/stream", "src", uint64(i+1))
+	}
+	if _, ok := d.Applied("bench/stream"); !ok {
+		b.Fatal(fmt.Errorf("no applied count"))
+	}
+}

@@ -32,6 +32,36 @@ import (
 	"github.com/acis-lab/larpredictor/internal/obs"
 )
 
+// The three causes of a 503 are distinguished for retrying clients by the
+// X-Predictd-Reason header (and distinct bodies): "drain" — the server is
+// shutting down or the engine is closed, retry against a healthy replica;
+// "shed" — admission control rejected the request before any work, retry
+// after backoff; "timeout" — the per-request deadline fired mid-flight, so
+// the work may still complete server-side (hedge-worthy: an idempotent
+// retry is safe, a blind one may double-apply without keys).
+const (
+	// ReasonHeader names the response header carrying the 503 cause.
+	ReasonHeader = "X-Predictd-Reason"
+	// ReasonDrain marks a shutdown-path rejection.
+	ReasonDrain = "drain"
+	// ReasonShed marks an admission-control rejection.
+	ReasonShed = "shed"
+	// ReasonTimeout marks a request cut off by the server-side deadline.
+	ReasonTimeout = "timeout"
+)
+
+// KeyedSample is one decoded ingest sample plus its client-assigned
+// idempotency key. Source "" (or Seq 0) means the sample is unkeyed and
+// bypasses deduplication.
+type KeyedSample struct {
+	engine.Sample
+	// Source identifies the producing client instance.
+	Source string
+	// Seq is the client's monotonically increasing sequence number for this
+	// sample; (Source, Seq) is the per-stream dedup key.
+	Seq uint64
+}
+
 // Config parameterizes a Server. Engine is required; everything else has a
 // serving-safe default.
 type Config struct {
@@ -58,6 +88,19 @@ type Config struct {
 	// has stopped accepting and the engine has drained — the hook where
 	// predictd snapshots durable state.
 	OnDrain func()
+	// Ingest, when set, replaces direct engine ingest on the request path —
+	// predictd's WAL durability mode uses it to deduplicate on idempotency
+	// keys and append each batch to the write-ahead log (group-commit fsync)
+	// before any sample reaches the engine, so a 202 means the batch
+	// survives a crash. It returns how many samples were enqueued, how many
+	// were dropped as already-applied duplicates, and the engine's
+	// backpressure error, if any (engine.ErrBacklog and engine.ErrClosed map
+	// onto 429/503 exactly as in the direct path).
+	Ingest func(batch []KeyedSample) (accepted, deduped int, err error)
+	// Applied, when set, reports the durable count of keyed samples applied
+	// to a stream; it is served in forecast documents so end-to-end audits
+	// (and the chaos soak) can assert exactly-once application.
+	Applied func(stream string) (uint64, bool)
 }
 
 // Server serves the prediction API. Construct with New, start with Serve,
@@ -152,7 +195,7 @@ func (s *Server) buildHandler() http.Handler {
 
 	var v1 http.Handler = api
 	if s.cfg.RequestTimeout > 0 {
-		v1 = http.TimeoutHandler(v1, s.cfg.RequestTimeout, `{"error":"request timed out"}`)
+		v1 = s.withTimeout(v1)
 	}
 	v1 = s.admit(v1)
 
@@ -204,6 +247,7 @@ func (s *Server) admit(next http.Handler) http.Handler {
 			defer func() { <-s.sem }()
 			next.ServeHTTP(w, r)
 		default:
+			w.Header().Set(ReasonHeader, ReasonShed)
 			w.Header().Set("Retry-After", "1")
 			writeJSON(w, http.StatusServiceUnavailable, errorDoc{Error: "server at capacity"})
 		}
@@ -273,21 +317,31 @@ type IngestSample struct {
 	TS int64 `json:"ts,omitempty"`
 	// Value is the observation.
 	Value float64 `json:"value"`
+	// Seq, together with the request's Source, forms the sample's
+	// idempotency key. Zero means unkeyed.
+	Seq uint64 `json:"seq,omitempty"`
 }
 
 // IngestRequest carries one sample (inline fields) or a batch (Samples).
-// Setting both is allowed: the inline sample is ingested first.
+// Setting both is allowed: the inline sample is ingested first. Source plus
+// per-sample Seq form idempotency keys; on a server running with WAL
+// durability, a retried keyed batch is applied exactly once.
 type IngestRequest struct {
 	Stream  string         `json:"stream,omitempty"`
 	TS      int64          `json:"ts,omitempty"`
 	Value   float64        `json:"value,omitempty"`
+	Seq     uint64         `json:"seq,omitempty"`
+	Source  string         `json:"source,omitempty"`
 	Samples []IngestSample `json:"samples,omitempty"`
 }
 
 // IngestResponse reports how a (possibly partially accepted) ingest fared.
+// Deduped counts samples recognized as already-applied retries; they are
+// acked without being re-applied.
 type IngestResponse struct {
 	Accepted int    `json:"accepted"`
 	Rejected int    `json:"rejected,omitempty"`
+	Deduped  int    `json:"deduped,omitempty"`
 	Error    string `json:"error,omitempty"`
 }
 
@@ -314,6 +368,11 @@ type ForecastResponse struct {
 	Poisoned  bool         `json:"poisoned,omitempty"`
 	Fault     string       `json:"fault,omitempty"`
 	Processed uint64       `json:"processed"`
+	// Applied is the durable count of keyed samples applied to this stream
+	// (WAL durability mode only; zero otherwise). Unlike Processed it
+	// survives restarts, so it is the number end-to-end audits compare
+	// against acked sends.
+	Applied uint64 `json:"applied,omitempty"`
 }
 
 // StreamDoc is one row of the GET /v1/streams listing.
@@ -343,11 +402,14 @@ type errorDoc struct {
 // ---- handlers ----
 
 // handleIngest decodes a single sample or a batch and pushes it into the
-// engine, mapping the backpressure outcome onto the status code: 202 all
-// accepted, 429 + Retry-After on backlog (Reject policy), 503 when the
-// server is draining or the engine is closed.
+// engine — through the durability hook when one is configured — mapping the
+// outcome onto the status code: 202 all accepted (or deduplicated), 429 +
+// Retry-After on backlog (Reject policy), 503 when the server is draining
+// or the engine is closed.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
+		w.Header().Set(ReasonHeader, ReasonDrain)
+		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusServiceUnavailable, errorDoc{Error: "draining"})
 		return
 	}
@@ -366,9 +428,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	batch := make([]engine.Sample, 0, len(req.Samples)+1)
+	batch := make([]KeyedSample, 0, len(req.Samples)+1)
 	if req.Stream != "" {
-		batch = append(batch, engine.Sample{ID: req.Stream, TS: req.TS, Value: req.Value})
+		batch = append(batch, KeyedSample{
+			Sample: engine.Sample{ID: req.Stream, TS: req.TS, Value: req.Value},
+			Source: req.Source, Seq: req.Seq,
+		})
 	}
 	for i, smp := range req.Samples {
 		if smp.Stream == "" {
@@ -376,17 +441,34 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 				errorDoc{Error: fmt.Sprintf("samples[%d]: empty stream", i)})
 			return
 		}
-		batch = append(batch, engine.Sample{ID: smp.Stream, TS: smp.TS, Value: smp.Value})
+		batch = append(batch, KeyedSample{
+			Sample: engine.Sample{ID: smp.Stream, TS: smp.TS, Value: smp.Value},
+			Source: req.Source, Seq: smp.Seq,
+		})
 	}
 	if len(batch) == 0 {
 		writeJSON(w, http.StatusBadRequest, errorDoc{Error: "no samples"})
 		return
 	}
 
-	accepted, err := s.eng.IngestBatch(batch)
+	var accepted, deduped int
+	var err error
+	if s.cfg.Ingest != nil {
+		accepted, deduped, err = s.cfg.Ingest(batch)
+	} else {
+		plain := make([]engine.Sample, len(batch))
+		for i, ks := range batch {
+			plain[i] = ks.Sample
+		}
+		accepted, err = s.eng.IngestBatch(plain)
+	}
 	s.met.accepted.Add(uint64(accepted))
-	s.met.rejected.Add(uint64(len(batch) - accepted))
-	resp := IngestResponse{Accepted: accepted, Rejected: len(batch) - accepted}
+	s.met.rejected.Add(uint64(len(batch) - accepted - deduped))
+	resp := IngestResponse{
+		Accepted: accepted,
+		Rejected: len(batch) - accepted - deduped,
+		Deduped:  deduped,
+	}
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusAccepted, resp)
@@ -396,6 +478,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusTooManyRequests, resp)
 	case errors.Is(err, engine.ErrClosed):
 		resp.Error = "engine closed"
+		w.Header().Set(ReasonHeader, ReasonDrain)
+		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusServiceUnavailable, resp)
 	default:
 		resp.Error = err.Error()
@@ -430,6 +514,9 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 		resp.Poisoned = st.Poisoned
 		resp.Fault = st.Fault
 		resp.Processed = st.Processed
+	}
+	if s.cfg.Applied != nil {
+		resp.Applied, _ = s.cfg.Applied(id)
 	}
 	if snap.HasPred {
 		resp.Forecast = &ForecastDoc{
@@ -495,6 +582,7 @@ func (s *Server) handleStreams(w http.ResponseWriter, r *http.Request) {
 // drain sequence has begun so load balancers stop routing here.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
+		w.Header().Set(ReasonHeader, ReasonDrain)
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, "draining")
 		return
