@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet staticcheck vuln fmt fuzz-seeds crash-test chaos-soak run-predictd bench bench-baseline bench-guard cover cover-html ci
+.PHONY: build test race vet staticcheck vuln fmt fuzz-seeds crash-test chaos-soak cluster-soak run-predictd bench bench-baseline bench-guard cover cover-html ci
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,16 @@ crash-test:
 # serving. Race-enabled and deterministic (seeded fault schedule).
 chaos-soak:
 	$(GO) test -race -v -count=1 -run TestChaosSoak ./cmd/predictd
+
+# Replicated-cluster chaos soak: three WAL-mode nodes behind per-node fault
+# proxies, one kill -9'd mid-ingest and rejoined. Passes only if every acked
+# sample applies exactly once across forward/replicate/handoff/replay,
+# forecast reads never stop succeeding, and the rejoined node resumes via
+# warm handoff. Race stays off: three child daemons plus the soak harness
+# under the race runtime blow well past useful CI latency — `make race`
+# already covers the cluster package's in-process tests.
+cluster-soak:
+	$(GO) test -v -count=1 -timeout 300s -run TestClusterSoak ./cmd/predictd
 
 # Run the HTTP prediction service locally (ctrl-C drains and snapshots).
 run-predictd:
@@ -70,7 +80,7 @@ vuln:
 BENCH ?= BenchmarkForecastPath
 BENCHFLAGS ?= -run '^$$' -bench '$(BENCH)' -benchmem -count 6
 
-BENCH_PKGS ?= . ./cmd/predictd
+BENCH_PKGS ?= . ./cmd/predictd ./internal/cluster
 
 bench-baseline:
 	$(GO) test $(BENCHFLAGS) $(BENCH_PKGS) | tee bench-old.txt

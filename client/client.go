@@ -22,7 +22,9 @@ import (
 	"math/rand"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/acis-lab/larpredictor/internal/obs"
@@ -37,9 +39,13 @@ const (
 	reasonServer      = "server"
 )
 
-// reasonHeader mirrors server.ReasonHeader without importing the server
-// package: the wire contract is the header name, not the Go identifier.
-const reasonHeader = "X-Predictd-Reason"
+// reasonHeader and routeHeader mirror the server's header names without
+// importing the server package: the wire contract is the header name, not
+// the Go identifier.
+const (
+	reasonHeader = "X-Predictd-Reason"
+	routeHeader  = "X-Predictd-Route"
+)
 
 // ErrBreakerOpen is returned without issuing a request while the circuit
 // breaker is open. The caller may retry later; the breaker half-opens after
@@ -62,16 +68,27 @@ func (e *StatusError) Error() string {
 }
 
 // Config shapes a Client. The zero value of every field has a sensible
-// default; only BaseURL is required.
+// default; only BaseURL (or Endpoints) is required.
 type Config struct {
 	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8100".
 	BaseURL string
+	// Endpoints lists additional daemon roots for a clustered deployment.
+	// The client sticks to one endpoint while it answers, rotates to the
+	// next on transport failures and 5xx responses, and honors the
+	// X-Predictd-Route hint a node sends when another node owns the
+	// streams being written — so steady-state traffic converges on the
+	// owner without a load balancer.
+	Endpoints []string
 	// HTTPClient overrides the transport; per-attempt deadlines come from
 	// RequestTimeout, so the default client carries no global timeout.
 	HTTPClient *http.Client
 	// Source is the client identity half of every idempotency key. Leave
 	// empty only for unkeyed (at-least-once) ingest.
 	Source string
+	// Headers are added to every request verbatim. predictd's cluster
+	// layer marks inter-node traffic (forwarded and replicated batches)
+	// this way.
+	Headers map[string]string
 
 	// RequestTimeout bounds each attempt (default 5s).
 	RequestTimeout time.Duration
@@ -101,9 +118,11 @@ type Config struct {
 
 // Client is a predictd API client. It is safe for concurrent use.
 type Client struct {
-	cfg     Config
-	httpc   *http.Client
-	breaker *breaker
+	cfg       Config
+	httpc     *http.Client
+	breaker   *breaker
+	endpoints []string
+	cur       atomic.Uint32 // index of the currently preferred endpoint
 
 	retries *obs.CounterVec
 
@@ -113,8 +132,24 @@ type Client struct {
 
 // New validates cfg, fills defaults, and returns a ready Client.
 func New(cfg Config) (*Client, error) {
-	if cfg.BaseURL == "" {
-		return nil, errors.New("predictclient: Config.BaseURL is required")
+	endpoints := make([]string, 0, 1+len(cfg.Endpoints))
+	if cfg.BaseURL != "" {
+		endpoints = append(endpoints, cfg.BaseURL)
+	}
+	for _, e := range cfg.Endpoints {
+		dup := false
+		for _, have := range endpoints {
+			if have == e {
+				dup = true
+				break
+			}
+		}
+		if e != "" && !dup {
+			endpoints = append(endpoints, e)
+		}
+	}
+	if len(endpoints) == 0 {
+		return nil, errors.New("predictclient: Config.BaseURL or Config.Endpoints is required")
 	}
 	if cfg.HTTPClient == nil {
 		cfg.HTTPClient = &http.Client{}
@@ -142,9 +177,10 @@ func New(cfg Config) (*Client, error) {
 		seed = time.Now().UnixNano()
 	}
 	c := &Client{
-		cfg:   cfg,
-		httpc: cfg.HTTPClient,
-		rng:   rand.New(rand.NewSource(seed)),
+		cfg:       cfg,
+		httpc:     cfg.HTTPClient,
+		endpoints: endpoints,
+		rng:       rand.New(rand.NewSource(seed)),
 	}
 	if cfg.Metrics != nil {
 		c.retries = cfg.Metrics.Counter("predictclient_retries_total",
@@ -166,7 +202,15 @@ func New(cfg Config) (*Client, error) {
 // applied exactly once by a WAL-mode server; the response's Deduped counts
 // the replays it recognized.
 func (c *Client) Ingest(ctx context.Context, samples []Sample) (*IngestResponse, error) {
-	req := IngestRequest{Source: c.cfg.Source, Samples: samples}
+	return c.IngestFrom(ctx, c.cfg.Source, samples)
+}
+
+// IngestFrom is Ingest with an explicit source identity — the cluster
+// layer forwards and replicates batches on behalf of the original client,
+// so the idempotency keys must carry that client's source, not the
+// forwarding node's.
+func (c *Client) IngestFrom(ctx context.Context, source string, samples []Sample) (*IngestResponse, error) {
+	req := IngestRequest{Source: source, Samples: samples}
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, err
@@ -224,8 +268,40 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 	}
 }
 
+// endpoint returns the currently preferred endpoint and its index.
+func (c *Client) endpoint() (string, uint32) {
+	idx := c.cur.Load() % uint32(len(c.endpoints))
+	return c.endpoints[idx], idx
+}
+
+// rotate advances from the endpoint at idx to the next one, unless another
+// goroutine already moved on — failures on a stale endpoint must not spin
+// the preference past endpoints nobody has tried.
+func (c *Client) rotate(idx uint32) {
+	if len(c.endpoints) > 1 {
+		c.cur.CompareAndSwap(idx, idx+1)
+	}
+}
+
+// noteRoute adopts a server routing hint: when a response names the node
+// that actually owns the streams (X-Predictd-Route), and that node is one
+// of the configured endpoints, subsequent requests go there directly.
+func (c *Client) noteRoute(hint string) {
+	if hint == "" || len(c.endpoints) < 2 {
+		return
+	}
+	for i, e := range c.endpoints {
+		if strings.Contains(e, hint) {
+			c.cur.Store(uint32(i))
+			return
+		}
+	}
+}
+
 // attempt issues one HTTP round trip under the per-attempt deadline and
-// classifies the outcome: (retryable, server-requested floor, error).
+// classifies the outcome: (retryable, server-requested floor, error). A
+// transport failure or 5xx rotates the preferred endpoint so the retry
+// lands on the next cluster node.
 func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any) (bool, time.Duration, error) {
 	actx, cancel := context.WithTimeout(ctx, c.cfg.RequestTimeout)
 	defer cancel()
@@ -233,12 +309,16 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(actx, method, c.cfg.BaseURL+path, rd)
+	base, epIdx := c.endpoint()
+	req, err := http.NewRequestWithContext(actx, method, base+path, rd)
 	if err != nil {
 		return false, 0, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, v := range c.cfg.Headers {
+		req.Header.Set(k, v)
 	}
 	resp, err := c.httpc.Do(req)
 	if err != nil {
@@ -247,6 +327,7 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 		// even a half-applied ingest safe to resend). Stop retrying when
 		// the caller's own ctx is the one that expired.
 		c.breakerFailure()
+		c.rotate(epIdx)
 		if ctx.Err() != nil {
 			return false, 0, ctx.Err()
 		}
@@ -258,21 +339,30 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	switch {
 	case resp.StatusCode >= 200 && resp.StatusCode < 300:
 		c.breakerSuccess()
+		c.noteRoute(resp.Header.Get(routeHeader))
 		if out != nil {
 			if derr := json.Unmarshal(raw, out); derr != nil {
 				return false, 0, fmt.Errorf("predictclient: decode %s response: %w", path, derr)
 			}
 		}
 		return false, 0, nil
-	case resp.StatusCode == http.StatusTooManyRequests,
-		resp.StatusCode == http.StatusServiceUnavailable:
-		// Explicit backpressure. The daemon is up and talking, so this
-		// does not trip the breaker; Retry-After floors the next sleep.
+	case resp.StatusCode == http.StatusTooManyRequests:
+		// Explicit throttling. The daemon is up and talking, so this does
+		// not trip the breaker and there is no reason to change endpoints;
+		// Retry-After floors the next sleep.
 		c.breakerSuccess()
+		serr := &StatusError{Code: resp.StatusCode, Reason: resp.Header.Get(reasonHeader), Body: string(raw)}
+		return true, parseRetryAfter(resp.Header.Get("Retry-After")), serr
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		// Explicit backpressure — no breaker trip — but a draining,
+		// shedding, or forward-failing node is a reason to try a peer.
+		c.breakerSuccess()
+		c.rotate(epIdx)
 		serr := &StatusError{Code: resp.StatusCode, Reason: resp.Header.Get(reasonHeader), Body: string(raw)}
 		return true, parseRetryAfter(resp.Header.Get("Retry-After")), serr
 	case resp.StatusCode >= 500:
 		c.breakerFailure()
+		c.rotate(epIdx)
 		return true, 0, &StatusError{Code: resp.StatusCode, Body: string(raw)}
 	default:
 		// 4xx: the request itself is wrong; retrying cannot fix it.
@@ -342,17 +432,27 @@ func retryReason(err error) string {
 	}
 }
 
-// parseRetryAfter reads the delay-seconds form of Retry-After; the
-// http-date form and garbage both parse as no floor.
+// parseRetryAfter reads both Retry-After forms RFC 9110 §10.2.3 allows:
+// delay-seconds ("120") and HTTP-date ("Fri, 08 Aug 2026 12:00:00 GMT"),
+// the latter floored at zero when the date has already passed. Garbage
+// parses as no floor.
 func parseRetryAfter(v string) time.Duration {
+	v = strings.TrimSpace(v)
 	if v == "" {
 		return 0
 	}
-	secs, err := strconv.Atoi(v)
-	if err != nil || secs < 0 {
-		return 0
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
 	}
-	return time.Duration(secs) * time.Second
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // ---- wire documents ----

@@ -190,17 +190,131 @@ func TestBackoffJitterAndFloor(t *testing.T) {
 	}
 }
 
+// TestParseRetryAfter covers both forms RFC 9110 §10.2.3 allows —
+// delay-seconds and HTTP-date — plus garbage, which must parse as no floor.
 func TestParseRetryAfter(t *testing.T) {
 	for _, tc := range []struct {
 		in   string
 		want time.Duration
 	}{
-		{"", 0}, {"2", 2 * time.Second}, {"0", 0}, {"-1", 0},
-		{"Wed, 21 Oct 2015 07:28:00 GMT", 0}, {"soon", 0},
+		{"", 0}, {"2", 2 * time.Second}, {" 120 ", 120 * time.Second},
+		{"0", 0}, {"-1", 0},
+		// HTTP-dates in the past (all three RFC 9110 formats) floor at zero.
+		{"Wed, 21 Oct 2015 07:28:00 GMT", 0},
+		{"Wednesday, 21-Oct-15 07:28:00 GMT", 0},
+		{"Wed Oct 21 07:28:00 2015", 0},
+		// Garbage: not seconds, not a date.
+		{"soon", 0}, {"12.5", 0}, {"2s", 0}, {"Wed, 21 Oct", 0}, {"\x00", 0},
 	} {
 		if got := parseRetryAfter(tc.in); got != tc.want {
 			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.in, got, tc.want)
 		}
+	}
+
+	// A future HTTP-date yields roughly the time remaining until it.
+	future := time.Now().Add(90 * time.Second).UTC().Format(http.TimeFormat)
+	got := parseRetryAfter(future)
+	if got < 85*time.Second || got > 91*time.Second {
+		t.Errorf("parseRetryAfter(%q) = %v, want ~90s", future, got)
+	}
+}
+
+// TestEndpointRotation: with two endpoints, the client sticks to the first
+// until it fails, rotates to the second on a 503, and completes the request
+// there within the same retry loop.
+func TestEndpointRotation(t *testing.T) {
+	var aCalls, bCalls atomic.Int32
+	a := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		aCalls.Add(1)
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer a.Close()
+	b := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		bCalls.Add(1)
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(IngestResponse{Accepted: 1})
+	}))
+	defer b.Close()
+
+	c := newTestClient(t, a.URL, func(cfg *Config) {
+		cfg.Endpoints = []string{b.URL}
+	})
+	resp, err := c.Ingest(context.Background(), []Sample{{Stream: "s", Value: 1, Seq: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted != 1 {
+		t.Fatalf("accepted = %d, want 1", resp.Accepted)
+	}
+	if aCalls.Load() != 1 || bCalls.Load() != 1 {
+		t.Fatalf("calls a=%d b=%d, want one failed attempt then one rotated success",
+			aCalls.Load(), bCalls.Load())
+	}
+	// The preference stuck: the next request goes straight to b.
+	if _, err := c.Ingest(context.Background(), []Sample{{Stream: "s", Value: 2, Seq: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if aCalls.Load() != 1 {
+		t.Fatalf("client went back to the failed endpoint (a=%d calls)", aCalls.Load())
+	}
+}
+
+// TestRouteHintAdoption: a 2xx response carrying X-Predictd-Route re-pins
+// the client to the endpoint serving that address.
+func TestRouteHintAdoption(t *testing.T) {
+	var aCalls, bCalls atomic.Int32
+	b := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		bCalls.Add(1)
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(IngestResponse{Accepted: 1})
+	}))
+	defer b.Close()
+	bAddr := strings.TrimPrefix(b.URL, "http://")
+	a := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		aCalls.Add(1)
+		// "Accepted here, but that node owns your streams."
+		w.Header().Set(routeHeader, bAddr)
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(IngestResponse{Accepted: 1})
+	}))
+	defer a.Close()
+
+	c := newTestClient(t, a.URL, func(cfg *Config) {
+		cfg.Endpoints = []string{b.URL}
+	})
+	if _, err := c.Ingest(context.Background(), []Sample{{Stream: "s", Value: 1, Seq: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if aCalls.Load() != 1 || bCalls.Load() != 0 {
+		t.Fatalf("first request: calls a=%d b=%d, want it served at a", aCalls.Load(), bCalls.Load())
+	}
+	if _, err := c.Ingest(context.Background(), []Sample{{Stream: "s", Value: 2, Seq: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if bCalls.Load() != 1 {
+		t.Fatalf("second request ignored the route hint (a=%d b=%d)", aCalls.Load(), bCalls.Load())
+	}
+}
+
+// TestHeadersApplied: configured headers ride on every request — the
+// mechanism the cluster layer uses to mark forwarded/replicated batches.
+func TestHeadersApplied(t *testing.T) {
+	var got atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got.Store(r.Header.Get("X-Predictd-Cluster"))
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(IngestResponse{Accepted: 1})
+	}))
+	defer ts.Close()
+	c := newTestClient(t, ts.URL, func(cfg *Config) {
+		cfg.Headers = map[string]string{"X-Predictd-Cluster": "forward"}
+	})
+	if _, err := c.Ingest(context.Background(), []Sample{{Stream: "s", Value: 1, Seq: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != "forward" {
+		t.Fatalf("header = %v, want forward", got.Load())
 	}
 }
 

@@ -1,0 +1,334 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/acis-lab/larpredictor/client"
+	"github.com/acis-lab/larpredictor/internal/chaosproxy"
+	"github.com/acis-lab/larpredictor/internal/cluster"
+)
+
+// clusterNodeProc is one soak member: a helper process plus the chaos proxy
+// that is its stable cluster-visible address. The daemon restarts on a new
+// random port; the proxy address never changes, so peers (and clients)
+// survive the restart by retargeting the proxy.
+type clusterNodeProc struct {
+	id    string
+	h     *helperProc
+	proxy *chaosproxy.Proxy
+}
+
+// clusterStatus mirrors internal/cluster's StatusDoc — decoded loosely so
+// the soak does not import wire-struct internals it doesn't assert on.
+type clusterStatus struct {
+	Node    string `json:"node"`
+	Members []struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	} `json:"members"`
+	Handoff struct {
+		StreamsServed   uint64 `json:"streams_served"`
+		StreamsReceived uint64 `json:"streams_received"`
+	} `json:"handoff"`
+}
+
+func fetchStatus(addr string) (*clusterStatus, error) {
+	c := http.Client{Timeout: time.Second}
+	resp, err := c.Get("http://" + addr + "/v1/cluster/status")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	var st clusterStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// waitAllAlive polls every node's status until each sees the full
+// membership alive.
+func waitAllAlive(t *testing.T, nodes []*clusterNodeProc, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for time.Now().Before(deadline) {
+		ok := true
+		for _, n := range nodes {
+			st, err := fetchStatus(n.h.addr)
+			if err != nil {
+				ok = false
+				break
+			}
+			for _, m := range st.Members {
+				if m.State != "alive" {
+					ok = false
+				}
+			}
+		}
+		if ok {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatal("cluster never converged to all-alive")
+}
+
+// TestClusterSoak is the replicated-cluster chaos contract: three WAL-mode
+// daemons behind per-node chaos proxies (all inter-node and client traffic
+// crosses the fault injector), keyed ingest spread across every node while
+// one member is kill -9'd mid-stream and later restarted. It passes only if
+//
+//   - every acked sample is applied exactly once (per-stream applied ==
+//     distinct samples sent, verified at the stream's home owner and at its
+//     follower),
+//   - forecast reads keep succeeding throughout — bounded gap, successes
+//     during the downtime window,
+//   - the rejoined node resumes via warm handoff (streams received > 0)
+//     rather than cold-starting its predictors.
+func TestClusterSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second soak with child processes")
+	}
+
+	ids := []string{"a", "b", "c"}
+	nodes := make([]*clusterNodeProc, len(ids))
+	// Proxies first: their addresses are the stable membership. Targets are
+	// placeholders until each daemon publishes its real port.
+	peers := ""
+	for i, id := range ids {
+		proxy, err := chaosproxy.Start("127.0.0.1:0", chaosproxy.Config{
+			Target:              "127.0.0.1:1", // retargeted below
+			Seed:                int64(1000 + i),
+			LatencyProb:         0.15,
+			LatencyMin:          time.Millisecond,
+			LatencyMax:          8 * time.Millisecond,
+			ResetProb:           0.03,
+			ThrottleProb:        0.03,
+			ThrottleBytesPerSec: 64 << 10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer proxy.Close()
+		nodes[i] = &clusterNodeProc{id: id, proxy: proxy}
+		if i > 0 {
+			peers += ","
+		}
+		peers += id + "=" + proxy.Addr()
+	}
+	for i, id := range ids {
+		h := &helperProc{
+			t:         t,
+			stateDir:  t.TempDir(),
+			snapEvery: 250 * time.Millisecond,
+			extraEnv: []string{
+				"PREDICTD_HELPER_NODE_ID=" + id,
+				"PREDICTD_HELPER_PEERS=" + peers,
+				"PREDICTD_HELPER_REPLICATION=2",
+				"PREDICTD_HELPER_HB=100ms",
+				"PREDICTD_HELPER_SUSPECT=3",
+				"PREDICTD_HELPER_DOWN=500ms",
+			},
+		}
+		if err := h.start(); err != nil {
+			t.Fatalf("start node %s: %v\noutput:\n%s", id, err, h.out)
+		}
+		t.Cleanup(func() {
+			if h.cmd != nil && h.cmd.ProcessState == nil {
+				h.cmd.Process.Kill()
+				h.cmd.Wait()
+			}
+		})
+		nodes[i].h = h
+		nodes[i].proxy.SetTarget(h.addr)
+	}
+	byID := map[string]*clusterNodeProc{}
+	var proxyAddrs []string
+	for _, n := range nodes {
+		byID[n.id] = n
+		proxyAddrs = append(proxyAddrs, "http://"+n.proxy.Addr())
+	}
+	waitAllAlive(t, nodes, 15*time.Second)
+
+	// One stream homed at each member, named by searching rendezvous order
+	// — so the kill of node b provably takes out a stream's home owner.
+	streams := map[string]string{}
+	for _, home := range ids {
+		for i := 0; ; i++ {
+			name := fmt.Sprintf("soak/%s-%d", home, i)
+			if cluster.Owners(ids, name)[0] == home {
+				streams[home] = name
+				break
+			}
+		}
+	}
+
+	// Sends must span the whole kill + downtime window (~4.5s): 40 batches
+	// on a 125ms cadence ≈ 5s of continuous ingest, so the failover owner
+	// applies samples the dead node never saw — which is what makes the
+	// warm-handoff path load-bearing at rejoin.
+	const batches, batchLen = 40, 10
+	const perStream = uint64(batches * batchLen)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	// Senders: one per stream, cluster-aware (all three proxies as
+	// endpoints), unlimited retries — a return means the cluster acked it.
+	var senders sync.WaitGroup
+	si := 0
+	for _, stream := range streams {
+		stream := stream
+		c, cerr := client.New(client.Config{
+			BaseURL:          proxyAddrs[si%len(proxyAddrs)],
+			Endpoints:        proxyAddrs,
+			Source:           fmt.Sprintf("soak-src-%d", si),
+			RequestTimeout:   2 * time.Second,
+			MaxAttempts:      -1,
+			BaseBackoff:      5 * time.Millisecond,
+			MaxBackoff:       150 * time.Millisecond,
+			BreakerThreshold: -1,
+			Seed:             int64(200 + si),
+		})
+		if cerr != nil {
+			t.Fatal(cerr)
+		}
+		si++
+		senders.Add(1)
+		go func() {
+			defer senders.Done()
+			var seq uint64
+			for b := 0; b < batches; b++ {
+				samples := make([]client.Sample, batchLen)
+				for i := range samples {
+					seq++
+					samples[i] = client.Sample{Stream: stream, TS: int64(seq), Value: 10 + float64(seq%7), Seq: seq}
+				}
+				if _, err := c.Ingest(ctx, samples); err != nil {
+					t.Errorf("stream %s batch %d never acked: %v", stream, b, err)
+					return
+				}
+				time.Sleep(125 * time.Millisecond)
+			}
+		}()
+	}
+
+	// Reader: polls every stream round-robin through the proxies. The soak
+	// asserts reads never stop succeeding: the longest gap between
+	// successful forecasts stays bounded, and successes land during the
+	// downtime window too.
+	var maxGap atomic.Int64
+	var downtimeReads atomic.Int64
+	inDowntime := &atomic.Bool{}
+	readerStop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		rc, rerr := client.New(client.Config{
+			BaseURL:          proxyAddrs[0],
+			Endpoints:        proxyAddrs,
+			RequestTimeout:   time.Second,
+			MaxAttempts:      2,
+			BaseBackoff:      5 * time.Millisecond,
+			MaxBackoff:       50 * time.Millisecond,
+			BreakerThreshold: -1,
+			Seed:             7,
+		})
+		if rerr != nil {
+			t.Error(rerr)
+			return
+		}
+		names := make([]string, 0, len(streams))
+		for _, s := range streams {
+			names = append(names, s)
+		}
+		lastOK := time.Now()
+		for i := 0; ; i++ {
+			select {
+			case <-readerStop:
+				return
+			default:
+			}
+			if _, err := rc.Forecast(ctx, names[i%len(names)]); err == nil {
+				if gap := time.Since(lastOK); gap.Nanoseconds() > maxGap.Load() {
+					maxGap.Store(gap.Nanoseconds())
+				}
+				lastOK = time.Now()
+				if inDowntime.Load() {
+					downtimeReads.Add(1)
+				}
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+	}()
+
+	// Kill -9 node b mid-ingest: its streams fail over to the next member
+	// in rendezvous order while senders and reader keep running.
+	time.Sleep(1500 * time.Millisecond)
+	b := byID["b"]
+	b.h.kill9()
+	inDowntime.Store(true)
+	time.Sleep(3 * time.Second)
+	inDowntime.Store(false)
+
+	// Restart b on its original state directory and retarget its proxy: it
+	// must pull a warm handoff covering what it missed, then rejoin.
+	if err := b.h.start(); err != nil {
+		t.Fatalf("restart b after kill -9: %v\noutput:\n%s", err, b.h.out)
+	}
+	b.proxy.SetTarget(b.h.addr)
+	waitAllAlive(t, nodes, 20*time.Second)
+
+	senders.Wait()
+	close(readerStop)
+	readers.Wait()
+	if t.Failed() {
+		t.FailNow() // a sender already reported the root cause
+	}
+
+	if gap := time.Duration(maxGap.Load()); gap > 5*time.Second {
+		t.Errorf("longest forecast outage %v, want under 5s (reads must keep succeeding through failover)", gap)
+	}
+	if downtimeReads.Load() == 0 {
+		t.Error("no forecast succeeded while node b was down; failover must keep serving reads")
+	}
+
+	// Exactly-once, end to end: for every stream, the durable applied count
+	// at its home owner and at its follower equals the distinct samples
+	// sent — nothing acked was lost to the kill, nothing applied twice
+	// through forward/replicate/handoff/replay.
+	for home, stream := range streams {
+		replicas := cluster.ReplicaSet(ids, stream, 2)
+		for _, member := range replicas {
+			vc := newCrashClient(t, byID[member].h.addr, "verify", 8)
+			fr := waitApplied(t, vc, stream, perStream)
+			if fr.Applied != perStream {
+				t.Errorf("stream %s (home %s) at %s: applied = %d, want exactly %d",
+					stream, home, member, fr.Applied, perStream)
+			}
+			if fr.Forecast == nil && fr.Processed >= 20 {
+				t.Errorf("stream %s at %s: trained predictor serves no forecast after rejoin", stream, member)
+			}
+		}
+	}
+
+	// Warm handoff: the rejoined node reports stream state received from
+	// peers — it resumed coverage rather than cold-starting.
+	st, err := fetchStatus(b.h.addr)
+	if err != nil {
+		t.Fatalf("status at rejoined b: %v", err)
+	}
+	if st.Handoff.StreamsReceived == 0 {
+		t.Error("rejoined node received no handoff streams; warm handoff did not run")
+	}
+}

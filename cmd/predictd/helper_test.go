@@ -7,6 +7,7 @@ import (
 	"os/exec"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"syscall"
 	"testing"
 	"time"
@@ -36,6 +37,39 @@ func TestHelperPredictdProcess(t *testing.T) {
 		}
 		o.snapEvery = d
 	}
+	// Cluster mode: the soak sets the node's identity and the full
+	// membership (peer addresses are the chaos proxies, so inter-node
+	// traffic crosses the fault injector).
+	if id := os.Getenv("PREDICTD_HELPER_NODE_ID"); id != "" {
+		o.nodeID = id
+		o.peers = os.Getenv("PREDICTD_HELPER_PEERS")
+		o.replication = 2
+		if v := os.Getenv("PREDICTD_HELPER_REPLICATION"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				t.Fatalf("bad PREDICTD_HELPER_REPLICATION: %v", err)
+			}
+			o.replication = n
+		}
+		parseDur := func(key string, into *time.Duration) {
+			if v := os.Getenv(key); v != "" {
+				d, err := time.ParseDuration(v)
+				if err != nil {
+					t.Fatalf("bad %s: %v", key, err)
+				}
+				*into = d
+			}
+		}
+		parseDur("PREDICTD_HELPER_HB", &o.hbEvery)
+		parseDur("PREDICTD_HELPER_DOWN", &o.downAfter)
+		if v := os.Getenv("PREDICTD_HELPER_SUSPECT"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				t.Fatalf("bad PREDICTD_HELPER_SUSPECT: %v", err)
+			}
+			o.suspectAfter = n
+		}
+	}
 	addrFile := os.Getenv("PREDICTD_HELPER_ADDRFILE")
 	o.addrReady = func(a string) {
 		// Write-then-rename so the parent never reads a half-written addr.
@@ -56,6 +90,9 @@ type helperProc struct {
 	t         *testing.T
 	stateDir  string
 	snapEvery time.Duration
+	// extraEnv carries additional PREDICTD_HELPER_* settings (the cluster
+	// soak's node identity and membership); reapplied on every restart.
+	extraEnv []string
 
 	cmd  *exec.Cmd
 	addr string
@@ -98,6 +135,7 @@ func (h *helperProc) start() error {
 		"PREDICTD_HELPER_ADDRFILE="+addrFile,
 		"PREDICTD_HELPER_SNAP_EVERY="+h.snapEvery.String(),
 	)
+	cmd.Env = append(cmd.Env, h.extraEnv...)
 	h.out = &bytes.Buffer{}
 	cmd.Stdout, cmd.Stderr = h.out, h.out
 	if err := cmd.Start(); err != nil {

@@ -36,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/acis-lab/larpredictor/internal/cluster"
 	"github.com/acis-lab/larpredictor/internal/core"
 	"github.com/acis-lab/larpredictor/internal/engine"
 	"github.com/acis-lab/larpredictor/internal/obs"
@@ -60,6 +61,13 @@ func main() {
 		inflight   = flag.Int("max-inflight", 256, "max concurrently served /v1 requests before shedding with 503")
 		reqTimeout = flag.Duration("request-timeout", 10*time.Second, "per-request handler timeout")
 		maxBody    = flag.Int64("max-body", 1<<20, "max ingest request body bytes")
+
+		nodeID      = flag.String("node-id", "", "this node's cluster member ID; empty runs standalone")
+		peers       = flag.String("peers", "", "static cluster membership as id=host:port,... (must include -node-id's entry)")
+		replication = flag.Int("replication", 2, "copies of each stream across the cluster (owner + replication-1 followers)")
+		hbEvery     = flag.Duration("heartbeat-every", 500*time.Millisecond, "cluster heartbeat probe interval")
+		suspectN    = flag.Int("suspect-after", 3, "consecutive missed heartbeats before a peer is suspected")
+		downAfter   = flag.Duration("down-after", 2*time.Second, "time a peer stays suspect before it is confirmed down")
 	)
 	flag.Parse()
 
@@ -80,6 +88,12 @@ func main() {
 		maxInFlight:  *inflight,
 		reqTimeout:   *reqTimeout,
 		maxBody:      *maxBody,
+		nodeID:       *nodeID,
+		peers:        *peers,
+		replication:  *replication,
+		hbEvery:      *hbEvery,
+		suspectAfter: *suspectN,
+		downAfter:    *downAfter,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -107,6 +121,16 @@ type options struct {
 	maxInFlight  int
 	reqTimeout   time.Duration
 	maxBody      int64
+
+	// Cluster mode: nodeID empty means standalone; otherwise peers names
+	// the full static membership (including this node) and the daemon
+	// routes, replicates, and fails over per the internal/cluster design.
+	nodeID       string
+	peers        string
+	replication  int
+	hbEvery      time.Duration
+	suspectAfter int
+	downAfter    time.Duration
 
 	// addrReady, when set, receives the bound listen address once the
 	// daemon is accepting connections — tests listen on :0 and learn the
@@ -157,6 +181,19 @@ func run(ctx context.Context, out io.Writer, o options) error {
 	default:
 		return fmt.Errorf("unknown durability mode %q (want snapshot or wal)", o.durability)
 	}
+	var members []cluster.Member
+	if o.nodeID != "" {
+		// Replication ships (source, seq) idempotency keys and warm handoff
+		// ships dedup windows — both are WAL-mode machinery, and failover
+		// without a durable local copy would silently cold-start streams.
+		if !walMode {
+			return errors.New("-node-id requires -durability=wal")
+		}
+		members, err = cluster.ParseMembers(o.peers)
+		if err != nil {
+			return err
+		}
+	}
 	newStream := func(id string) (*core.Online, error) {
 		return core.NewOnline(core.OnlineConfig{
 			Predictor:    core.DefaultConfig(o.window),
@@ -185,6 +222,7 @@ func run(ctx context.Context, out io.Writer, o options) error {
 
 	var st *snapStore
 	var ws *walStore
+	var node *cluster.Node
 	if o.stateDir != "" {
 		st, err = openSnapStore(o.stateDir, fingerprintOptions(o), reg)
 		if err != nil {
@@ -209,6 +247,36 @@ func run(ctx context.Context, out io.Writer, o options) error {
 		}
 		if restored > 0 {
 			fmt.Fprintf(out, "predictd: warm restart: %d streams restored from %s\n", restored, o.stateDir)
+		}
+		if o.nodeID != "" {
+			node, err = cluster.New(cluster.Config{
+				Self:           o.nodeID,
+				Members:        members,
+				Replication:    o.replication,
+				HeartbeatEvery: o.hbEvery,
+				SuspectAfter:   o.suspectAfter,
+				DownAfter:      o.downAfter,
+				Engine:         eng,
+				Cache:          cache,
+				Dedup:          ws.dedup,
+				NewStream:      newStream,
+				Registry:       reg,
+				Logw:           os.Stderr,
+			})
+			if err != nil {
+				return err
+			}
+			// Warm handoff sits between snapshot restore and WAL replay:
+			// peers that served this node's streams while it was away ship
+			// their predictor state and dedup coverage, the coverage merges
+			// into the local table, and replay then applies exactly the
+			// samples nobody has — every acked sample lands once, whether it
+			// was acked here before the crash or by the failover owner.
+			hctx, hcancel := context.WithTimeout(ctx, 30*time.Second)
+			if got := node.PullHandoff(hctx); got > 0 {
+				fmt.Fprintf(out, "predictd: warm handoff: %d streams pulled from peers\n", got)
+			}
+			hcancel()
 		}
 		if ws != nil {
 			recs, samples, rerr := ws.replay(eng, os.Stderr)
@@ -253,9 +321,19 @@ func run(ctx context.Context, out io.Writer, o options) error {
 		}
 		scfg.Applied = ws.dedup.Applied
 	}
+	if node != nil {
+		scfg.Cluster = node
+		scfg.ClusterHandler = node.Handler()
+	}
 	srv, err := server.New(scfg)
 	if err != nil {
 		return err
+	}
+	if node != nil {
+		// Wired before the listener opens: heartbeats answer 503 as soon as
+		// the drain flips, telling peers to fail over before connections
+		// start refusing.
+		node.SetDraining(srv.Draining)
 	}
 
 	ln, err := net.Listen("tcp", o.listen)
@@ -267,12 +345,22 @@ func run(ctx context.Context, out io.Writer, o options) error {
 		mode = "wal"
 	}
 	fmt.Fprintf(out, "predictd: serving on %s (policy %s, durability %s)\n", ln.Addr(), o.backpressure, mode)
+	if node != nil {
+		fmt.Fprintf(out, "predictd: cluster node %s of %d members (replication %d)\n",
+			o.nodeID, len(members), o.replication)
+	}
 	if o.addrReady != nil {
 		o.addrReady(ln.Addr().String())
 	}
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
+	if node != nil {
+		// Probers and replicators start once the listener is up, so peers'
+		// first heartbeats of this node succeed.
+		node.Start()
+		defer node.Close()
+	}
 
 	var snapC <-chan time.Time
 	if st != nil && o.snapEvery > 0 {

@@ -52,6 +52,13 @@ type Config struct {
 	// hung-network case clients must deadline their way out of.
 	BlackholeProb float64
 	BlackholeDur  time.Duration
+
+	// ThrottleProb relays the connection at ThrottleBytesPerSec (default
+	// 4096) in the client→backend direction — the slow-drip link that makes
+	// requests crawl instead of fail, exercising deadlines and replication
+	// lag rather than retries.
+	ThrottleProb        float64
+	ThrottleBytesPerSec int
 }
 
 // Proxy is a running chaos proxy. Close stops the listener and every live
@@ -78,6 +85,9 @@ func Start(addr string, cfg Config) (*Proxy, error) {
 	}
 	if cfg.BlackholeDur <= 0 {
 		cfg.BlackholeDur = 2 * time.Second
+	}
+	if cfg.ThrottleBytesPerSec <= 0 {
+		cfg.ThrottleBytesPerSec = 4096
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -186,6 +196,10 @@ func (p *Proxy) serve(client net.Conn, rng *rand.Rand) {
 		p.faults.Add(1)
 		p.relayThenCut(client, rng, false)
 		return
+	case roll < p.cfg.BlackholeProb+p.cfg.ResetProb+p.cfg.PartialProb+p.cfg.ThrottleProb:
+		p.faults.Add(1)
+		p.relayThrottled(client)
+		return
 	}
 
 	p.relay(client)
@@ -218,6 +232,58 @@ func (p *Proxy) relay(client net.Conn) {
 	go func() { io.Copy(client, backend); client.(*net.TCPConn).CloseWrite(); done <- struct{}{} }()
 	<-done
 	<-done
+}
+
+// relayThrottled is the slow-drip path: a full bidirectional relay, but the
+// client→backend direction trickles at ThrottleBytesPerSec. Responses flow
+// back unthrottled, so the caller sees its request crawl while the
+// connection itself stays healthy — the fault deadlines must catch.
+func (p *Proxy) relayThrottled(client net.Conn) {
+	p.mu.Lock()
+	target := p.target
+	p.mu.Unlock()
+	backend, err := net.DialTimeout("tcp", target, 5*time.Second)
+	if err != nil {
+		return
+	}
+	if !p.track(backend) {
+		backend.Close()
+		return
+	}
+	defer p.untrack(backend)
+	defer backend.Close()
+	done := make(chan struct{}, 2)
+	go func() {
+		p.throttledCopy(backend, client)
+		backend.(*net.TCPConn).CloseWrite()
+		done <- struct{}{}
+	}()
+	go func() { io.Copy(client, backend); client.(*net.TCPConn).CloseWrite(); done <- struct{}{} }()
+	<-done
+	<-done
+}
+
+// throttledCopy moves bytes in rate/10 chunks on a 100ms cadence. Close
+// stays responsive: both conns are tracked, so Close severs them and the
+// blocked Read returns — at worst one sleep interval late.
+func (p *Proxy) throttledCopy(dst, src net.Conn) {
+	chunk := p.cfg.ThrottleBytesPerSec / 10
+	if chunk < 1 {
+		chunk = 1
+	}
+	buf := make([]byte, chunk)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
 }
 
 // relayThenCut forwards a bounded random prefix of the client's bytes to

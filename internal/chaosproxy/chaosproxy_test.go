@@ -179,3 +179,58 @@ func TestCloseSeversLiveConnections(t *testing.T) {
 		t.Fatal("Close hung on a live blackholed connection")
 	}
 }
+
+// TestThrottleDeterministicSchedule: the slow-drip fault honors the same
+// seeded-schedule contract as the others — which connections crawl is a
+// pure function of (seed, arrival order) — and a throttled connection still
+// completes, just slowly. Connections classify by elapsed time: pushing
+// ~5 chunks through a 2000 B/s drip takes ≥400ms, while the transparent
+// path finishes in a few milliseconds.
+func TestThrottleDeterministicSchedule(t *testing.T) {
+	payload := strings.Repeat("x", 1000)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		fmt.Fprint(w, "ok")
+	}))
+	t.Cleanup(ts.Close)
+
+	pattern := func(seed int64) string {
+		p, err := Start("127.0.0.1:0", Config{
+			Target:              targetOf(ts),
+			Seed:                seed,
+			ThrottleProb:        0.5,
+			ThrottleBytesPerSec: 2000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		var b strings.Builder
+		client := &http.Client{Timeout: 5 * time.Second, Transport: &http.Transport{DisableKeepAlives: true}}
+		for i := 0; i < 12; i++ {
+			start := time.Now()
+			resp, err := client.Post("http://"+p.Addr()+"/x", "text/plain", strings.NewReader(payload))
+			if err != nil {
+				t.Fatalf("throttled connection must still complete: %v", err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if time.Since(start) >= 200*time.Millisecond {
+				b.WriteByte('T') // throttled
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		return b.String()
+	}
+	a1, a2, b1 := pattern(7), pattern(7), pattern(8)
+	if a1 != a2 {
+		t.Errorf("same seed diverged: %q vs %q", a1, a2)
+	}
+	if a1 == b1 {
+		t.Errorf("different seeds produced identical schedule %q", a1)
+	}
+	if !strings.Contains(a1, "T") || !strings.Contains(a1, ".") {
+		t.Errorf("schedule %q should mix throttled and clean connections at p=0.5", a1)
+	}
+}

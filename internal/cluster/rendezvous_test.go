@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestOwnersIsDeterministicPermutation(t *testing.T) {
+	members := []string{"a", "b", "c", "d"}
+	for i := 0; i < 50; i++ {
+		stream := fmt.Sprintf("stream-%d", i)
+		got := Owners(members, stream)
+		if len(got) != len(members) {
+			t.Fatalf("Owners(%q) returned %d members, want %d", stream, len(got), len(members))
+		}
+		sorted := append([]string(nil), got...)
+		sort.Strings(sorted)
+		if !reflect.DeepEqual(sorted, members) {
+			t.Fatalf("Owners(%q) = %v is not a permutation of %v", stream, got, members)
+		}
+		again := Owners(members, stream)
+		if !reflect.DeepEqual(got, again) {
+			t.Fatalf("Owners(%q) not deterministic: %v then %v", stream, got, again)
+		}
+	}
+}
+
+// Removing a member must not reorder the survivors — the property that makes
+// failover minimal: only streams the dead node owned move, each to its next
+// preference, and nothing else reshuffles.
+func TestOwnersMinimalDisruption(t *testing.T) {
+	members := []string{"a", "b", "c", "d", "e"}
+	for i := 0; i < 100; i++ {
+		stream := fmt.Sprintf("stream-%d", i)
+		full := Owners(members, stream)
+		for _, removed := range members {
+			var survivors []string
+			for _, m := range members {
+				if m != removed {
+					survivors = append(survivors, m)
+				}
+			}
+			var fullMinus []string
+			for _, m := range full {
+				if m != removed {
+					fullMinus = append(fullMinus, m)
+				}
+			}
+			if got := Owners(survivors, stream); !reflect.DeepEqual(got, fullMinus) {
+				t.Fatalf("stream %q: removing %q reordered survivors: %v, want %v",
+					stream, removed, got, fullMinus)
+			}
+		}
+	}
+}
+
+func TestOwnersBalance(t *testing.T) {
+	// Both ID shapes matter: one-letter member IDs with near-identical
+	// stream names are the case where unfinalized FNV-1a ranks stayed
+	// correlated and skewed ownership to 13%/57%/30%.
+	for _, members := range [][]string{
+		{"a", "b", "c"},
+		{"node-0", "node-1", "node-2"},
+	} {
+		counts := map[string]int{}
+		const n = 3000
+		for i := 0; i < n; i++ {
+			counts[Owners(members, fmt.Sprintf("s-%d", i))[0]]++
+		}
+		for _, m := range members {
+			frac := float64(counts[m]) / n
+			if frac < 0.28 || frac > 0.39 {
+				t.Fatalf("member %s owns %.0f%% of streams; want roughly a third (counts %v)",
+					m, frac*100, counts)
+			}
+		}
+	}
+}
+
+func TestReplicaSetClamps(t *testing.T) {
+	members := []string{"a", "b"}
+	if got := ReplicaSet(members, "s", 5); len(got) != 2 {
+		t.Fatalf("ReplicaSet r=5 over 2 members = %v, want both members", got)
+	}
+	if got := ReplicaSet(members, "s", 1); len(got) != 1 {
+		t.Fatalf("ReplicaSet r=1 = %v, want a single owner", got)
+	}
+	if got := ReplicaSet(members, "s", 0); got != nil {
+		t.Fatalf("ReplicaSet r=0 = %v, want nil", got)
+	}
+}
+
+func TestParseMembers(t *testing.T) {
+	got, err := ParseMembers("a=127.0.0.1:1, b=127.0.0.1:2 ,c=127.0.0.1:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Member{
+		{ID: "a", Addr: "127.0.0.1:1"},
+		{ID: "b", Addr: "127.0.0.1:2"},
+		{ID: "c", Addr: "127.0.0.1:3"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ParseMembers = %v, want %v", got, want)
+	}
+	for _, bad := range []string{"", "a", "a=,b=x", "a=1,a=2", "  ,  "} {
+		if _, err := ParseMembers(bad); err == nil {
+			t.Errorf("ParseMembers(%q) succeeded, want error", bad)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/acis-lab/larpredictor/client"
+	"github.com/acis-lab/larpredictor/internal/obs"
+)
+
+// repBatch is one replication unit: samples from a single client source,
+// carrying that source's original (stream, seq) idempotency keys so the
+// follower's dedup table records exactly the coverage the owner acked.
+type repBatch struct {
+	source  string
+	samples []client.Sample
+}
+
+// replicator ships acked batches to one follower, in order, off the
+// request path. The queue is bounded: when the follower is down or slow
+// the oldest batch drops (counted, logged) rather than stalling ingest —
+// the follower heals any gap at its next warm handoff, because handoff
+// merges dedup coverage and predictor state from the nodes that did apply
+// those samples.
+type replicator struct {
+	peer string
+	c    *client.Client
+	ch   chan repBatch
+	stop chan struct{}
+	done chan struct{}
+
+	lag   *obs.Gauge   // predictd_cluster_replication_lag{peer}
+	sent  *obs.Counter // replicated samples
+	drops *obs.Counter // dropped batches
+	logw  io.Writer
+}
+
+func newReplicator(peer string, c *client.Client, queue int,
+	lag *obs.Gauge, sent, drops *obs.Counter, logw io.Writer) *replicator {
+	return &replicator{
+		peer:  peer,
+		c:     c,
+		ch:    make(chan repBatch, queue),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+		lag:   lag,
+		sent:  sent,
+		drops: drops,
+		logw:  logw,
+	}
+}
+
+func (r *replicator) start() { go r.loop() }
+
+func (r *replicator) close() {
+	close(r.stop)
+	<-r.done
+}
+
+// enqueue queues a batch without blocking; on overflow it evicts the
+// oldest queued batch to keep the newest (the follower is behind either
+// way, and recent state is worth more at failover).
+func (r *replicator) enqueue(b repBatch) {
+	for {
+		select {
+		case r.ch <- b:
+			r.lag.Set(float64(len(r.ch)))
+			return
+		default:
+		}
+		select {
+		case old := <-r.ch:
+			r.drops.Inc()
+			fmt.Fprintf(r.logw, "cluster: replication to %s overflowed, dropped batch of %d from %s\n",
+				r.peer, len(old.samples), old.source)
+		default:
+		}
+	}
+}
+
+// loop drains the queue. Each send retries with backoff until it lands or
+// the replicator closes: the send client is configured with unlimited
+// attempts, and the context below is cancelled by close, so a dead
+// follower pins its queue (visible as lag) instead of losing batches —
+// until overflow eviction in enqueue makes the loss explicit.
+func (r *replicator) loop() {
+	defer close(r.done)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		<-r.stop
+		cancel()
+	}()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case b := <-r.ch:
+			r.lag.Set(float64(len(r.ch)))
+			if _, err := r.c.IngestFrom(ctx, b.source, b.samples); err != nil {
+				select {
+				case <-r.stop:
+					return
+				default:
+				}
+				r.drops.Inc()
+				fmt.Fprintf(r.logw, "cluster: replication to %s failed terminally: %v\n", r.peer, err)
+				// brief pause so a terminally failing peer does not spin
+				select {
+				case <-time.After(100 * time.Millisecond):
+				case <-r.stop:
+					return
+				}
+				continue
+			}
+			r.sent.Add(uint64(len(b.samples)))
+		}
+	}
+}

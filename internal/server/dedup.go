@@ -160,6 +160,79 @@ func (d *Dedup) State() DedupState {
 	return st
 }
 
+// StreamState captures one stream's windows and applied count in exported
+// form — the per-stream slice of State that cluster handoff ships. ok is
+// false when the table has never seen the stream.
+func (d *Dedup) StreamState(stream string) (windows map[string]SourceWindow, applied uint64, ok bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	sources, okS := d.streams[stream]
+	applied, okA := d.applied[stream]
+	if !okS && !okA {
+		return nil, 0, false
+	}
+	windows = make(map[string]SourceWindow, len(sources))
+	for source, w := range sources {
+		sw := SourceWindow{Floor: w.floor, Max: w.max, Seqs: make([]uint64, 0, len(w.seqs))}
+		for s := range w.seqs {
+			sw.Seqs = append(sw.Seqs, s)
+		}
+		windows[source] = sw
+	}
+	return windows, applied, true
+}
+
+// MergeStream unions a peer's windows for one stream into the table: per
+// source, the floor becomes the max of the two floors and the explicit seq
+// sets union (dropping seqs the new floor covers). The stream's applied
+// count is then recomputed as Σ(floor + live seqs) per source — exact
+// while no window has compacted (floors are zero and every applied seq is
+// explicit, which holds until a single source exceeds the dedup window),
+// and the same everything-at-or-below-the-floor-was-applied approximation
+// Apply itself uses afterwards.
+//
+// This is the warm-handoff install path: a rejoining node merges the
+// coverage of every peer that held its streams, then replays its own WAL
+// against the merged table, so each sample is applied exactly once no
+// matter which node acked it.
+func (d *Dedup) MergeStream(stream string, windows map[string]SourceWindow) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	sources, ok := d.streams[stream]
+	if !ok {
+		sources = map[string]*seqWindow{}
+		d.streams[stream] = sources
+	}
+	for source, sw := range windows {
+		w, ok := sources[source]
+		if !ok {
+			w = &seqWindow{seqs: map[uint64]struct{}{}}
+			sources[source] = w
+		}
+		if sw.Floor > w.floor {
+			w.floor = sw.Floor
+		}
+		if sw.Max > w.max {
+			w.max = sw.Max
+		}
+		for _, s := range sw.Seqs {
+			if s > w.floor {
+				w.seqs[s] = struct{}{}
+			}
+		}
+		for s := range w.seqs {
+			if s <= w.floor {
+				delete(w.seqs, s)
+			}
+		}
+	}
+	var applied uint64
+	for _, w := range sources {
+		applied += w.floor + uint64(len(w.seqs))
+	}
+	d.applied[stream] = applied
+}
+
 // Restore replaces the table's contents with a snapshot captured by State.
 func (d *Dedup) Restore(st DedupState) {
 	d.mu.Lock()

@@ -101,6 +101,18 @@ type Config struct {
 	// to a stream; it is served in forecast documents so end-to-end audits
 	// (and the chaos soak) can assert exactly-once application.
 	Applied func(stream string) (uint64, bool)
+	// Cluster, when set, makes this server one node of a replicated
+	// predictd cluster: externally received ingest batches are routed by
+	// stream ownership (non-owned samples forward synchronously to the
+	// owner), locally applied batches replicate asynchronously to
+	// followers, and forecast reads are served by role — fresh from the
+	// owner, flagged stale from a replica, proxied otherwise.
+	Cluster Cluster
+	// ClusterHandler, when set, is mounted at /v1/cluster/ ahead of the
+	// generic /v1 routes, bypassing admission control and the request
+	// timeout: a shed heartbeat would read as a dead node, and a handoff
+	// transfer may legitimately outlast the request timeout.
+	ClusterHandler http.Handler
 }
 
 // Server serves the prediction API. Construct with New, start with Serve,
@@ -201,6 +213,11 @@ func (s *Server) buildHandler() http.Handler {
 
 	root := http.NewServeMux()
 	root.Handle("/v1/", v1)
+	if s.cfg.ClusterHandler != nil {
+		// More specific than /v1/, so ServeMux routes cluster traffic here
+		// — outside admission control and the request timeout.
+		root.Handle("/v1/cluster/", s.cfg.ClusterHandler)
+	}
 	root.Handle("GET /metrics", obs.Handler(s.cfg.Registry))
 	root.HandleFunc("GET /healthz", s.handleHealthz)
 	return s.instrument(root)
@@ -276,6 +293,8 @@ func endpointLabel(r *http.Request) string {
 		return "ingest"
 	case p == "/v1/streams":
 		return "streams"
+	case len(p) > len("/v1/cluster/") && p[:len("/v1/cluster/")] == "/v1/cluster/":
+		return "cluster"
 	case len(p) > len("/v1/forecast/") && p[:len("/v1/forecast/")] == "/v1/forecast/":
 		return "forecast"
 	case p == "/healthz":
@@ -451,6 +470,54 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Cluster routing: externally received batches (no ClusterHeader) split
+	// into a local portion and per-owner forwards; forwarded and replicated
+	// batches from peers are applied locally as-is, which keeps forwarding
+	// to one hop. Forwards run before the local apply so a routing failure
+	// turns into one clean 503 retry — the client's idempotency keys make
+	// the whole-batch retry safe.
+	fromCluster := r.Header.Get(ClusterHeader)
+	var fwdAccepted, fwdDeduped int
+	if cl := s.cfg.Cluster; cl != nil {
+		w.Header().Set(NodeHeader, cl.NodeID())
+		if fromCluster == "" {
+			local, forward := cl.Route(batch)
+			if len(local) == 0 && len(forward) == 1 {
+				// The whole batch belongs to one peer: hint the client to
+				// send the next one straight there.
+				for peer := range forward {
+					if addr := cl.PeerAddr(peer); addr != "" {
+						w.Header().Set(RouteHeader, addr)
+					}
+				}
+			}
+			for peer, sub := range forward {
+				fa, fd, ferr := cl.Forward(r.Context(), peer, sub)
+				fwdAccepted += fa
+				fwdDeduped += fd
+				if ferr != nil {
+					w.Header().Set(ReasonHeader, ReasonForward)
+					w.Header().Set("Retry-After", "1")
+					writeJSON(w, http.StatusServiceUnavailable, IngestResponse{
+						Accepted: fwdAccepted,
+						Deduped:  fwdDeduped,
+						Rejected: len(batch) - fwdAccepted - fwdDeduped,
+						Error:    "forward to stream owner failed: " + ferr.Error(),
+					})
+					return
+				}
+			}
+			batch = local
+		}
+	}
+	if len(batch) == 0 {
+		// Everything was forwarded and acked by its owner.
+		writeJSON(w, http.StatusAccepted, IngestResponse{
+			Accepted: fwdAccepted, Deduped: fwdDeduped,
+		})
+		return
+	}
+
 	var accepted, deduped int
 	var err error
 	if s.cfg.Ingest != nil {
@@ -464,10 +531,17 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	s.met.accepted.Add(uint64(accepted))
 	s.met.rejected.Add(uint64(len(batch) - accepted - deduped))
+	if cl := s.cfg.Cluster; cl != nil && err == nil && fromCluster != ClusterReplicate {
+		// The batch is acked below; queue it for the streams' followers.
+		// Replicated samples keep their original (source, seq) keys, so a
+		// follower that already saw one (through an earlier forward, or a
+		// client retry that landed elsewhere) dedups it.
+		cl.Replicate(batch)
+	}
 	resp := IngestResponse{
-		Accepted: accepted,
+		Accepted: accepted + fwdAccepted,
 		Rejected: len(batch) - accepted - deduped,
-		Deduped:  deduped,
+		Deduped:  deduped + fwdDeduped,
 	}
 	switch {
 	case err == nil:
@@ -493,6 +567,36 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 	if id == "" {
 		writeJSON(w, http.StatusBadRequest, errorDoc{Error: "empty stream"})
 		return
+	}
+	if cl := s.cfg.Cluster; cl != nil {
+		w.Header().Set(NodeHeader, cl.NodeID())
+		// Reads already proxied by a peer (ClusterRead) serve the local
+		// view unconditionally — one hop, no proxy chains.
+		if r.Header.Get(ClusterHeader) == "" {
+			switch role, peer := cl.ReadRole(id); role {
+			case ReadReplica:
+				// This node replicates the stream: serve the local view,
+				// flagged stale — correct as of the last replicated batch.
+				w.Header().Set(StaleHeader, "true")
+				if addr := cl.PeerAddr(peer); addr != "" {
+					w.Header().Set(RouteHeader, addr)
+				}
+			case ReadProxy:
+				if body, perr := cl.ProxyForecast(r.Context(), peer, id); perr == nil {
+					if addr := cl.PeerAddr(peer); addr != "" {
+						w.Header().Set(RouteHeader, addr)
+					}
+					w.Header().Set("Content-Type", "application/json")
+					w.WriteHeader(http.StatusOK)
+					w.Write(body)
+					return
+				}
+				// Owner unreachable (likely mid-failover, before the
+				// detector confirms it down): fall through to whatever
+				// local view exists rather than going dark.
+				w.Header().Set(StaleHeader, "true")
+			}
+		}
 	}
 	snap, haveSnap := s.cache.Latest(id)
 	st, haveStats := s.eng.Stats(id)
