@@ -80,7 +80,7 @@ vuln:
 BENCH ?= BenchmarkForecastPath
 BENCHFLAGS ?= -run '^$$' -bench '$(BENCH)' -benchmem -count 6
 
-BENCH_PKGS ?= . ./cmd/predictd ./internal/cluster
+BENCH_PKGS ?= . ./cmd/predictd ./internal/cluster ./internal/server
 
 bench-baseline:
 	$(GO) test $(BENCHFLAGS) $(BENCH_PKGS) | tee bench-old.txt

@@ -57,7 +57,11 @@ var ErrBreakerOpen = errors.New("predictclient: circuit breaker open")
 type StatusError struct {
 	Code   int
 	Reason string // X-Predictd-Reason when the server sent one
-	Body   string
+	// ErrCode is the machine-readable code from the server's unified error
+	// envelope ({"error":{"code":...}}), when the body carried one. Branch
+	// on it rather than on Body or Reason.
+	ErrCode string
+	Body    string
 }
 
 func (e *StatusError) Error() string {
@@ -65,6 +69,19 @@ func (e *StatusError) Error() string {
 		return fmt.Sprintf("predictclient: HTTP %d (reason %s): %s", e.Code, e.Reason, e.Body)
 	}
 	return fmt.Sprintf("predictclient: HTTP %d: %s", e.Code, e.Body)
+}
+
+// statusError builds a StatusError from a response, extracting the
+// envelope's machine code when the body carries one.
+func statusError(resp *http.Response, raw []byte) *StatusError {
+	se := &StatusError{Code: resp.StatusCode, Reason: resp.Header.Get(reasonHeader), Body: string(raw)}
+	var env struct {
+		Error *ErrorBody `json:"error"`
+	}
+	if json.Unmarshal(raw, &env) == nil && env.Error != nil {
+		se.ErrCode = env.Error.Code
+	}
+	return se
 }
 
 // Config shapes a Client. The zero value of every field has a sensible
@@ -128,6 +145,11 @@ type Client struct {
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
+
+	// etagMu guards the Forecasts conditional-get cache: requested stream
+	// set → last ETag and the response it validated.
+	etagMu sync.Mutex
+	etags  map[string]etagEntry
 }
 
 // New validates cfg, fills defaults, and returns a ready Client.
@@ -236,34 +258,50 @@ func (c *Client) Healthz(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
 }
 
+// respMeta is the successful response's metadata — the conditional-get
+// machinery needs the status (200 vs 304) and headers (ETag).
+type respMeta struct {
+	status int
+	header http.Header
+}
+
 // do runs the retry loop around one logical request. The request body is a
 // byte slice (not a Reader) precisely so every attempt resends identical
 // bytes — idempotency keys must not drift between attempts.
 func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	_, err := c.doHdr(ctx, method, path, body, nil, out)
+	return err
+}
+
+// doHdr is do with extra request headers and the successful response's
+// metadata returned — the conditional-get read path sends If-None-Match and
+// inspects ETag/304 this way.
+func (c *Client) doHdr(ctx context.Context, method, path string, body []byte,
+	hdr map[string]string, out any) (respMeta, error) {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if c.breaker != nil {
 			if err := c.breaker.allow(); err != nil {
 				if lastErr != nil {
-					return fmt.Errorf("%w (last failure: %v)", err, lastErr)
+					return respMeta{}, fmt.Errorf("%w (last failure: %v)", err, lastErr)
 				}
-				return err
+				return respMeta{}, err
 			}
 		}
-		retryable, retryAfter, err := c.attempt(ctx, method, path, body, out)
+		meta, retryable, retryAfter, err := c.attempt(ctx, method, path, body, hdr, out)
 		if err == nil {
-			return nil
+			return meta, nil
 		}
 		lastErr = err
 		if !retryable {
-			return err
+			return respMeta{}, err
 		}
 		if c.cfg.MaxAttempts > 0 && attempt+1 >= c.cfg.MaxAttempts {
-			return fmt.Errorf("predictclient: %d attempts exhausted: %w", c.cfg.MaxAttempts, err)
+			return respMeta{}, fmt.Errorf("predictclient: %d attempts exhausted: %w", c.cfg.MaxAttempts, err)
 		}
 		c.retries.WithLabels(retryReason(err)).Inc()
 		if werr := c.sleep(ctx, c.backoff(attempt, retryAfter)); werr != nil {
-			return fmt.Errorf("%w (last failure: %v)", werr, err)
+			return respMeta{}, fmt.Errorf("%w (last failure: %v)", werr, err)
 		}
 	}
 }
@@ -299,10 +337,11 @@ func (c *Client) noteRoute(hint string) {
 }
 
 // attempt issues one HTTP round trip under the per-attempt deadline and
-// classifies the outcome: (retryable, server-requested floor, error). A
-// transport failure or 5xx rotates the preferred endpoint so the retry
+// classifies the outcome: (meta, retryable, server-requested floor, error).
+// A transport failure or 5xx rotates the preferred endpoint so the retry
 // lands on the next cluster node.
-func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any) (bool, time.Duration, error) {
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte,
+	hdr map[string]string, out any) (respMeta, bool, time.Duration, error) {
 	actx, cancel := context.WithTimeout(ctx, c.cfg.RequestTimeout)
 	defer cancel()
 	var rd io.Reader
@@ -312,12 +351,15 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	base, epIdx := c.endpoint()
 	req, err := http.NewRequestWithContext(actx, method, base+path, rd)
 	if err != nil {
-		return false, 0, err
+		return respMeta{}, false, 0, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	for k, v := range c.cfg.Headers {
+		req.Header.Set(k, v)
+	}
+	for k, v := range hdr {
 		req.Header.Set(k, v)
 	}
 	resp, err := c.httpc.Do(req)
@@ -329,12 +371,13 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 		c.breakerFailure()
 		c.rotate(epIdx)
 		if ctx.Err() != nil {
-			return false, 0, ctx.Err()
+			return respMeta{}, false, 0, ctx.Err()
 		}
-		return true, 0, fmt.Errorf("predictclient: %s %s: %w", method, path, err)
+		return respMeta{}, true, 0, fmt.Errorf("predictclient: %s %s: %w", method, path, err)
 	}
 	defer resp.Body.Close()
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	meta := respMeta{status: resp.StatusCode, header: resp.Header}
 
 	switch {
 	case resp.StatusCode >= 200 && resp.StatusCode < 300:
@@ -342,32 +385,36 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 		c.noteRoute(resp.Header.Get(routeHeader))
 		if out != nil {
 			if derr := json.Unmarshal(raw, out); derr != nil {
-				return false, 0, fmt.Errorf("predictclient: decode %s response: %w", path, derr)
+				return respMeta{}, false, 0, fmt.Errorf("predictclient: decode %s response: %w", path, derr)
 			}
 		}
-		return false, 0, nil
+		return meta, false, 0, nil
+	case resp.StatusCode == http.StatusNotModified:
+		// Conditional get hit: the caller's cached copy is still current.
+		// Nothing to decode.
+		c.breakerSuccess()
+		c.noteRoute(resp.Header.Get(routeHeader))
+		return meta, false, 0, nil
 	case resp.StatusCode == http.StatusTooManyRequests:
 		// Explicit throttling. The daemon is up and talking, so this does
 		// not trip the breaker and there is no reason to change endpoints;
 		// Retry-After floors the next sleep.
 		c.breakerSuccess()
-		serr := &StatusError{Code: resp.StatusCode, Reason: resp.Header.Get(reasonHeader), Body: string(raw)}
-		return true, parseRetryAfter(resp.Header.Get("Retry-After")), serr
+		return respMeta{}, true, parseRetryAfter(resp.Header.Get("Retry-After")), statusError(resp, raw)
 	case resp.StatusCode == http.StatusServiceUnavailable:
 		// Explicit backpressure — no breaker trip — but a draining,
 		// shedding, or forward-failing node is a reason to try a peer.
 		c.breakerSuccess()
 		c.rotate(epIdx)
-		serr := &StatusError{Code: resp.StatusCode, Reason: resp.Header.Get(reasonHeader), Body: string(raw)}
-		return true, parseRetryAfter(resp.Header.Get("Retry-After")), serr
+		return respMeta{}, true, parseRetryAfter(resp.Header.Get("Retry-After")), statusError(resp, raw)
 	case resp.StatusCode >= 500:
 		c.breakerFailure()
 		c.rotate(epIdx)
-		return true, 0, &StatusError{Code: resp.StatusCode, Body: string(raw)}
+		return respMeta{}, true, 0, statusError(resp, raw)
 	default:
 		// 4xx: the request itself is wrong; retrying cannot fix it.
 		c.breakerSuccess()
-		return false, 0, &StatusError{Code: resp.StatusCode, Body: string(raw)}
+		return respMeta{}, false, 0, statusError(resp, raw)
 	}
 }
 
@@ -474,12 +521,20 @@ type IngestRequest struct {
 	Samples []Sample `json:"samples,omitempty"`
 }
 
-// IngestResponse is the server's ingest accounting.
+// ErrorBody is the machine-readable error inside predictd's unified error
+// envelope ({"error":{"code":"…","message":"…"}}).
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// IngestResponse is the server's ingest accounting. Error follows the
+// unified envelope's body shape on failure responses.
 type IngestResponse struct {
-	Accepted int    `json:"accepted"`
-	Rejected int    `json:"rejected,omitempty"`
-	Deduped  int    `json:"deduped,omitempty"`
-	Error    string `json:"error,omitempty"`
+	Accepted int        `json:"accepted"`
+	Rejected int        `json:"rejected,omitempty"`
+	Deduped  int        `json:"deduped,omitempty"`
+	Error    *ErrorBody `json:"error,omitempty"`
 }
 
 // ForecastDoc is the forecast half of a forecast response.

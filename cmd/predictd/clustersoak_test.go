@@ -231,6 +231,58 @@ func TestClusterSoak(t *testing.T) {
 	inDowntime := &atomic.Bool{}
 	readerStop := make(chan struct{})
 	var readers sync.WaitGroup
+
+	// History reader: range-reads the killed node's stream through the
+	// proxies for the whole soak. Any replica's ring answers a history read
+	// (never proxied), so these too must stay gap-bounded across the kill —
+	// and the observed seq must never move backwards.
+	var maxHistGap atomic.Int64
+	var downtimeHistReads atomic.Int64
+	var histHighWater atomic.Uint64
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		hc, herr := client.New(client.Config{
+			BaseURL:          proxyAddrs[1], // start at b: the kill forces a failover read
+			Endpoints:        proxyAddrs,
+			RequestTimeout:   time.Second,
+			MaxAttempts:      2,
+			BaseBackoff:      5 * time.Millisecond,
+			MaxBackoff:       50 * time.Millisecond,
+			BreakerThreshold: -1,
+			Seed:             11,
+		})
+		if herr != nil {
+			t.Error(herr)
+			return
+		}
+		lastOK := time.Now()
+		for {
+			select {
+			case <-readerStop:
+				return
+			default:
+			}
+			hr, err := hc.History(ctx, streams["b"], client.HistoryQuery{Limit: 32})
+			if err == nil {
+				if gap := time.Since(lastOK); gap.Nanoseconds() > maxHistGap.Load() {
+					maxHistGap.Store(gap.Nanoseconds())
+				}
+				lastOK = time.Now()
+				if inDowntime.Load() {
+					downtimeHistReads.Add(1)
+				}
+				// Replication is asynchronous, so a failover replica may trail
+				// the dead owner — no cross-node monotonicity to assert here;
+				// hold on to the high-water mark instead.
+				if hr.Seq > histHighWater.Load() {
+					histHighWater.Store(hr.Seq)
+				}
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+	}()
+
 	readers.Add(1)
 	go func() {
 		defer readers.Done()
@@ -302,6 +354,15 @@ func TestClusterSoak(t *testing.T) {
 	if downtimeReads.Load() == 0 {
 		t.Error("no forecast succeeded while node b was down; failover must keep serving reads")
 	}
+	if gap := time.Duration(maxHistGap.Load()); gap > 5*time.Second {
+		t.Errorf("longest history-read outage %v, want under 5s (range reads must survive failover)", gap)
+	}
+	if downtimeHistReads.Load() == 0 {
+		t.Error("no history read succeeded while node b was down; a replica ring must keep answering")
+	}
+	if histHighWater.Load() == 0 {
+		t.Error("history reads never observed data; the reader asserted nothing")
+	}
 
 	// Exactly-once, end to end: for every stream, the durable applied count
 	// at its home owner and at its follower equals the distinct samples
@@ -318,6 +379,30 @@ func TestClusterSoak(t *testing.T) {
 			}
 			if fr.Forecast == nil && fr.Processed >= 20 {
 				t.Errorf("stream %s at %s: trained predictor serves no forecast after rejoin", stream, member)
+			}
+
+			// The replica's history ring converges with its applied count:
+			// the full soak fits the raw window, so the range read returns a
+			// contiguous seq line ending at perStream — across kill -9,
+			// handoff, and WAL replay.
+			hr := waitHistorySeq(t, vc, stream, perStream)
+			if n := len(hr.Entries); uint64(n) != perStream {
+				t.Errorf("stream %s at %s: history entries = %d, want %d", stream, member, n, perStream)
+			} else {
+				for i, e := range hr.Entries {
+					if e.Seq != uint64(i+1) {
+						t.Errorf("stream %s at %s: entry %d has seq %d — gap or duplicate in history",
+							stream, member, i, e.Seq)
+						break
+					}
+				}
+			}
+			coarse, err := vc.History(ctx, stream, client.HistoryQuery{Step: 16})
+			if err != nil {
+				t.Errorf("stream %s at %s: consolidated read: %v", stream, member, err)
+			} else if n := len(coarse.Rows); n == 0 || coarse.Rows[n-1].EndSeq != perStream {
+				t.Errorf("stream %s at %s: consolidated tail = %+v, want EndSeq %d",
+					stream, member, coarse.Rows, perStream)
 			}
 		}
 	}

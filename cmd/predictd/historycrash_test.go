@@ -1,0 +1,210 @@
+package main
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/acis-lab/larpredictor/client"
+	"github.com/acis-lab/larpredictor/internal/chaosproxy"
+)
+
+// waitHistorySeq polls the stream's history until its seq reaches want.
+func waitHistorySeq(t *testing.T, c *client.Client, stream string, want uint64) *client.HistoryResponse {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	var last *client.HistoryResponse
+	var lastErr error
+	for time.Now().Before(deadline) {
+		hr, err := c.History(context.Background(), stream, client.HistoryQuery{})
+		if err == nil {
+			last = hr
+			if hr.Seq >= want {
+				return hr
+			}
+		} else {
+			lastErr = err
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("stream %s: history seq never reached %d (last %+v, err %v)", stream, want, last, lastErr)
+	return nil
+}
+
+// TestPredictdHistorySurvivesKill9 is the read-path durability contract:
+// after a kill -9 (no final snapshot — all state comes back through WAL
+// replay), the restarted daemon serves the same forecast history, entry for
+// entry, and keeps appending to it with consistent seq numbers.
+func TestPredictdHistorySurvivesKill9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	dir := t.TempDir()
+	h := startHelper(t, dir, 0) // WAL is the only durable copy
+	c := newCrashClient(t, h.addr, "hist-src", 6)
+
+	const stream = "hist/crash"
+	const total = 40
+	var seq uint64
+	samples := make([]client.Sample, total)
+	for i := range samples {
+		seq++
+		samples[i] = client.Sample{Stream: stream, TS: int64(seq), Value: 10 + float64(seq%7), Seq: seq}
+	}
+	if _, err := c.Ingest(context.Background(), samples); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	before := waitHistorySeq(t, c, stream, total)
+	if len(before.Entries) != total {
+		t.Fatalf("pre-crash entries = %d, want %d", len(before.Entries), total)
+	}
+	coarseBefore, err := c.History(context.Background(), stream, client.HistoryQuery{Step: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	h.kill9()
+	if err := h.start(); err != nil {
+		t.Fatalf("restart after kill -9: %v\noutput:\n%s", err, h.out)
+	}
+	c2 := newCrashClient(t, h.addr, "hist-src", 6)
+
+	// WAL replay must rebuild the identical history: same seqs, same
+	// observations, same forecasts (replay is deterministic).
+	after := waitHistorySeq(t, c2, stream, total)
+	if !reflect.DeepEqual(before, after) {
+		t.Errorf("raw history diverged across kill -9:\n before: %+v\n after:  %+v", before, after)
+	}
+	coarseAfter, err := c2.History(context.Background(), stream, client.HistoryQuery{Step: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(coarseBefore, coarseAfter) {
+		t.Errorf("consolidated history diverged across kill -9:\n before: %+v\n after:  %+v",
+			coarseBefore, coarseAfter)
+	}
+
+	// New samples continue the same seq line — the resume cursor stays
+	// monotonic across the crash.
+	more := make([]client.Sample, 10)
+	for i := range more {
+		seq++
+		more[i] = client.Sample{Stream: stream, TS: int64(seq), Value: 12, Seq: seq}
+	}
+	if _, err := c2.Ingest(context.Background(), more); err != nil {
+		t.Fatal(err)
+	}
+	grown := waitHistorySeq(t, c2, stream, total+10)
+	last := grown.Entries[len(grown.Entries)-1]
+	if last.Seq != total+10 || last.TS != int64(total+10) {
+		t.Errorf("post-restart tail entry = %+v, want seq/ts %d", last, total+10)
+	}
+}
+
+// TestPredictdSSEExactlyOnceAcrossRestart kills the daemon under a live
+// subscription and requires the client to deliver every forecast event
+// exactly once: the reconnect resumes from Last-Event-ID against the
+// WAL-rebuilt history ring, so nothing is repeated and nothing is lost.
+func TestPredictdSSEExactlyOnceAcrossRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	dir := t.TempDir()
+	h := startHelper(t, dir, 0)
+
+	// A restart changes the daemon's port; the plain pass-through proxy
+	// gives the subscriber a stable address across it.
+	proxy, err := chaosproxy.Start("127.0.0.1:0", chaosproxy.Config{Target: h.addr, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	c, err := client.New(client.Config{
+		BaseURL:          "http://" + proxy.Addr(),
+		Source:           "sse-src",
+		RequestTimeout:   2 * time.Second,
+		MaxAttempts:      -1, // the subscription must outlive the restart
+		BaseBackoff:      5 * time.Millisecond,
+		MaxBackoff:       100 * time.Millisecond,
+		BreakerThreshold: -1,
+		Seed:             1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const stream = "sse/crash"
+	const firstBatch, secondBatch = 30, 20
+	var mu sync.Mutex
+	var seqs []uint64
+	arrived := make(chan uint64, firstBatch+secondBatch+8)
+	subCtx, subCancel := context.WithCancel(context.Background())
+	defer subCancel()
+	subDone := make(chan error, 1)
+	go func() {
+		subDone <- c.SubscribeForecasts(subCtx, []string{stream}, func(ev client.ForecastEvent) error {
+			mu.Lock()
+			seqs = append(seqs, ev.Seq)
+			mu.Unlock()
+			arrived <- ev.Seq
+			return nil
+		})
+	}()
+
+	ingest := func(cl *client.Client, from, n int) {
+		t.Helper()
+		samples := make([]client.Sample, n)
+		for i := range samples {
+			s := uint64(from + i)
+			samples[i] = client.Sample{Stream: stream, TS: int64(s), Value: 10 + float64(s%7), Seq: s}
+		}
+		if _, err := cl.Ingest(context.Background(), samples); err != nil {
+			t.Fatalf("ingest from %d: %v", from, err)
+		}
+	}
+	waitSeq := func(want uint64) {
+		t.Helper()
+		deadline := time.After(20 * time.Second)
+		for {
+			select {
+			case s := <-arrived:
+				if s == want {
+					return
+				}
+			case <-deadline:
+				mu.Lock()
+				defer mu.Unlock()
+				t.Fatalf("event seq %d never arrived (got %v)", want, seqs)
+			}
+		}
+	}
+
+	ingest(c, 1, firstBatch)
+	waitSeq(firstBatch)
+
+	h.kill9()
+	if err := h.start(); err != nil {
+		t.Fatalf("restart after kill -9: %v\noutput:\n%s", err, h.out)
+	}
+	proxy.SetTarget(h.addr)
+
+	ingest(newCrashClient(t, h.addr, "sse-src", 6), firstBatch+1, secondBatch)
+	waitSeq(firstBatch + secondBatch)
+
+	subCancel()
+	<-subDone
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seqs) != firstBatch+secondBatch {
+		t.Fatalf("delivered %d events, want exactly %d: %v", len(seqs), firstBatch+secondBatch, seqs)
+	}
+	for i, s := range seqs {
+		if s != uint64(i+1) {
+			t.Fatalf("event %d has seq %d — duplicate or gap across the restart: %v", i, s, seqs)
+		}
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -62,6 +63,10 @@ func main() {
 		reqTimeout = flag.Duration("request-timeout", 10*time.Second, "per-request handler timeout")
 		maxBody    = flag.Int64("max-body", 1<<20, "max ingest request body bytes")
 
+		historyRaw   = flag.Int("history-raw", 512, "per-stream raw forecast-history ring size in samples")
+		historyTiers = flag.String("history-tiers", "", "consolidated history tiers as stepsxrows,... (e.g. 16x360,256x360); empty uses the defaults")
+		bulkStreams  = flag.Int("max-bulk-streams", 256, "max streams one bulk forecast or subscribe request may name")
+
 		nodeID      = flag.String("node-id", "", "this node's cluster member ID; empty runs standalone")
 		peers       = flag.String("peers", "", "static cluster membership as id=host:port,... (must include -node-id's entry)")
 		replication = flag.Int("replication", 2, "copies of each stream across the cluster (owner + replication-1 followers)")
@@ -88,6 +93,9 @@ func main() {
 		maxInFlight:  *inflight,
 		reqTimeout:   *reqTimeout,
 		maxBody:      *maxBody,
+		historyRaw:   *historyRaw,
+		historyTiers: *historyTiers,
+		bulkStreams:  *bulkStreams,
 		nodeID:       *nodeID,
 		peers:        *peers,
 		replication:  *replication,
@@ -122,6 +130,14 @@ type options struct {
 	reqTimeout   time.Duration
 	maxBody      int64
 
+	// Forecast-history shape: raw ring size and "stepsxrows,..." tier spec
+	// (empty means server defaults). Sizing is outside the snapshot
+	// fingerprint — a resized daemon clamps restored rings instead of cold
+	// starting.
+	historyRaw   int
+	historyTiers string
+	bulkStreams  int
+
 	// Cluster mode: nodeID empty means standalone; otherwise peers names
 	// the full static membership (including this node) and the daemon
 	// routes, replicates, and fails over per the internal/cluster design.
@@ -141,6 +157,23 @@ type options struct {
 	stepHook func(id string)
 	// shutdownTimeout bounds the graceful drain; zero means 15s.
 	shutdownTimeout time.Duration
+}
+
+// parseHistoryTiers parses the -history-tiers flag ("16x360,256x360") into
+// tier specs; empty input selects the server defaults.
+func parseHistoryTiers(s string) ([]server.HistoryTier, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var tiers []server.HistoryTier
+	for _, part := range strings.Split(s, ",") {
+		var t server.HistoryTier
+		if _, err := fmt.Sscanf(part, "%dx%d", &t.Steps, &t.Rows); err != nil {
+			return nil, fmt.Errorf("bad history tier %q (want stepsxrows, e.g. 16x360)", part)
+		}
+		tiers = append(tiers, t)
+	}
+	return tiers, nil
 }
 
 func parsePolicy(s string) (engine.Policy, error) {
@@ -203,6 +236,15 @@ func run(ctx context.Context, out io.Writer, o options) error {
 		})
 	}
 
+	tiers, err := parseHistoryTiers(o.historyTiers)
+	if err != nil {
+		return err
+	}
+	hist, err := server.NewHistoryStore(server.HistoryConfig{RawRows: o.historyRaw, Tiers: tiers})
+	if err != nil {
+		return err
+	}
+
 	reg := obs.NewRegistry()
 	cache := server.NewResultCache()
 	eng, err := engine.New(engine.Config{
@@ -211,9 +253,14 @@ func run(ctx context.Context, out io.Writer, o options) error {
 		MaxBatch:   o.maxBatch,
 		Policy:     policy,
 		NewStream:  newStream,
-		OnResult:   cache.Record,
-		StepHook:   o.stepHook,
-		Metrics:    reg,
+		// Every result feeds both read-path stores on the shard worker: the
+		// latest-forecast cache and the multi-resolution history rings.
+		OnResult: func(r engine.Result) {
+			cache.Record(r)
+			hist.Record(r)
+		},
+		StepHook: o.stepHook,
+		Metrics:  reg,
 	})
 	if err != nil {
 		return err
@@ -241,7 +288,7 @@ func run(ctx context.Context, out io.Writer, o options) error {
 		if ws != nil {
 			dedup = ws.dedup
 		}
-		restored, rerr := st.restore(eng, cache, newStream, dedup, os.Stderr)
+		restored, rerr := st.restore(eng, cache, hist, newStream, dedup, os.Stderr)
 		if rerr != nil {
 			return rerr
 		}
@@ -260,6 +307,7 @@ func run(ctx context.Context, out io.Writer, o options) error {
 				Cache:          cache,
 				Dedup:          ws.dedup,
 				NewStream:      newStream,
+				History:        hist,
 				Registry:       reg,
 				Logw:           os.Stderr,
 			})
@@ -294,18 +342,20 @@ func run(ctx context.Context, out io.Writer, o options) error {
 	// coherent drain→snapshot→WAL-reset sequence.
 	saveState := func() error {
 		if ws != nil {
-			return ws.snapshot(st, eng, cache)
+			return ws.snapshot(st, eng, cache, hist)
 		}
-		return st.save(eng, cache, nil)
+		return st.save(eng, cache, hist, nil)
 	}
 
 	scfg := server.Config{
 		Engine:         eng,
 		Cache:          cache,
+		History:        hist,
 		Registry:       reg,
 		MaxInFlight:    o.maxInFlight,
 		RequestTimeout: o.reqTimeout,
 		MaxBodyBytes:   o.maxBody,
+		MaxBulkStreams: o.bulkStreams,
 		OnDrain: func() {
 			if st == nil {
 				return

@@ -42,10 +42,15 @@ type snapFile struct {
 
 // streamState is one stream's persisted state: the core codec's framed
 // predictor bytes plus the serving snapshot (latest observation + forecast)
-// so a restarted daemon answers GET /v1/forecast before any new sample.
+// so a restarted daemon answers GET /v1/forecast before any new sample, and
+// the forecast-history rings so range queries and feed resume cursors
+// survive the restart too. History is absent in pre-history snapshots (gob
+// leaves it zero) and ignored by older binaries — the field is
+// backward-compatible in both directions.
 type streamState struct {
-	Online []byte
-	Cache  server.Snapshot
+	Online  []byte
+	Cache   server.Snapshot
+	History server.HistoryState
 }
 
 // snapStore owns a predictd state directory.
@@ -90,11 +95,14 @@ func (st *snapStore) path() string { return filepath.Join(st.dir, "predictd.snap
 
 // save captures every stream's predictor state and serving snapshot and
 // writes one atomic checksummed file. Per-stream capture runs inside
-// eng.Do, which holds the stream's shard lock: the predictor bytes and the
-// cache entry read right after describe the same step, because OnResult
-// (the cache writer) runs under that same lock. dedup, when non-nil, is
-// the idempotency table to persist alongside (WAL mode).
-func (st *snapStore) save(eng *engine.Engine, cache *server.ResultCache, dedup *server.Dedup) error {
+// eng.Do, which holds the stream's shard lock: the predictor bytes, the
+// cache entry, and the history rings read right after describe the same
+// step, because OnResult (the cache and history writer) runs under that
+// same lock. dedup, when non-nil, is the idempotency table to persist
+// alongside (WAL mode); hist, when non-nil, contributes each stream's
+// forecast-history state.
+func (st *snapStore) save(eng *engine.Engine, cache *server.ResultCache,
+	hist *server.HistoryStore, dedup *server.Dedup) error {
 	snap := snapFile{Fingerprint: st.fingerprint, Streams: map[string]streamState{}}
 	if dedup != nil {
 		snap.Dedup = dedup.State()
@@ -114,6 +122,9 @@ func (st *snapStore) save(eng *engine.Engine, cache *server.ResultCache, dedup *
 			}
 			ss := streamState{Online: buf.Bytes()}
 			ss.Cache, _ = cache.Latest(id)
+			if hist != nil {
+				ss.History, _ = hist.State(id)
+			}
 			snap.Streams[id] = ss
 		})
 	}
@@ -141,8 +152,12 @@ func (st *snapStore) save(eng *engine.Engine, cache *server.ResultCache, dedup *
 // receives one line per abnormal event.
 // dedup, when non-nil, receives the snapshot's idempotency table so WAL
 // replay and client retries dedup against everything the snapshot covers.
+// hist, when non-nil, is primed with each stream's forecast-history rings;
+// a snapshot written under a different history shape clamps on restore
+// (history sizing is intentionally outside the fingerprint).
 func (st *snapStore) restore(eng *engine.Engine, cache *server.ResultCache,
-	newStream func(id string) (*core.Online, error), dedup *server.Dedup, logw io.Writer) (int, error) {
+	hist *server.HistoryStore, newStream func(id string) (*core.Online, error),
+	dedup *server.Dedup, logw io.Writer) (int, error) {
 	payload, err := durable.ReadChecksummedFile(st.path(), snapMagic)
 	switch {
 	case os.IsNotExist(err):
@@ -184,6 +199,9 @@ func (st *snapStore) restore(eng *engine.Engine, cache *server.ResultCache,
 			return restored, fmt.Errorf("restore %s: %w", id, rerr)
 		}
 		cache.Restore(id, ss.Cache)
+		if hist != nil && ss.History.Seq > 0 {
+			hist.Restore(id, ss.History)
+		}
 		restored++
 		st.restored.Inc()
 	}

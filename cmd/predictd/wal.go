@@ -198,11 +198,12 @@ func (ws *walStore) truncate() error { return ws.wal.Reset() }
 // idempotency table) is written atomically, and only then is the WAL
 // reset: an acked sample is durably in the snapshot or the WAL at every
 // instant, never neither.
-func (ws *walStore) snapshot(st *snapStore, eng *engine.Engine, cache *server.ResultCache) error {
+func (ws *walStore) snapshot(st *snapStore, eng *engine.Engine, cache *server.ResultCache,
+	hist *server.HistoryStore) error {
 	ws.mu.Lock()
 	defer ws.mu.Unlock()
 	eng.Drain()
-	if err := st.save(eng, cache, ws.dedup); err != nil {
+	if err := st.save(eng, cache, hist, ws.dedup); err != nil {
 		return err
 	}
 	return ws.truncate()

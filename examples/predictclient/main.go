@@ -11,6 +11,12 @@
 //
 //	go run ./cmd/predictd -listen :8100 &
 //	go run ./examples/predictclient -addr http://localhost:8100
+//
+// With -watch, the client instead subscribes to the live forecast feed
+// (GET /v1/subscribe, server-sent events) while the ingest runs, printing
+// each observation against the forecast that targeted it as the daemon
+// processes them. The subscription survives connection drops: it reconnects
+// with Last-Event-ID and delivers every event exactly once.
 package main
 
 import (
@@ -31,6 +37,7 @@ func main() {
 	addr := flag.String("addr", "http://localhost:8100", "predictd base URL")
 	stream := flag.String("stream", "VM2/CPU_usedsec", "stream ID to ingest and query")
 	source := flag.String("source", "predictclient-example", "idempotency source ID for this client")
+	watch := flag.Bool("watch", false, "follow the live forecast feed while ingesting")
 	flag.Parse()
 
 	// First SIGINT cancels ctx: in-flight work wraps up and the client
@@ -52,6 +59,36 @@ func main() {
 	series, err := traces.Get("VM2", "CPU_usedsec")
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	// -watch: follow the feed in the background while the ingest below runs.
+	// SubscribeForecasts reconnects on its own; the goroutine ends when ctx
+	// cancels or the ingest finishes and watchStop is called.
+	var watchDone chan struct{}
+	var watchStop context.CancelFunc
+	if *watch {
+		var wctx context.Context
+		wctx, watchStop = context.WithCancel(ctx)
+		watchDone = make(chan struct{})
+		defer func() {
+			watchStop()
+			<-watchDone
+		}()
+		go func() {
+			defer close(watchDone)
+			err := c.SubscribeForecasts(wctx, []string{*stream}, func(ev client.ForecastEvent) error {
+				if ev.Predicted != nil {
+					fmt.Printf("[watch] ts=%d value=%.2f predicted=%.2f (|err| %.2f, %s)\n",
+						ev.TS, ev.Value, *ev.Predicted, *ev.AbsErr, ev.Expert)
+				} else {
+					fmt.Printf("[watch] ts=%d value=%.2f (warming up)\n", ev.TS, ev.Value)
+				}
+				return nil
+			})
+			if err != nil && wctx.Err() == nil {
+				log.Printf("watch ended: %v", err)
+			}
+		}()
 	}
 
 	// The Ingester batches, retries, and keys every sample; Add blocks only

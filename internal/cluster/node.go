@@ -88,6 +88,10 @@ type Config struct {
 	Cache     *server.ResultCache
 	Dedup     *server.Dedup
 	NewStream func(id string) (*core.Online, error)
+	// History, when set, ships each stream's forecast-history rings in warm
+	// handoffs, so a failover replica (and a rejoining node) serves range
+	// queries without a gap instead of rebuilding history from zero.
+	History *server.HistoryStore
 
 	// Registry instruments the node; nil leaves it uninstrumented.
 	Registry *obs.Registry
@@ -463,6 +467,9 @@ type handoffStream struct {
 	Cache   server.Snapshot                `json:"cache"`
 	Applied uint64                         `json:"applied"`
 	Windows map[string]server.SourceWindow `json:"windows,omitempty"`
+	// History carries the stream's forecast-history rings (raw + tiers);
+	// zero Seq means the sender had none (or runs without a history store).
+	History server.HistoryState `json:"history,omitempty"`
 }
 
 // handoffDoc is the POST /v1/cluster/handoff response.
@@ -507,6 +514,9 @@ func (n *Node) handoffFor(requester string) handoffDoc {
 			hs.Online = buf.Bytes()
 			hs.Cache, _ = n.cfg.Cache.Latest(id)
 			hs.Windows, hs.Applied, _ = n.cfg.Dedup.StreamState(id)
+			if n.cfg.History != nil {
+				hs.History, _ = n.cfg.History.State(id)
+			}
 			captured = true
 		})
 		if captured {
@@ -583,6 +593,12 @@ func (n *Node) PullHandoff(ctx context.Context) (restored int) {
 			continue
 		}
 		n.cfg.Cache.Restore(stream, r.hs.Cache)
+		if n.cfg.History != nil && r.hs.History.Seq > n.cfg.History.Seq(stream) {
+			// Take the peer's history only when it is ahead: the winner was
+			// picked on applied count, but a local ring rebuilt by WAL replay
+			// could still be longer for unkeyed traffic.
+			n.cfg.History.Restore(stream, r.hs.History)
+		}
 		restored++
 		if n.handoffReceived != nil {
 			n.handoffReceived.Inc()

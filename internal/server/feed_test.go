@@ -1,0 +1,278 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/acis-lab/larpredictor/internal/engine"
+)
+
+func TestEventIDRoundTrip(t *testing.T) {
+	pos, err := parseEventID("a@12,b/c@47")
+	if err != nil || pos["a"] != 12 || pos["b/c"] != 47 {
+		t.Fatalf("parse = %v (%v)", pos, err)
+	}
+	if got := formatEventID(pos); got != "a@12,b/c@47" {
+		t.Errorf("format = %q, want sorted a@12,b/c@47", got)
+	}
+	if pos, err := parseEventID(""); err != nil || len(pos) != 0 {
+		t.Errorf("empty id = %v (%v)", pos, err)
+	}
+	for _, bad := range []string{"a", "a@", "@12", "a@x", "a@12,,b@1"} {
+		if _, err := parseEventID(bad); err == nil {
+			t.Errorf("malformed id %q accepted", bad)
+		}
+	}
+}
+
+func TestFeedLagSetsFlag(t *testing.T) {
+	f := newFeed()
+	sub, ok := f.subscribe([]string{"s"}, 1)
+	if !ok {
+		t.Fatal("subscribe refused")
+	}
+	defer f.unsubscribe(sub)
+	f.publish("s", HistoryEntry{Seq: 1})
+	f.publish("s", HistoryEntry{Seq: 2}) // buffer full: dropped, flagged
+	f.publish("other", HistoryEntry{Seq: 9})
+	if len(sub.ch) != 1 {
+		t.Errorf("buffered = %d, want 1", len(sub.ch))
+	}
+	if !sub.lagged.Load() {
+		t.Error("overflow did not set the lagged flag")
+	}
+}
+
+// sseEvent is one decoded test-side SSE event.
+type sseEvent struct {
+	id string
+	ev FeedEvent
+}
+
+// sseClient reads a /v1/subscribe stream in the background.
+type sseClient struct {
+	cancel  context.CancelFunc
+	events  chan sseEvent
+	closed  chan error
+	stopped sync.Once
+}
+
+// openSSE connects to the feed and parses events until the connection drops
+// or stop() is called.
+func openSSE(t *testing.T, base, streams, lastID string) *sseClient {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	url := base + "/v1/subscribe?streams=" + strings.ReplaceAll(streams, "/", "%2F")
+	req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	if lastID != "" {
+		req.Header.Set("Last-Event-ID", lastID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		cancel()
+		t.Fatalf("subscribe status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("subscribe Content-Type = %q", ct)
+	}
+	c := &sseClient{cancel: cancel, events: make(chan sseEvent, 256), closed: make(chan error, 1)}
+	go func() {
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		var id, event, data string
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case line == "":
+				if event == "forecast" && data != "" {
+					var ev FeedEvent
+					if err := json.Unmarshal([]byte(data), &ev); err != nil {
+						c.closed <- fmt.Errorf("decode %q: %v", data, err)
+						return
+					}
+					c.events <- sseEvent{id: id, ev: ev}
+				}
+				event, data = "", ""
+			case strings.HasPrefix(line, "id: "):
+				id = line[4:]
+			case strings.HasPrefix(line, "event: "):
+				event = line[7:]
+			case strings.HasPrefix(line, "data: "):
+				data = line[6:]
+			}
+		}
+		c.closed <- sc.Err()
+	}()
+	t.Cleanup(c.stop)
+	return c
+}
+
+func (c *sseClient) stop() {
+	c.stopped.Do(func() {
+		c.cancel()
+		select {
+		case <-c.closed:
+		case <-time.After(2 * time.Second):
+		}
+	})
+}
+
+// next waits for one event.
+func (c *sseClient) next(t *testing.T) sseEvent {
+	t.Helper()
+	select {
+	case e := <-c.events:
+		return e
+	case err := <-c.closed:
+		t.Fatalf("stream closed while waiting for an event: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("no SSE event within 5s")
+	}
+	return sseEvent{}
+}
+
+// TestSubscribeLiveAndBackfill drives samples through the engine and checks
+// the feed delivers them in order, then that a late subscriber backfills
+// from the history ring.
+func TestSubscribeLiveAndBackfill(t *testing.T) {
+	env := newTestServer(t, engine.Config{Shards: 1}, Config{})
+
+	live := openSSE(t, env.ts.URL, "s", "")
+	batch := IngestRequest{}
+	for i := 1; i <= 25; i++ {
+		batch.Samples = append(batch.Samples, IngestSample{Stream: "s", TS: int64(i), Value: signal(i)})
+	}
+	postJSON(t, env.ts.URL+"/v1/ingest", batch)
+
+	var lastID string
+	for i := 1; i <= 25; i++ {
+		e := live.next(t)
+		if e.ev.Stream != "s" || e.ev.Seq != uint64(i) || e.ev.TS != int64(i) {
+			t.Fatalf("event %d = %+v", i, e.ev)
+		}
+		if e.id != fmt.Sprintf("s@%d", i) {
+			t.Fatalf("event %d id = %q", i, e.id)
+		}
+		lastID = e.id
+	}
+	// Past training (20 samples), events carry the pairing stats.
+	postJSON(t, env.ts.URL+"/v1/ingest", IngestRequest{Stream: "s", TS: 26, Value: signal(26)})
+	e := live.next(t)
+	if e.ev.Predicted == nil || e.ev.AbsErr == nil || e.ev.Forecast == nil {
+		t.Errorf("trained event lacks forecast stats: %+v", e.ev)
+	}
+	live.stop()
+
+	// A fresh subscriber with no resume position backfills the whole ring.
+	late := openSSE(t, env.ts.URL, "s", "")
+	if first := late.next(t); first.ev.Seq != 1 {
+		t.Errorf("backfill starts at seq %d, want 1", first.ev.Seq)
+	}
+	late.stop()
+
+	// Resume from the recorded position: exactly the events after it, no
+	// duplicates.
+	resumed := openSSE(t, env.ts.URL, "s", lastID)
+	if e := resumed.next(t); e.ev.Seq != 26 {
+		t.Errorf("resume after %s delivered seq %d, want 26", lastID, e.ev.Seq)
+	}
+	postJSON(t, env.ts.URL+"/v1/ingest", IngestRequest{Stream: "s", TS: 27, Value: signal(27)})
+	if e := resumed.next(t); e.ev.Seq != 27 {
+		t.Errorf("live event after resume = seq %d, want 27", e.ev.Seq)
+	}
+}
+
+// TestSubscribeMultiStream checks stream filtering and the multi-stream
+// position vector id.
+func TestSubscribeMultiStream(t *testing.T) {
+	env := newTestServer(t, engine.Config{Shards: 2}, Config{})
+	sub := openSSE(t, env.ts.URL, "a,b", "")
+	postJSON(t, env.ts.URL+"/v1/ingest", IngestRequest{Samples: []IngestSample{
+		{Stream: "a", TS: 1, Value: 1},
+		{Stream: "c", TS: 1, Value: 1}, // not subscribed: must not arrive
+		{Stream: "b", TS: 1, Value: 1},
+	}})
+	got := map[string]bool{}
+	var lastID string
+	for i := 0; i < 2; i++ {
+		e := sub.next(t)
+		got[e.ev.Stream] = true
+		lastID = e.id
+	}
+	if !got["a"] || !got["b"] {
+		t.Fatalf("streams seen = %v, want a and b", got)
+	}
+	if lastID != "a@1,b@1" {
+		t.Errorf("final id = %q, want the sorted position vector a@1,b@1", lastID)
+	}
+	select {
+	case e := <-sub.events:
+		t.Fatalf("unsubscribed stream delivered: %+v", e.ev)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// subscribeHandlers counts live goroutines currently inside the SSE
+// handler — the leak detector's probe.
+func subscribeHandlers() int {
+	buf := make([]byte, 1<<20)
+	stacks := string(buf[:runtime.Stack(buf, true)])
+	return strings.Count(stacks, ").handleSubscribe(")
+}
+
+// TestSubscribeGoroutineDrain is the leak assertion: subscriber handlers
+// must end when clients disconnect and when the feed shuts down, leaving no
+// handler goroutine behind.
+func TestSubscribeGoroutineDrain(t *testing.T) {
+	env := newTestServer(t, engine.Config{Shards: 1}, Config{})
+	if err := env.eng.Register("s", newOnline(t)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Client-side disconnects release their handlers.
+	subs := make([]*sseClient, 4)
+	for i := range subs {
+		subs[i] = openSSE(t, env.ts.URL, "s", "")
+	}
+	waitFor(t, func() bool { return subscribeHandlers() == 4 })
+	for _, c := range subs {
+		c.stop()
+	}
+	waitFor(t, func() bool { return subscribeHandlers() == 0 })
+
+	// Server-side feed shutdown releases handlers with the client still
+	// connected.
+	hung := openSSE(t, env.ts.URL, "s", "")
+	waitFor(t, func() bool { return subscribeHandlers() == 1 })
+	env.srv.feed.close()
+	select {
+	case <-hung.closed:
+	case <-time.After(2 * time.Second):
+		t.Fatal("feed.close() did not end the open subscription")
+	}
+	waitFor(t, func() bool { return subscribeHandlers() == 0 })
+
+	// A post-shutdown subscribe is refused with the draining envelope.
+	resp, env2 := fetchEnvelope(t, "GET", env.ts.URL+"/v1/subscribe?streams=s", "")
+	if resp.StatusCode != http.StatusServiceUnavailable || env2.Error.Code != CodeDraining {
+		t.Errorf("post-shutdown subscribe = %d code %q, want 503 draining",
+			resp.StatusCode, env2.Error.Code)
+	}
+}

@@ -18,15 +18,21 @@ package server
 
 import (
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"net"
 	"net/http"
+	"net/url"
 	"sort"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
+	"unicode/utf8"
 
 	"github.com/acis-lab/larpredictor/internal/engine"
 	"github.com/acis-lab/larpredictor/internal/obs"
@@ -71,6 +77,18 @@ type Config struct {
 	// It must be wired to the engine (Config.OnResult = Cache.Record) by
 	// the composer. Required.
 	Cache *ResultCache
+	// History is the multi-resolution forecast-history store behind the
+	// range, bulk conditional-get, and subscription endpoints. Like Cache it
+	// must be wired into the engine's OnResult path by the composer. Nil
+	// disables the history and subscription endpoints (404) and downgrades
+	// bulk ETags to the engine's processed counters.
+	History *HistoryStore
+	// MaxBulkStreams caps how many streams one bulk forecast or subscribe
+	// request may name; more is a 400 "too_many_streams". Defaults to 256.
+	MaxBulkStreams int
+	// SSEHeartbeat is the subscription feed's keep-alive comment interval.
+	// Defaults to 15s; tests shorten it.
+	SSEHeartbeat time.Duration
 	// Registry instruments the server (request counters by endpoint and
 	// code, latency histograms, in-flight gauge) and backs /metrics. Nil
 	// serves an empty exposition and skips instrumentation.
@@ -118,9 +136,11 @@ type Config struct {
 // Server serves the prediction API. Construct with New, start with Serve,
 // stop with Shutdown.
 type Server struct {
-	cfg   Config
-	eng   *engine.Engine
-	cache *ResultCache
+	cfg     Config
+	eng     *engine.Engine
+	cache   *ResultCache
+	history *HistoryStore
+	feed    *feed
 
 	handler  http.Handler
 	http     *http.Server
@@ -166,11 +186,22 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBodyBytes < 1 {
 		return nil, fmt.Errorf("server: max body bytes %d < 1", cfg.MaxBodyBytes)
 	}
+	if cfg.MaxBulkStreams == 0 {
+		cfg.MaxBulkStreams = 256
+	}
+	if cfg.MaxBulkStreams < 1 {
+		return nil, fmt.Errorf("server: max bulk streams %d < 1", cfg.MaxBulkStreams)
+	}
 	s := &Server{
-		cfg:   cfg,
-		eng:   cfg.Engine,
-		cache: cfg.Cache,
-		sem:   make(chan struct{}, cfg.MaxInFlight),
+		cfg:     cfg,
+		eng:     cfg.Engine,
+		cache:   cfg.Cache,
+		history: cfg.History,
+		feed:    newFeed(),
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+	}
+	if s.history != nil {
+		s.history.OnAppend(s.feed.publish)
 	}
 	if reg := cfg.Registry; reg != nil {
 		s.met = serverMetrics{
@@ -203,6 +234,7 @@ func (s *Server) buildHandler() http.Handler {
 	api := http.NewServeMux()
 	api.HandleFunc("POST /v1/ingest", s.handleIngest)
 	api.HandleFunc("GET /v1/forecast/{stream...}", s.handleForecast)
+	api.HandleFunc("GET /v1/forecasts", s.handleBulkForecasts)
 	api.HandleFunc("GET /v1/streams", s.handleStreams)
 
 	var v1 http.Handler = api
@@ -213,6 +245,11 @@ func (s *Server) buildHandler() http.Handler {
 
 	root := http.NewServeMux()
 	root.Handle("/v1/", v1)
+	// The subscription feed mounts outside admission control and the
+	// timeout middleware: a long-lived SSE connection must not pin an
+	// in-flight slot, and the buffering timeout writer would swallow the
+	// stream. (More specific than /v1/, so ServeMux routes it here.)
+	root.HandleFunc("GET /v1/subscribe", s.handleSubscribe)
 	if s.cfg.ClusterHandler != nil {
 		// More specific than /v1/, so ServeMux routes cluster traffic here
 		// — outside admission control and the request timeout.
@@ -247,6 +284,9 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // left open — its owner closes it.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	// Release live SSE subscribers first: http.Shutdown waits for open
+	// connections, and a subscription never ends on its own.
+	s.feed.close()
 	err := s.http.Shutdown(ctx)
 	s.eng.Drain()
 	if s.cfg.OnDrain != nil {
@@ -266,7 +306,7 @@ func (s *Server) admit(next http.Handler) http.Handler {
 		default:
 			w.Header().Set(ReasonHeader, ReasonShed)
 			w.Header().Set("Retry-After", "1")
-			writeJSON(w, http.StatusServiceUnavailable, errorDoc{Error: "server at capacity"})
+			writeError(w, http.StatusServiceUnavailable, CodeShed, "server at capacity")
 		}
 	})
 }
@@ -293,9 +333,16 @@ func endpointLabel(r *http.Request) string {
 		return "ingest"
 	case p == "/v1/streams":
 		return "streams"
+	case p == "/v1/forecasts":
+		return "forecasts"
+	case p == "/v1/subscribe":
+		return "subscribe"
 	case len(p) > len("/v1/cluster/") && p[:len("/v1/cluster/")] == "/v1/cluster/":
 		return "cluster"
 	case len(p) > len("/v1/forecast/") && p[:len("/v1/forecast/")] == "/v1/forecast/":
+		if strings.HasSuffix(p, "/history") {
+			return "history"
+		}
 		return "forecast"
 	case p == "/healthz":
 		return "healthz"
@@ -324,6 +371,10 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	r.wrote = true
 	return r.ResponseWriter.Write(b)
 }
+
+// Unwrap lets http.ResponseController reach the real writer's Flush — the
+// SSE handler streams through this recorder.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
 
 // ---- API documents ----
 
@@ -356,12 +407,14 @@ type IngestRequest struct {
 
 // IngestResponse reports how a (possibly partially accepted) ingest fared.
 // Deduped counts samples recognized as already-applied retries; they are
-// acked without being re-applied.
+// acked without being re-applied. Error, when present, follows the unified
+// envelope's body shape, so an ingest failure document is the envelope plus
+// accounting fields.
 type IngestResponse struct {
-	Accepted int    `json:"accepted"`
-	Rejected int    `json:"rejected,omitempty"`
-	Deduped  int    `json:"deduped,omitempty"`
-	Error    string `json:"error,omitempty"`
+	Accepted int        `json:"accepted"`
+	Rejected int        `json:"rejected,omitempty"`
+	Deduped  int        `json:"deduped,omitempty"`
+	Error    *ErrorBody `json:"error,omitempty"`
 }
 
 // ForecastDoc is the forecast part of a forecast response.
@@ -405,17 +458,38 @@ type StreamDoc struct {
 	Fault     string `json:"fault,omitempty"`
 }
 
-// StreamsResponse is the paginated stream listing: streams sorted by ID,
-// NextOffset present while more pages remain.
+// StreamsResponse is the paginated stream listing: streams sorted by ID.
+// The current contract is cursor-based — NextCursor carries the opaque
+// cursor for the next page while more remain; pass it back as ?cursor=.
+// Offset/NextOffset serve the deprecated offset-style contract (answered
+// with a Deprecation header) for one more release.
 type StreamsResponse struct {
 	Total      int         `json:"total"`
 	Offset     int         `json:"offset"`
 	Streams    []StreamDoc `json:"streams"`
 	NextOffset *int        `json:"next_offset,omitempty"`
+	NextCursor string      `json:"next_cursor,omitempty"`
 }
 
-type errorDoc struct {
-	Error string `json:"error"`
+// BulkForecastsResponse is the GET /v1/forecasts document: one full
+// forecast document per known requested stream, the requested-but-unknown
+// stream IDs, and — in cursor mode — the next page's cursor.
+type BulkForecastsResponse struct {
+	Streams    []ForecastResponse `json:"streams"`
+	Missing    []string           `json:"missing,omitempty"`
+	NextCursor string             `json:"next_cursor,omitempty"`
+}
+
+// HistoryResponse is the GET /v1/forecast/{stream}/history document. Raw
+// resolution (step <= 1) fills Entries; consolidated resolutions fill Rows,
+// whose last row may be the still-open partial bucket. Seq is the stream's
+// newest history sequence number — the subscription feed's resume cursor.
+type HistoryResponse struct {
+	Stream     string         `json:"stream"`
+	Seq        uint64         `json:"seq"`
+	Resolution int            `json:"resolution"`
+	Entries    []HistoryEntry `json:"entries,omitempty"`
+	Rows       []HistoryRow   `json:"rows,omitempty"`
 }
 
 // ---- handlers ----
@@ -429,7 +503,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		w.Header().Set(ReasonHeader, ReasonDrain)
 		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusServiceUnavailable, errorDoc{Error: "draining"})
+		writeError(w, http.StatusServiceUnavailable, CodeDraining, "draining")
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
@@ -439,11 +513,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&req); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeJSON(w, http.StatusRequestEntityTooLarge,
-				errorDoc{Error: fmt.Sprintf("body exceeds %d bytes", tooBig.Limit)})
+			writeError(w, http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
+				fmt.Sprintf("body exceeds %d bytes", tooBig.Limit))
 			return
 		}
-		writeJSON(w, http.StatusBadRequest, errorDoc{Error: "bad request: " + err.Error()})
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "bad request: "+err.Error())
 		return
 	}
 
@@ -456,8 +530,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	for i, smp := range req.Samples {
 		if smp.Stream == "" {
-			writeJSON(w, http.StatusBadRequest,
-				errorDoc{Error: fmt.Sprintf("samples[%d]: empty stream", i)})
+			writeError(w, http.StatusBadRequest, CodeEmptyStream,
+				fmt.Sprintf("samples[%d]: empty stream", i))
 			return
 		}
 		batch = append(batch, KeyedSample{
@@ -466,7 +540,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	if len(batch) == 0 {
-		writeJSON(w, http.StatusBadRequest, errorDoc{Error: "no samples"})
+		writeError(w, http.StatusBadRequest, CodeNoSamples, "no samples")
 		return
 	}
 
@@ -502,7 +576,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 						Accepted: fwdAccepted,
 						Deduped:  fwdDeduped,
 						Rejected: len(batch) - fwdAccepted - fwdDeduped,
-						Error:    "forward to stream owner failed: " + ferr.Error(),
+						Error: &ErrorBody{Code: CodeForwardFailed,
+							Message: "forward to stream owner failed: " + ferr.Error()},
 					})
 					return
 				}
@@ -547,25 +622,34 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	case err == nil:
 		writeJSON(w, http.StatusAccepted, resp)
 	case errors.Is(err, engine.ErrBacklog):
-		resp.Error = "ingest backlog"
+		resp.Error = &ErrorBody{Code: CodeBacklog, Message: "ingest backlog"}
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusTooManyRequests, resp)
 	case errors.Is(err, engine.ErrClosed):
-		resp.Error = "engine closed"
+		resp.Error = &ErrorBody{Code: CodeDraining, Message: "engine closed"}
 		w.Header().Set(ReasonHeader, ReasonDrain)
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusServiceUnavailable, resp)
 	default:
-		resp.Error = err.Error()
+		resp.Error = &ErrorBody{Code: CodeInternal, Message: err.Error()}
 		writeJSON(w, http.StatusInternalServerError, resp)
 	}
 }
 
-// handleForecast serves the stream's latest forecast and health document.
+// handleForecast serves the stream's latest forecast and health document,
+// or — when the path ends in "/history" — the stream's consolidated
+// forecast-vs-actual history. Stream IDs may contain slashes, so the
+// history suffix is carved off the wildcard rather than routed separately;
+// a stream whose own ID ends in "/history" is reachable only through the
+// bulk endpoint.
 func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("stream")
+	if hid, ok := strings.CutSuffix(id, "/history"); ok {
+		s.handleHistory(w, r, hid)
+		return
+	}
 	if id == "" {
-		writeJSON(w, http.StatusBadRequest, errorDoc{Error: "empty stream"})
+		writeError(w, http.StatusBadRequest, CodeEmptyStream, "empty stream")
 		return
 	}
 	if cl := s.cfg.Cluster; cl != nil {
@@ -598,11 +682,21 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	resp, ok := s.forecastDoc(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeUnknownStream, "unknown stream "+id)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// forecastDoc assembles a stream's forecast document from the cache and the
+// engine's supervision view. ok is false for a never-seen stream.
+func (s *Server) forecastDoc(id string) (ForecastResponse, bool) {
 	snap, haveSnap := s.cache.Latest(id)
 	st, haveStats := s.eng.Stats(id)
 	if !haveSnap && !haveStats {
-		writeJSON(w, http.StatusNotFound, errorDoc{Error: "unknown stream " + id})
-		return
+		return ForecastResponse{}, false
 	}
 	resp := ForecastResponse{
 		Stream:    id,
@@ -632,28 +726,248 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 			Source:      snap.Pred.Source,
 		}
 	}
+	return resp, true
+}
+
+// readFlags stamps the cluster read-role headers for a locally served read
+// of the given stream: replica- or proxy-role reads are flagged stale with
+// a route hint toward the owner. History and bulk reads are never proxied —
+// any replica's ring answers, and the flags tell the client how fresh it is.
+func (s *Server) readFlags(w http.ResponseWriter, r *http.Request, id string) {
+	cl := s.cfg.Cluster
+	if cl == nil || r.Header.Get(ClusterHeader) != "" {
+		return
+	}
+	if role, peer := cl.ReadRole(id); role != ReadOwner {
+		w.Header().Set(StaleHeader, "true")
+		if addr := cl.PeerAddr(peer); addr != "" {
+			w.Header().Set(RouteHeader, addr)
+		}
+	}
+}
+
+// handleHistory serves GET /v1/forecast/{stream}/history?from=&to=&step=:
+// the stream's forecast-vs-actual record at the requested resolution — raw
+// entries for step <= 1, else the finest consolidated tier covering the
+// step — bounded to [from, to] by the samples' TS tags.
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request, id string) {
+	if id == "" {
+		writeError(w, http.StatusBadRequest, CodeEmptyStream, "empty stream")
+		return
+	}
+	if s.history == nil {
+		writeError(w, http.StatusNotFound, CodeUnknownStream,
+			"forecast history is not enabled on this node")
+		return
+	}
+	if cl := s.cfg.Cluster; cl != nil {
+		w.Header().Set(NodeHeader, cl.NodeID())
+		s.readFlags(w, r, id)
+	}
+	q := r.URL.Query()
+	var query RangeQuery
+	var err error
+	if v := q.Get("from"); v != "" {
+		query.HasFrom = true
+		if query.From, err = strconv.ParseInt(v, 10, 64); err != nil {
+			writeError(w, http.StatusBadRequest, CodeBadRange, "bad from: "+v)
+			return
+		}
+	}
+	if v := q.Get("to"); v != "" {
+		query.HasTo = true
+		if query.To, err = strconv.ParseInt(v, 10, 64); err != nil {
+			writeError(w, http.StatusBadRequest, CodeBadRange, "bad to: "+v)
+			return
+		}
+	}
+	if query.HasFrom && query.HasTo && query.From > query.To {
+		writeError(w, http.StatusBadRequest, CodeBadRange,
+			fmt.Sprintf("from %d > to %d", query.From, query.To))
+		return
+	}
+	if v := q.Get("step"); v != "" {
+		if query.Step, err = strconv.Atoi(v); err != nil || query.Step < 0 {
+			writeError(w, http.StatusBadRequest, CodeBadRange, "bad step: "+v)
+			return
+		}
+	}
+	if v := q.Get("limit"); v != "" {
+		if query.Limit, err = strconv.Atoi(v); err != nil || query.Limit < 1 {
+			writeError(w, http.StatusBadRequest, CodeBadLimit, "bad limit: "+v)
+			return
+		}
+	}
+	res, ok := s.history.Range(id, query)
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeUnknownStream, "unknown stream "+id)
+		return
+	}
+	writeJSON(w, http.StatusOK, HistoryResponse{
+		Stream:     id,
+		Seq:        s.history.Seq(id),
+		Resolution: res.Resolution,
+		Entries:    res.Entries,
+		Rows:       res.Rows,
+	})
+}
+
+// splitStreamsParam parses a comma-separated streams= parameter against the
+// bulk cap. An empty parameter or empty element is rejected.
+func splitStreamsParam(raw string, maxStreams int) (ids []string, errCode, errMsg string) {
+	if raw == "" {
+		return nil, CodeBadRequest, "missing streams parameter"
+	}
+	ids = strings.Split(raw, ",")
+	if len(ids) > maxStreams {
+		return nil, CodeTooManyStreams,
+			fmt.Sprintf("%d streams requested, cap is %d", len(ids), maxStreams)
+	}
+	for _, id := range ids {
+		if id == "" {
+			return nil, CodeEmptyStream, "empty stream in streams parameter"
+		}
+	}
+	return ids, "", ""
+}
+
+// streamsETag computes the bulk response's strong ETag: a hash over this
+// node's identity and every requested stream's version — its history seq
+// (bumped by each processed sample) plus the engine's processed counter as
+// a fallback when history is disabled. Any new sample on any requested
+// stream changes the tag.
+func (s *Server) streamsETag(ids []string) string {
+	h := fnv.New64a()
+	if cl := s.cfg.Cluster; cl != nil {
+		io.WriteString(h, cl.NodeID())
+	}
+	var buf [8]byte
+	for _, id := range ids {
+		io.WriteString(h, id)
+		var v uint64
+		if s.history != nil {
+			v = s.history.Seq(id)
+		} else if st, ok := s.eng.Stats(id); ok {
+			v = st.Processed
+		}
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("\"f%016x\"", h.Sum64())
+}
+
+// handleBulkForecasts serves GET /v1/forecasts — the dashboard fan-out
+// read. With ?streams=a,b,c it returns exactly those streams' forecast
+// documents under a strong ETag (If-None-Match answers 304 while no
+// requested stream has processed a new sample). Without ?streams= it pages
+// through all streams with the shared cursor contract.
+func (s *Server) handleBulkForecasts(w http.ResponseWriter, r *http.Request) {
+	if cl := s.cfg.Cluster; cl != nil {
+		w.Header().Set(NodeHeader, cl.NodeID())
+	}
+	q := r.URL.Query()
+	if raw := q.Get("streams"); raw != "" {
+		ids, errCode, errMsg := splitStreamsParam(raw, s.cfg.MaxBulkStreams)
+		if errCode != "" {
+			writeError(w, http.StatusBadRequest, errCode, errMsg)
+			return
+		}
+		for _, id := range ids {
+			s.readFlags(w, r, id)
+		}
+		etag := s.streamsETag(ids)
+		w.Header().Set("ETag", etag)
+		if matchesETag(r.Header.Get("If-None-Match"), etag) {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		resp := BulkForecastsResponse{Streams: []ForecastResponse{}}
+		for _, id := range ids {
+			if doc, ok := s.forecastDoc(id); ok {
+				resp.Streams = append(resp.Streams, doc)
+			} else {
+				resp.Missing = append(resp.Missing, id)
+			}
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	cursor, limit, errCode, errMsg := cursorParams(q, 100)
+	if errCode != "" {
+		writeError(w, http.StatusBadRequest, errCode, errMsg)
+		return
+	}
+	ids := s.streamIDsAfter(cursor)
+	resp := BulkForecastsResponse{Streams: []ForecastResponse{}}
+	for _, id := range ids {
+		if len(resp.Streams) == limit {
+			resp.NextCursor = resp.Streams[len(resp.Streams)-1].Stream
+			break
+		}
+		if doc, ok := s.forecastDoc(id); ok {
+			resp.Streams = append(resp.Streams, doc)
+		}
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// matchesETag reports whether an If-None-Match header matches the ETag
+// (strong comparison; "*" matches anything).
+func matchesETag(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	for _, part := range strings.Split(header, ",") {
+		if part = strings.TrimSpace(part); part == etag || part == "*" {
+			return true
+		}
+	}
+	return false
+}
+
+// cursorParams parses the shared cursor-pagination contract: cursor is the
+// last stream ID of the previous page (opaque to clients), limit the page
+// size.
+func cursorParams(q url.Values, defLimit int) (cursor string, limit int, errCode, errMsg string) {
+	cursor = q.Get("cursor")
+	if !utf8.ValidString(cursor) {
+		return "", 0, CodeBadCursor, "cursor is not valid UTF-8"
+	}
+	limit = defLimit
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			return "", 0, CodeBadLimit, "bad limit: " + v
+		}
+		limit = n
+	}
+	if limit > maxStreamsPage {
+		limit = maxStreamsPage
+	}
+	return cursor, limit, "", ""
+}
+
+// streamIDsAfter lists all stream IDs strictly after cursor, sorted.
+func (s *Server) streamIDsAfter(cursor string) []string {
+	var ids []string
+	s.eng.Each(func(id string, _ engine.StreamStats) {
+		if id > cursor {
+			ids = append(ids, id)
+		}
+	})
+	sort.Strings(ids)
+	return ids
 }
 
 // maxStreamsPage caps one page of the stream listing.
 const maxStreamsPage = 1000
 
-// handleStreams serves the paginated, ID-sorted stream listing.
+// handleStreams serves the paginated, ID-sorted stream listing. The
+// current contract is cursor-based (?cursor=&limit=, next_cursor in the
+// body) and shared with the bulk forecast endpoint; the old offset contract
+// still works for one release, answered with a Deprecation header.
 func (s *Server) handleStreams(w http.ResponseWriter, r *http.Request) {
-	offset, err := queryInt(r, "offset", 0)
-	if err != nil || offset < 0 {
-		writeJSON(w, http.StatusBadRequest, errorDoc{Error: "bad offset"})
-		return
-	}
-	limit, err := queryInt(r, "limit", 100)
-	if err != nil || limit < 1 {
-		writeJSON(w, http.StatusBadRequest, errorDoc{Error: "bad limit"})
-		return
-	}
-	if limit > maxStreamsPage {
-		limit = maxStreamsPage
-	}
-
 	type row struct {
 		id string
 		st engine.StreamStats
@@ -663,21 +977,61 @@ func (s *Server) handleStreams(w http.ResponseWriter, r *http.Request) {
 		rows = append(rows, row{id, st})
 	})
 	sort.Slice(rows, func(i, j int) bool { return rows[i].id < rows[j].id })
-
-	resp := StreamsResponse{Total: len(rows), Offset: offset, Streams: []StreamDoc{}}
-	for i := offset; i < len(rows) && i < offset+limit; i++ {
-		resp.Streams = append(resp.Streams, StreamDoc{
-			ID:        rows[i].id,
-			Health:    rows[i].st.Health.State.String(),
-			Processed: rows[i].st.Processed,
-			Dropped:   rows[i].st.Dropped,
-			Panics:    rows[i].st.Panics,
-			Poisoned:  rows[i].st.Poisoned,
-			Fault:     rows[i].st.Fault,
-		})
+	streamDoc := func(rw row) StreamDoc {
+		return StreamDoc{
+			ID:        rw.id,
+			Health:    rw.st.Health.State.String(),
+			Processed: rw.st.Processed,
+			Dropped:   rw.st.Dropped,
+			Panics:    rw.st.Panics,
+			Poisoned:  rw.st.Poisoned,
+			Fault:     rw.st.Fault,
+		}
 	}
-	if next := offset + len(resp.Streams); next < len(rows) && len(resp.Streams) > 0 {
-		resp.NextOffset = &next
+
+	if r.URL.Query().Get("offset") != "" {
+		// Deprecated offset contract: unchanged semantics, flagged so
+		// clients migrate to cursors before the param is removed.
+		w.Header().Set("Deprecation", "true")
+		offset, err := queryInt(r, "offset", 0)
+		if err != nil || offset < 0 {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, "bad offset")
+			return
+		}
+		limit, err := queryInt(r, "limit", 100)
+		if err != nil || limit < 1 {
+			writeError(w, http.StatusBadRequest, CodeBadLimit, "bad limit")
+			return
+		}
+		if limit > maxStreamsPage {
+			limit = maxStreamsPage
+		}
+		resp := StreamsResponse{Total: len(rows), Offset: offset, Streams: []StreamDoc{}}
+		for i := offset; i < len(rows) && i < offset+limit; i++ {
+			resp.Streams = append(resp.Streams, streamDoc(rows[i]))
+		}
+		if next := offset + len(resp.Streams); next < len(rows) && len(resp.Streams) > 0 {
+			resp.NextOffset = &next
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	cursor, limit, errCode, errMsg := cursorParams(r.URL.Query(), 100)
+	if errCode != "" {
+		writeError(w, http.StatusBadRequest, errCode, errMsg)
+		return
+	}
+	resp := StreamsResponse{Total: len(rows), Streams: []StreamDoc{}}
+	for _, rw := range rows {
+		if rw.id <= cursor {
+			continue
+		}
+		if len(resp.Streams) == limit {
+			resp.NextCursor = resp.Streams[len(resp.Streams)-1].ID
+			break
+		}
+		resp.Streams = append(resp.Streams, streamDoc(rw))
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

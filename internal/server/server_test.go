@@ -37,19 +37,30 @@ func newOnline(t testing.TB) *core.Online {
 type testServer struct {
 	eng   *engine.Engine
 	cache *ResultCache
+	hist  *HistoryStore
 	srv   *Server
 	ts    *httptest.Server
 	reg   *obs.Registry
 }
 
-func newTestServer(t *testing.T, ecfg engine.Config, scfg Config) *testServer {
+func newTestServer(t testing.TB, ecfg engine.Config, scfg Config) *testServer {
 	t.Helper()
 	reg := obs.NewRegistry()
 	cache := NewResultCache()
+	hist := scfg.History
+	if hist == nil {
+		var err error
+		hist, err = NewHistoryStore(HistoryConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		scfg.History = hist
+	}
 	ecfg.Metrics = reg
 	prev := ecfg.OnResult
 	ecfg.OnResult = func(r engine.Result) {
 		cache.Record(r)
+		hist.Record(r)
 		if prev != nil {
 			prev(r)
 		}
@@ -74,7 +85,7 @@ func newTestServer(t *testing.T, ecfg engine.Config, scfg Config) *testServer {
 		ts.Close()
 		eng.Close()
 	})
-	return &testServer{eng: eng, cache: cache, srv: srv, ts: ts, reg: reg}
+	return &testServer{eng: eng, cache: cache, hist: hist, srv: srv, ts: ts, reg: reg}
 }
 
 func signal(i int) float64 {
@@ -455,7 +466,7 @@ func TestServerConfigValidation(t *testing.T) {
 }
 
 // waitFor polls cond for up to two seconds.
-func waitFor(t *testing.T, cond func() bool) {
+func waitFor(t testing.TB, cond func() bool) {
 	t.Helper()
 	deadline := time.Now().Add(2 * time.Second)
 	for time.Now().Before(deadline) {

@@ -52,7 +52,7 @@ func (s *Server) withTimeout(next http.Handler) http.Handler {
 			}
 			w.Header().Set(ReasonHeader, ReasonTimeout)
 			w.Header().Set("Retry-After", "1")
-			writeJSON(w, http.StatusServiceUnavailable, errorDoc{Error: "request timed out"})
+			writeError(w, http.StatusServiceUnavailable, CodeTimeout, "request timed out")
 		}
 	})
 }
