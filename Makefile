@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet staticcheck vuln fmt fuzz-seeds crash-test chaos-soak cluster-soak run-predictd bench bench-baseline bench-guard cover cover-html ci
+.PHONY: build test race vet staticcheck vuln fmt fuzz-seeds fuzz-wire crash-test chaos-soak cluster-soak run-predictd bench bench-baseline bench-guard cover cover-html ci
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,17 @@ fmt:
 # Run the fuzz targets' seed corpora as ordinary tests (no fuzzing engine;
 # deterministic and fast, so it belongs in ci).
 fuzz-seeds:
-	$(GO) test -run Fuzz ./internal/rrd ./internal/preddb ./internal/durable ./cmd/predictd
+	$(GO) test -run Fuzz ./internal/rrd ./internal/preddb ./internal/durable ./internal/wire ./cmd/predictd
+
+# Short real fuzzing of the binary ingest protocol: corrupt frames,
+# truncation, and version skew must never panic or mis-ack. Go's fuzzer
+# accepts one -fuzz target per invocation, so the targets run back to back.
+# FUZZTIME bounds each target (CI uses the default; crank it locally).
+FUZZTIME ?= 30s
+
+fuzz-wire:
+	$(GO) test -run '^$$' -fuzz '^FuzzWireDecode$$' -fuzztime $(FUZZTIME) ./internal/wire
+	$(GO) test -run '^$$' -fuzz '^FuzzWireRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/wire
 
 # Kill-and-restart durability tests: crash mid-run, warm restart, and
 # require bit-identical results versus an uninterrupted run (monitord), or
@@ -80,7 +90,7 @@ vuln:
 BENCH ?= BenchmarkForecastPath
 BENCHFLAGS ?= -run '^$$' -bench '$(BENCH)' -benchmem -count 6
 
-BENCH_PKGS ?= . ./cmd/predictd ./internal/cluster ./internal/server
+BENCH_PKGS ?= . ./cmd/predictd ./internal/cluster ./internal/server ./internal/wire
 
 bench-baseline:
 	$(GO) test $(BENCHFLAGS) $(BENCH_PKGS) | tee bench-old.txt
@@ -104,11 +114,13 @@ bench:
 #   git checkout <base> && make bench-baseline BENCH="$GUARD_BENCH"
 #   git checkout <head> && make bench          BENCH="$GUARD_BENCH"
 #   make bench-guard
+# benchstat's delta table prints first so a failing gate always comes with
+# the readable comparison right above the verdict.
 bench-guard:
 	@test -f bench-old.txt || { echo "bench-old.txt missing: run 'make bench-baseline' on the baseline tree first"; exit 1; }
 	@test -f bench-new.txt || { echo "bench-new.txt missing: run 'make bench' on the changed tree first"; exit 1; }
-	$(GO) run ./cmd/benchguard -max-time-delta 10 bench-old.txt bench-new.txt
 	@if command -v benchstat >/dev/null 2>&1; then benchstat bench-old.txt bench-new.txt; fi
+	$(GO) run ./cmd/benchguard -max-time-delta 10 bench-old.txt bench-new.txt
 
 # Statement-coverage gate: run the full test suite with cross-package
 # coverage and fail below COVER_MIN% total. coverage.out feeds cover-html

@@ -1,0 +1,456 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/acis-lab/larpredictor/internal/wire"
+)
+
+// BinaryIngesterConfig shapes a BinaryIngester; every zero field has a
+// default except Addr, which is required.
+type BinaryIngesterConfig struct {
+	// Addr is the daemon's binary ingest listener (-binary-listen).
+	Addr string
+	// MaxBatch is the largest batch one frame carries (default 64).
+	MaxBatch int
+	// FlushInterval bounds how long a sample waits for batch-mates
+	// (default 100ms).
+	FlushInterval time.Duration
+	// QueueDepth is the Add buffer; Add blocks (honoring its ctx) when the
+	// worker falls behind (default 1024).
+	QueueDepth int
+	// Window caps unacknowledged frames pipelined on the wire (default 8).
+	Window int
+	// DialTimeout bounds dial + handshake per connection attempt (default 5s).
+	DialTimeout time.Duration
+	// ReprobeInterval is how long the ingester stays on the HTTP fallback
+	// after the binary transport fails before probing it again (default 5s).
+	ReprobeInterval time.Duration
+	// OnAck, when set, observes every acknowledged batch (both transports).
+	OnAck func(resp *IngestResponse, batch []Sample)
+	// OnError, when set, observes a batch both transports gave up on — the
+	// samples (keys included) are handed back so the caller can re-submit
+	// them without minting new keys.
+	OnError func(err error, batch []Sample)
+	// OnFallback, when set, observes each binary→HTTP transition with the
+	// error that caused it.
+	OnFallback func(err error)
+}
+
+// BinaryIngester batches samples and ships them over the framed binary
+// ingest protocol, pipelining up to Window frames per connection. It assigns
+// the same (source, seq) idempotency keys as the HTTP Ingester, so when the
+// binary transport fails — dial refused, connection reset, version
+// rejection — it falls back to the client's HTTP retry loop and resends the
+// very same batches: the server dedups whatever portion already landed.
+// The binary listener is re-probed every ReprobeInterval while on fallback.
+//
+// Breaker discipline: the shared circuit breaker exists to shed calls while
+// the daemon is down, and the binary transport reports into it accordingly.
+// Any ack — including Backlog and Draining backpressure — proves the daemon
+// alive and counts as breaker success, exactly like HTTP 429/503. A
+// connection reset or EOF on an established binary connection is also
+// treated like a 503 (backpressure, not death): it never trips the breaker,
+// because the HTTP listener may be healthy and the fallback path must not
+// start life shed. Only the HTTP fallback's own transport failures count
+// against the breaker.
+type BinaryIngester struct {
+	c   *Client
+	cfg BinaryIngesterConfig
+
+	mu     sync.Mutex
+	seq    uint64
+	closed bool
+
+	in      chan Sample
+	flushes chan chan error
+	quit    chan struct{}
+	done    chan struct{}
+	ctx     context.Context
+	cancel  context.CancelFunc
+
+	// Worker-owned state (the run goroutine is the only toucher).
+	conn     *wire.Conn
+	inflight []binInflight
+	probeAt  time.Time // while before this instant, ship over HTTP without dialing
+	wbuf     []wire.Sample
+}
+
+// binInflight pairs a pipelined frame's ack handle with the batch it
+// carried, so an unacked or backpressured batch can be resent verbatim.
+type binInflight struct {
+	p     *wire.Pending
+	batch []Sample
+}
+
+// NewBinaryIngester starts the background flusher on the binary transport.
+// Callers must Close it to flush the tail.
+func (c *Client) NewBinaryIngester(cfg BinaryIngesterConfig) (*BinaryIngester, error) {
+	if cfg.Addr == "" {
+		return nil, errors.New("predictclient: BinaryIngesterConfig.Addr is required")
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 64
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = 100 * time.Millisecond
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1024
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 8
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	if cfg.ReprobeInterval <= 0 {
+		cfg.ReprobeInterval = 5 * time.Second
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	bi := &BinaryIngester{
+		c:       c,
+		cfg:     cfg,
+		in:      make(chan Sample, cfg.QueueDepth),
+		flushes: make(chan chan error),
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
+		ctx:     ctx,
+		cancel:  cancel,
+	}
+	go bi.run()
+	return bi, nil
+}
+
+// Add enqueues one observation, assigning its idempotency seq. It blocks
+// when the queue is full until the worker catches up or ctx cancels.
+func (bi *BinaryIngester) Add(ctx context.Context, s Sample) error {
+	bi.mu.Lock()
+	if bi.closed {
+		bi.mu.Unlock()
+		return ErrIngesterClosed
+	}
+	bi.seq++
+	s.Seq = bi.seq
+	bi.mu.Unlock()
+	select {
+	case bi.in <- s:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-bi.done:
+		return ErrIngesterClosed
+	}
+}
+
+// Flush ships everything queued so far, waits for every in-flight frame to
+// settle, and returns the first terminal failure of that flush.
+func (bi *BinaryIngester) Flush(ctx context.Context) error {
+	res := make(chan error, 1)
+	select {
+	case bi.flushes <- res:
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-bi.done:
+		return ErrIngesterClosed
+	}
+	select {
+	case err := <-res:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close flushes the remaining queue, settles all in-flight frames, and
+// stops the worker. After Close, Add and Flush fail with ErrIngesterClosed.
+func (bi *BinaryIngester) Close() error {
+	bi.mu.Lock()
+	if bi.closed {
+		bi.mu.Unlock()
+		<-bi.done
+		return nil
+	}
+	bi.closed = true
+	bi.mu.Unlock()
+	close(bi.quit)
+	<-bi.done
+	bi.cancel()
+	return nil
+}
+
+func (bi *BinaryIngester) source() string { return bi.c.cfg.Source }
+
+func (bi *BinaryIngester) run() {
+	defer func() {
+		if bi.conn != nil {
+			bi.conn.Close()
+		}
+		close(bi.done)
+	}()
+	ticker := time.NewTicker(bi.cfg.FlushInterval)
+	defer ticker.Stop()
+	var batch []Sample
+	send := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		err := bi.ship(batch)
+		batch = nil
+		return err
+	}
+	for {
+		select {
+		case <-bi.quit:
+			for drain := true; drain; {
+				select {
+				case s := <-bi.in:
+					batch = append(batch, s)
+					if len(batch) >= bi.cfg.MaxBatch {
+						send()
+					}
+				default:
+					drain = false
+				}
+			}
+			send()
+			bi.settle()
+			return
+		case s := <-bi.in:
+			batch = append(batch, s)
+			if len(batch) >= bi.cfg.MaxBatch {
+				send()
+			}
+		case <-ticker.C:
+			send()
+		case res := <-bi.flushes:
+			var ferr error
+			for {
+				fill := true
+				for fill && len(batch) < bi.cfg.MaxBatch {
+					select {
+					case s := <-bi.in:
+						batch = append(batch, s)
+					default:
+						fill = false
+					}
+				}
+				if len(batch) == 0 {
+					break
+				}
+				if err := send(); err != nil && ferr == nil {
+					ferr = err
+				}
+			}
+			if err := bi.settle(); err != nil && ferr == nil {
+				ferr = err
+			}
+			res <- ferr
+		}
+	}
+}
+
+// ship sends one batch, pipelining over the binary transport when it is up
+// and falling back to HTTP otherwise. Returns the batch's terminal error
+// (nil when acked or still pipelined — pipelined outcomes surface at the
+// next settle point).
+func (bi *BinaryIngester) ship(batch []Sample) error {
+	if bi.conn == nil {
+		if time.Now().Before(bi.probeAt) {
+			return bi.shipHTTP(batch)
+		}
+		if err := bi.dialBinary(); err != nil {
+			// The binary listener refused or failed the handshake; the HTTP
+			// listener may be fine — its own attempt drives the breaker.
+			bi.fallback(err)
+			return bi.shipHTTP(batch)
+		}
+	}
+	// Bound our FIFO to the window by settling the oldest frame first; the
+	// wire window has a free slot whenever our FIFO does, so Send below
+	// cannot block indefinitely.
+	for len(bi.inflight) >= bi.cfg.Window {
+		if err := bi.reapHead(); err != nil {
+			return err
+		}
+		if bi.conn == nil {
+			// reapHead recovered over HTTP; this batch follows it there.
+			return bi.shipHTTP(batch)
+		}
+	}
+	p, err := bi.conn.Send(bi.ctx, bi.source(), bi.wireBatch(batch))
+	if err != nil {
+		// Reset/EOF on an established connection: treated like a 503 — the
+		// daemon may just be cycling the listener — so no breaker trip; the
+		// unacked frames and this batch are resent in order.
+		return bi.recoverAll(append(bi.takeUnsettled(), batch))
+	}
+	bi.inflight = append(bi.inflight, binInflight{p: p, batch: batch})
+	return nil
+}
+
+// settle waits out every pipelined frame and resends whatever did not land.
+func (bi *BinaryIngester) settle() error {
+	return bi.recoverAll(bi.takeUnsettled())
+}
+
+// reapHead settles the oldest in-flight frame. A retryable ack or a dead
+// connection forces full in-order recovery of everything behind it.
+func (bi *BinaryIngester) reapHead() error {
+	head := bi.inflight[0]
+	ack, err := head.p.Wait(bi.ctx)
+	if err == nil && bi.settleAck(ack, head.batch) {
+		n := copy(bi.inflight, bi.inflight[1:])
+		bi.inflight[n] = binInflight{}
+		bi.inflight = bi.inflight[:n]
+		return nil
+	}
+	resend := [][]Sample{head.batch}
+	rest := bi.inflight[1:]
+	bi.inflight = bi.inflight[:0]
+	for _, e := range rest {
+		a, werr := e.p.Wait(bi.ctx)
+		if werr != nil || !bi.settleAck(a, e.batch) {
+			resend = append(resend, e.batch)
+		}
+	}
+	return bi.recoverAll(resend)
+}
+
+// takeUnsettled waits for every in-flight ack and returns, in send order,
+// the batches that still need resending (unacked or backpressured).
+func (bi *BinaryIngester) takeUnsettled() [][]Sample {
+	var resend [][]Sample
+	for _, e := range bi.inflight {
+		ack, err := e.p.Wait(bi.ctx)
+		if err != nil || !bi.settleAck(ack, e.batch) {
+			resend = append(resend, e.batch)
+		}
+	}
+	bi.inflight = bi.inflight[:0]
+	return resend
+}
+
+// settleAck consumes one ack, reporting whether the batch is finished.
+// Backpressure statuses return false: the batch must be resent, and — the
+// breaker contract — they count as success, never as a failure.
+func (bi *BinaryIngester) settleAck(ack wire.Ack, batch []Sample) bool {
+	bi.c.breakerSuccess() // any ack is a definitive server response
+	switch ack.Status {
+	case wire.StatusOK:
+		if bi.cfg.OnAck != nil {
+			bi.cfg.OnAck(&IngestResponse{Accepted: ack.Accepted, Deduped: ack.Deduped}, batch)
+		}
+		return true
+	case wire.StatusInvalid:
+		if bi.cfg.OnError != nil {
+			bi.cfg.OnError(fmt.Errorf("predictclient: binary ingest rejected: %s", ack.Msg), batch)
+		}
+		return true
+	default: // Backlog, Draining, Retry: resend
+		return false
+	}
+}
+
+// recoverAll resends batches in order: one synchronous binary round (over
+// the surviving connection, or one redial), then the HTTP fallback — whose
+// retry loop owns backoff, Retry-After, and the breaker — for the rest.
+func (bi *BinaryIngester) recoverAll(batches [][]Sample) error {
+	if len(batches) == 0 {
+		return nil
+	}
+	if bi.conn != nil {
+		select {
+		case <-bi.conn.Dead():
+			bi.conn.Close()
+			bi.conn = nil
+		default:
+		}
+	}
+	if bi.conn == nil {
+		if err := bi.dialBinary(); err != nil {
+			bi.fallback(err)
+		}
+	}
+	for bi.conn != nil && len(batches) > 0 {
+		ack, err := bi.conn.Ingest(bi.ctx, bi.source(), bi.wireBatch(batches[0]))
+		if err != nil {
+			// Second connection loss in one recovery: stop probing and let
+			// HTTP carry the rest. Still no breaker trip — see type doc.
+			bi.conn.Close()
+			bi.conn = nil
+			bi.fallback(err)
+			break
+		}
+		if !bi.settleAck(ack, batches[0]) {
+			// Persistent backpressure: the HTTP retry loop has the backoff
+			// discipline (jitter, Retry-After floors) to wait it out.
+			bi.fallback(fmt.Errorf("predictclient: binary ingest backpressure: %s", ack.Status))
+			break
+		}
+		batches = batches[1:]
+	}
+	var firstErr error
+	for _, b := range batches {
+		if err := bi.shipHTTP(b); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// shipHTTP sends one batch through the client's HTTP retry loop with the
+// keys it already carries.
+func (bi *BinaryIngester) shipHTTP(batch []Sample) error {
+	resp, err := bi.c.IngestFrom(bi.ctx, bi.source(), batch)
+	if err != nil {
+		if bi.cfg.OnError != nil {
+			bi.cfg.OnError(err, batch)
+		}
+		return err
+	}
+	if bi.cfg.OnAck != nil {
+		bi.cfg.OnAck(resp, batch)
+	}
+	return nil
+}
+
+// wireBatch converts a batch into the wire sample form in a reused buffer —
+// safe because the wire encoder copies the samples out before Send returns.
+func (bi *BinaryIngester) wireBatch(batch []Sample) []wire.Sample {
+	if cap(bi.wbuf) < len(batch) {
+		bi.wbuf = make([]wire.Sample, len(batch))
+	}
+	ws := bi.wbuf[:len(batch)]
+	for i, s := range batch {
+		ws[i] = wire.Sample{Stream: s.Stream, TS: s.TS, Value: s.Value, Seq: s.Seq}
+	}
+	return ws
+}
+
+// dialBinary opens and handshakes a fresh wire connection.
+func (bi *BinaryIngester) dialBinary() error {
+	ctx, cancel := context.WithTimeout(bi.ctx, bi.cfg.DialTimeout)
+	defer cancel()
+	conn, err := wire.Dial(ctx, bi.cfg.Addr, wire.ConnConfig{
+		DialTimeout: bi.cfg.DialTimeout,
+		Window:      bi.cfg.Window,
+	})
+	if err != nil {
+		return err
+	}
+	bi.conn = conn
+	return nil
+}
+
+// fallback records a binary→HTTP transition and schedules the next probe.
+func (bi *BinaryIngester) fallback(cause error) {
+	bi.probeAt = time.Now().Add(bi.cfg.ReprobeInterval)
+	if bi.cfg.OnFallback != nil {
+		bi.cfg.OnFallback(cause)
+	}
+}

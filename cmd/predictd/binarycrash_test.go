@@ -1,0 +1,91 @@
+package main
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/acis-lab/larpredictor/internal/wire"
+)
+
+// TestPredictdBinaryCrashKill9NoAckedLoss is the WAL durability contract
+// applied to the binary transport: every batch a WAL-mode daemon acked with
+// StatusOK over the wire protocol survives kill -9, and resending an
+// already-acked batch over a fresh binary connection after the restart is
+// fully deduplicated — the mirror of TestPredictdWALCrashKill9NoAckedLoss.
+func TestPredictdBinaryCrashKill9NoAckedLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	dir := t.TempDir()
+	// snapEvery 0: the only durable copy of acked data is the WAL.
+	h := startBinaryHelper(t, dir, 0)
+
+	dial := func(addr string) *wire.Conn {
+		t.Helper()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		conn, err := wire.Dial(ctx, addr, wire.ConnConfig{})
+		if err != nil {
+			t.Fatalf("dial binary ingest %s: %v", addr, err)
+		}
+		return conn
+	}
+	conn := dial(h.binAddr)
+
+	const stream = "wal/bincrash"
+	const source = "bincrash-src"
+	const batches, batchLen = 5, 10
+	var seq uint64
+	sent := make([][]wire.Sample, 0, batches)
+	for b := 0; b < batches; b++ {
+		samples := make([]wire.Sample, batchLen)
+		for i := range samples {
+			seq++
+			samples[i] = wire.Sample{Stream: stream, TS: int64(seq), Value: 10 + float64(seq%7), Seq: seq}
+		}
+		ack, err := conn.Ingest(context.Background(), source, samples)
+		if err != nil {
+			t.Fatalf("binary ingest batch %d: %v", b, err)
+		}
+		if ack.Status != wire.StatusOK || ack.Accepted != batchLen || ack.Deduped != 0 {
+			t.Fatalf("batch %d ack = %+v, want OK with %d/0", b, ack, batchLen)
+		}
+		sent = append(sent, samples)
+	}
+	conn.Close()
+	total := uint64(batches * batchLen)
+
+	h.kill9()
+	if err := h.start(); err != nil {
+		t.Fatalf("restart after kill -9: %v\noutput:\n%s", err, h.out)
+	}
+
+	// Every binary-acked sample must be present after WAL replay; the
+	// verification reads go through the HTTP API — same durable state.
+	c2 := newCrashClient(t, h.addr, source, 6)
+	fr := waitApplied(t, c2, stream, total)
+	if fr.LastTS != int64(total) {
+		t.Errorf("after replay last_ts = %d, want %d", fr.LastTS, total)
+	}
+
+	// Resend the last binary-acked batch over a fresh binary connection
+	// (the retry a client issues after losing the ack): the (source, seq)
+	// keys must dedup it to zero accepted, applied count unchanged.
+	conn2 := dial(h.binAddr)
+	defer conn2.Close()
+	ack, err := conn2.Ingest(context.Background(), source, sent[batches-1])
+	if err != nil {
+		t.Fatalf("resend acked batch over binary: %v", err)
+	}
+	if ack.Status != wire.StatusOK || ack.Accepted != 0 || ack.Deduped != batchLen {
+		t.Errorf("resend ack = %+v, want OK with 0/%d", ack, batchLen)
+	}
+	fr2, err := c2.Forecast(context.Background(), stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr2.Applied != total {
+		t.Errorf("applied after resend = %d, want %d (double-apply)", fr2.Applied, total)
+	}
+}

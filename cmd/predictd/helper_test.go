@@ -70,13 +70,19 @@ func TestHelperPredictdProcess(t *testing.T) {
 			o.suspectAfter = n
 		}
 	}
-	addrFile := os.Getenv("PREDICTD_HELPER_ADDRFILE")
-	o.addrReady = func(a string) {
-		// Write-then-rename so the parent never reads a half-written addr.
-		tmp := addrFile + ".tmp"
-		if err := os.WriteFile(tmp, []byte(a), 0o644); err == nil {
-			os.Rename(tmp, addrFile)
+	// Write-then-rename so the parent never reads a half-written addr.
+	publishAddr := func(file string) func(string) {
+		return func(a string) {
+			tmp := file + ".tmp"
+			if err := os.WriteFile(tmp, []byte(a), 0o644); err == nil {
+				os.Rename(tmp, file)
+			}
 		}
+	}
+	o.addrReady = publishAddr(os.Getenv("PREDICTD_HELPER_ADDRFILE"))
+	if bf := os.Getenv("PREDICTD_HELPER_BINARY_ADDRFILE"); bf != "" {
+		o.binaryListen = "127.0.0.1:0"
+		o.binaryAddrReady = publishAddr(bf)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -93,10 +99,14 @@ type helperProc struct {
 	// extraEnv carries additional PREDICTD_HELPER_* settings (the cluster
 	// soak's node identity and membership); reapplied on every restart.
 	extraEnv []string
+	// binary asks the child to also open a wire-protocol ingest listener
+	// and publish its address (binAddr).
+	binary bool
 
-	cmd  *exec.Cmd
-	addr string
-	out  *bytes.Buffer
+	cmd     *exec.Cmd
+	addr    string
+	binAddr string
+	out     *bytes.Buffer
 }
 
 // startHelper launches the daemon as a child process in WAL mode on the
@@ -105,7 +115,18 @@ type helperProc struct {
 // the WAL.
 func startHelper(t *testing.T, stateDir string, snapEvery time.Duration) *helperProc {
 	t.Helper()
-	h := &helperProc{t: t, stateDir: stateDir, snapEvery: snapEvery}
+	return launchHelper(t, &helperProc{t: t, stateDir: stateDir, snapEvery: snapEvery})
+}
+
+// startBinaryHelper is startHelper with the wire-protocol ingest listener
+// enabled; the child publishes both addresses before start returns.
+func startBinaryHelper(t *testing.T, stateDir string, snapEvery time.Duration) *helperProc {
+	t.Helper()
+	return launchHelper(t, &helperProc{t: t, stateDir: stateDir, snapEvery: snapEvery, binary: true})
+}
+
+func launchHelper(t *testing.T, h *helperProc) *helperProc {
+	t.Helper()
 	if err := h.start(); err != nil {
 		t.Fatalf("start helper: %v\noutput:\n%s", err, h.out)
 	}
@@ -128,6 +149,7 @@ func (h *helperProc) start() error {
 	}
 	h.t.Cleanup(func() { os.RemoveAll(dir) })
 	addrFile := filepath.Join(dir, "addr")
+	binAddrFile := filepath.Join(dir, "binaddr")
 	cmd := exec.Command(os.Args[0], "-test.run=^TestHelperPredictdProcess$", "-test.v")
 	cmd.Env = append(os.Environ(),
 		"PREDICTD_HELPER=1",
@@ -135,6 +157,9 @@ func (h *helperProc) start() error {
 		"PREDICTD_HELPER_ADDRFILE="+addrFile,
 		"PREDICTD_HELPER_SNAP_EVERY="+h.snapEvery.String(),
 	)
+	if h.binary {
+		cmd.Env = append(cmd.Env, "PREDICTD_HELPER_BINARY_ADDRFILE="+binAddrFile)
+	}
 	cmd.Env = append(cmd.Env, h.extraEnv...)
 	h.out = &bytes.Buffer{}
 	cmd.Stdout, cmd.Stderr = h.out, h.out
@@ -144,9 +169,16 @@ func (h *helperProc) start() error {
 	h.cmd = cmd
 	deadline := time.Now().Add(30 * time.Second)
 	for {
-		if b, rerr := os.ReadFile(addrFile); rerr == nil && len(b) > 0 {
-			h.addr = string(b)
-			return nil
+		b, rerr := os.ReadFile(addrFile)
+		if rerr == nil && len(b) > 0 {
+			if !h.binary {
+				h.addr = string(b)
+				return nil
+			}
+			if bb, berr := os.ReadFile(binAddrFile); berr == nil && len(bb) > 0 {
+				h.addr, h.binAddr = string(b), string(bb)
+				return nil
+			}
 		}
 		if time.Now().After(deadline) {
 			cmd.Process.Kill()

@@ -42,11 +42,13 @@ import (
 	"github.com/acis-lab/larpredictor/internal/engine"
 	"github.com/acis-lab/larpredictor/internal/obs"
 	"github.com/acis-lab/larpredictor/internal/server"
+	"github.com/acis-lab/larpredictor/internal/wire"
 )
 
 func main() {
 	var (
 		listen     = flag.String("listen", ":8100", "HTTP listen address")
+		binListen  = flag.String("binary-listen", "", "binary ingest listen address (framed wire protocol); empty disables it")
 		shards     = flag.Int("shards", 0, "prediction-engine shards (0 = one per CPU)")
 		queueDepth = flag.Int("queue-depth", 1024, "per-shard ingest queue depth")
 		maxBatch   = flag.Int("max-batch", 0, "max samples a shard worker steps per drain (0 = engine default)")
@@ -78,6 +80,7 @@ func main() {
 
 	opts := options{
 		listen:       *listen,
+		binaryListen: *binListen,
 		shards:       *shards,
 		queueDepth:   *queueDepth,
 		maxBatch:     *maxBatch,
@@ -114,6 +117,7 @@ func main() {
 // options collects everything run needs; the zero-value hooks are inert.
 type options struct {
 	listen       string
+	binaryListen string
 	shards       int
 	queueDepth   int
 	maxBatch     int
@@ -152,6 +156,8 @@ type options struct {
 	// daemon is accepting connections — tests listen on :0 and learn the
 	// port this way.
 	addrReady func(addr string)
+	// binaryAddrReady mirrors addrReady for the binary ingest listener.
+	binaryAddrReady func(addr string)
 	// stepHook, when set, runs on the shard worker before every predictor
 	// step — the chaos hook tests use to stall or poison a stream.
 	stepHook func(id string)
@@ -267,6 +273,19 @@ func run(ctx context.Context, out io.Writer, o options) error {
 	}
 	defer eng.Close()
 
+	// The binary ingest listener binds before the cluster node is built so
+	// heartbeats can advertise its concrete address to peers; it starts
+	// serving only once the HTTP server below exists to share its ingest
+	// pipeline.
+	var bln net.Listener
+	if o.binaryListen != "" {
+		bln, err = net.Listen("tcp", o.binaryListen)
+		if err != nil {
+			return fmt.Errorf("binary listen: %w", err)
+		}
+		defer bln.Close()
+	}
+
 	var st *snapStore
 	var ws *walStore
 	var node *cluster.Node
@@ -296,8 +315,13 @@ func run(ctx context.Context, out io.Writer, o options) error {
 			fmt.Fprintf(out, "predictd: warm restart: %d streams restored from %s\n", restored, o.stateDir)
 		}
 		if o.nodeID != "" {
+			binaryAddr := ""
+			if bln != nil {
+				binaryAddr = bln.Addr().String()
+			}
 			node, err = cluster.New(cluster.Config{
 				Self:           o.nodeID,
+				BinaryAddr:     binaryAddr,
 				Members:        members,
 				Replication:    o.replication,
 				HeartbeatEvery: o.hbEvery,
@@ -384,6 +408,31 @@ func run(ctx context.Context, out io.Writer, o options) error {
 		// the drain flips, telling peers to fail over before connections
 		// start refusing.
 		node.SetDraining(srv.Draining)
+	}
+
+	if bln != nil {
+		wsrv, werr := wire.NewServer(wire.ServerConfig{
+			Ingest:        srv.BinaryIngest,
+			Draining:      srv.Draining,
+			MaxFrameBytes: int(o.maxBody),
+			Registry:      reg,
+			Logw:          os.Stderr,
+		})
+		if werr != nil {
+			return werr
+		}
+		go func() {
+			// A dying binary listener degrades to HTTP-only ingest; it does
+			// not take the daemon down.
+			if serr := wsrv.Serve(bln); serr != nil {
+				fmt.Fprintln(os.Stderr, "predictd: binary listener:", serr)
+			}
+		}()
+		defer wsrv.Close()
+		fmt.Fprintf(out, "predictd: binary ingest on %s\n", bln.Addr())
+		if o.binaryAddrReady != nil {
+			o.binaryAddrReady(bln.Addr().String())
+		}
 	}
 
 	ln, err := net.Listen("tcp", o.listen)

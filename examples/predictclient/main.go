@@ -17,6 +17,17 @@
 // each observation against the forecast that targeted it as the daemon
 // processes them. The subscription survives connection drops: it reconnects
 // with Last-Event-ID and delivers every event exactly once.
+//
+// With -binary, ingest travels over the framed binary wire protocol instead
+// of HTTP/JSON — start the daemon with -binary-listen and point the flag at
+// that address:
+//
+//	go run ./cmd/predictd -listen :8100 -binary-listen :8200 &
+//	go run ./examples/predictclient -addr http://localhost:8100 -binary localhost:8200
+//
+// The BinaryIngester keeps the same idempotency keys and falls back to the
+// HTTP transport (resending the very same batches) if the binary listener
+// goes away, so durability semantics are identical on both paths.
 package main
 
 import (
@@ -35,6 +46,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", "http://localhost:8100", "predictd base URL")
+	binary := flag.String("binary", "", "predictd binary ingest address (-binary-listen); empty keeps ingest on HTTP/JSON")
 	stream := flag.String("stream", "VM2/CPU_usedsec", "stream ID to ingest and query")
 	source := flag.String("source", "predictclient-example", "idempotency source ID for this client")
 	watch := flag.Bool("watch", false, "follow the live forecast feed while ingesting")
@@ -93,14 +105,38 @@ func main() {
 
 	// The Ingester batches, retries, and keys every sample; Add blocks only
 	// when the daemon falls behind. Backpressure (429/503 + Retry-After)
-	// and transient failures are absorbed by the client's retry loop.
-	ing := c.NewIngester(client.IngesterConfig{
-		MaxBatch:      32,
-		FlushInterval: 100 * time.Millisecond,
-		OnError: func(err error, batch []client.Sample) {
-			log.Printf("batch of %d gave up: %v", len(batch), err)
-		},
-	})
+	// and transient failures are absorbed by the client's retry loop. With
+	// -binary, the BinaryIngester does the same job over the framed wire
+	// protocol, pipelining frames and falling back to HTTP if it fails.
+	type ingester interface {
+		Add(ctx context.Context, s client.Sample) error
+		Close() error
+	}
+	var ing ingester
+	onError := func(err error, batch []client.Sample) {
+		log.Printf("batch of %d gave up: %v", len(batch), err)
+	}
+	if *binary != "" {
+		bing, err := c.NewBinaryIngester(client.BinaryIngesterConfig{
+			Addr:          *binary,
+			MaxBatch:      32,
+			FlushInterval: 100 * time.Millisecond,
+			OnError:       onError,
+			OnFallback: func(err error) {
+				log.Printf("binary transport unavailable, using HTTP: %v", err)
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ing = bing
+	} else {
+		ing = c.NewIngester(client.IngesterConfig{
+			MaxBatch:      32,
+			FlushInterval: 100 * time.Millisecond,
+			OnError:       onError,
+		})
+	}
 	sent := 0
 	for i, v := range series.Values {
 		if err := ing.Add(ctx, client.Sample{Stream: *stream, TS: int64(i), Value: v}); err != nil {

@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+
+	"github.com/acis-lab/larpredictor/internal/server"
+	"github.com/acis-lab/larpredictor/internal/wire"
+)
+
+// The binary forward path: peers advertise their wire-protocol listener in
+// heartbeat responses, the detector records it, and Forward prefers one
+// cached persistent connection per peer over the per-request HTTP client.
+// Everything here is best-effort — any failure drops the cached connection
+// and the caller falls back to HTTP, so a peer without the listener (or a
+// mid-upgrade cluster) just runs the old path.
+
+// binaryAddrOf resolves the advertised binary address for peer, or "" when
+// the peer has not advertised one. An advertised address with an
+// unspecified host (":8200", "[::]:8200") is completed with the peer's HTTP
+// host, since the advertiser only knows its own bind address.
+func (n *Node) binaryAddrOf(peer string) string {
+	adv := n.det.binaryAddr(peer)
+	if adv == "" {
+		return ""
+	}
+	host, port, err := net.SplitHostPort(adv)
+	if err != nil {
+		return ""
+	}
+	if host == "" || host == "::" || host == "0.0.0.0" {
+		httpHost, _, herr := net.SplitHostPort(n.allAddrs[peer])
+		if herr != nil {
+			return ""
+		}
+		return net.JoinHostPort(httpHost, port)
+	}
+	return adv
+}
+
+// binaryConn returns the cached wire connection for peer, dialing if needed.
+func (n *Node) binaryConn(ctx context.Context, peer, addr string) (*wire.Conn, error) {
+	n.bmu.Lock()
+	if c := n.bconns[peer]; c != nil {
+		select {
+		case <-c.Dead():
+			delete(n.bconns, peer)
+		default:
+			n.bmu.Unlock()
+			return c, nil
+		}
+	}
+	n.bmu.Unlock()
+	// Dial outside the lock; a concurrent forward may race to a second
+	// connection, and the loser's is adopted or closed below.
+	c, err := wire.Dial(ctx, addr, wire.ConnConfig{Window: 8})
+	if err != nil {
+		return nil, err
+	}
+	n.bmu.Lock()
+	if cur := n.bconns[peer]; cur != nil {
+		n.bmu.Unlock()
+		c.Close()
+		return cur, nil
+	}
+	n.bconns[peer] = c
+	n.bmu.Unlock()
+	return c, nil
+}
+
+func (n *Node) dropBinaryConn(peer string, c *wire.Conn) {
+	n.bmu.Lock()
+	if n.bconns[peer] == c {
+		delete(n.bconns, peer)
+	}
+	n.bmu.Unlock()
+	c.Close()
+}
+
+// closeBinaryConns tears down every cached forward connection (Node.Close).
+func (n *Node) closeBinaryConns() {
+	n.bmu.Lock()
+	conns := n.bconns
+	n.bconns = map[string]*wire.Conn{}
+	n.bmu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// forwardBinary ships the batch to peer over the wire protocol, one framed
+// batch per distinct source. A non-OK ack is an error here: the HTTP
+// fallback owns retry discipline (backoff, Retry-After, breaker), and the
+// idempotency keys dedup anything the binary attempt landed.
+func (n *Node) forwardBinary(ctx context.Context, peer, addr string, batch []server.KeyedSample) (accepted, deduped int, err error) {
+	conn, err := n.binaryConn(ctx, peer, addr)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, group := range groupBySource(batch) {
+		samples := make([]wire.Sample, len(group.samples))
+		for i, s := range group.samples {
+			samples[i] = wire.Sample{Stream: s.Stream, TS: s.TS, Value: s.Value, Seq: s.Seq}
+		}
+		ack, ierr := conn.Ingest(ctx, group.source, samples)
+		if ierr != nil {
+			n.dropBinaryConn(peer, conn)
+			return accepted, deduped, ierr
+		}
+		if ack.Status != wire.StatusOK {
+			return accepted, deduped, fmt.Errorf("peer acked %s: %s", ack.Status, ack.Msg)
+		}
+		accepted += ack.Accepted
+		deduped += ack.Deduped
+		if n.binaryForwards != nil {
+			n.binaryForwards.WithLabels(peer).Add(uint64(len(group.samples)))
+		}
+	}
+	return accepted, deduped, nil
+}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -67,6 +68,9 @@ type detector struct {
 	mu    sync.Mutex
 	peers map[string]*peerHealth
 	addrs map[string]string
+	// binAddrs holds each peer's advertised binary ingest address, learned
+	// from heartbeat bodies; empty means the peer advertises none.
+	binAddrs map[string]string
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -85,6 +89,7 @@ func newDetector(self string, peers map[string]string, hbEvery, probeTimeout tim
 		state:          state,
 		peers:          make(map[string]*peerHealth, len(peers)),
 		addrs:          peers,
+		binAddrs:       make(map[string]string, len(peers)),
 		stop:           make(chan struct{}),
 	}
 	for id := range peers {
@@ -153,8 +158,8 @@ func (d *detector) probeLoop(id, addr string) {
 			return
 		case <-t.C:
 		}
-		if d.probe(url) {
-			d.noteSuccess(id)
+		if ok, binAddr := d.probe(url); ok {
+			d.noteSuccess(id, binAddr)
 		} else {
 			d.noteMiss(id)
 		}
@@ -162,23 +167,43 @@ func (d *detector) probeLoop(id, addr string) {
 }
 
 // probe issues one heartbeat GET under the probe deadline. Any 2xx counts;
-// everything else — refused, timed out, draining (503) — is a miss.
-func (d *detector) probe(url string) bool {
+// everything else — refused, timed out, draining (503) — is a miss. The
+// body carries the peer's advertised binary ingest address (empty when the
+// peer runs HTTP-only); an unparsable body still counts as alive, just
+// without a binary advertisement.
+func (d *detector) probe(url string) (ok bool, binaryAddr string) {
 	resp, err := d.httpc.Get(url)
 	if err != nil {
-		return false
+		return false, ""
 	}
-	io.Copy(io.Discard, resp.Body)
+	var hb struct {
+		Node   string `json:"node"`
+		Binary string `json:"binary"`
+	}
+	body, rerr := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	resp.Body.Close()
-	return resp.StatusCode >= 200 && resp.StatusCode < 300
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return false, ""
+	}
+	if rerr == nil {
+		json.Unmarshal(body, &hb)
+	}
+	return true, hb.Binary
 }
 
-func (d *detector) noteSuccess(id string) {
+func (d *detector) binaryAddr(id string) string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.binAddrs[id]
+}
+
+func (d *detector) noteSuccess(id, binaryAddr string) {
 	d.mu.Lock()
 	ph := d.peers[id]
 	prev := ph.state
 	ph.misses = 0
 	ph.state = StateAlive
+	d.binAddrs[id] = binaryAddr
 	d.mu.Unlock()
 	if prev != StateAlive {
 		d.setGauge(id, StateAlive)

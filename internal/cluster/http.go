@@ -88,7 +88,13 @@ func (n *Node) Handler() http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(w, "{\"node\":%q}\n", n.cfg.Self)
+		if n.cfg.BinaryAddr != "" {
+			// Advertise the binary ingest listener so peers can forward
+			// owner-routed batches over the wire protocol.
+			fmt.Fprintf(w, "{\"node\":%q,\"binary\":%q}\n", n.cfg.Self, n.cfg.BinaryAddr)
+		} else {
+			fmt.Fprintf(w, "{\"node\":%q}\n", n.cfg.Self)
+		}
 	})
 	mux.HandleFunc("/v1/cluster/status", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {

@@ -1,9 +1,7 @@
 package durable
 
 import (
-	"encoding/binary"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"os"
 )
@@ -30,6 +28,9 @@ type BatchWAL struct {
 	// ends[i] is the file offset just past record i, so a reader that finds
 	// record i undecodable can truncate back to the last decodable one.
 	ends []int64
+	// scratch holds the framed record across Append calls so a steady-state
+	// appender reaches one Write syscall with no per-record allocation.
+	scratch []byte
 }
 
 // OpenBatchWAL opens (or creates) a batch write-ahead log and returns its
@@ -73,19 +74,13 @@ func OpenBatchWAL(path string) (w *BatchWAL, recs [][]byte, truncated int64, err
 	}
 	w = &BatchWAL{f: f, path: path}
 	good := 0
-	for good+8 <= len(data) {
-		n := binary.LittleEndian.Uint32(data[good : good+4])
-		if n > maxBatchRecord || good+4+int(n)+4 > len(data) {
+	for {
+		payload, rest, ok := SplitRecord(data[good:], maxBatchRecord)
+		if !ok {
 			break
 		}
-		end := good + 4 + int(n)
-		if crc32.ChecksumIEEE(data[good:end]) != binary.LittleEndian.Uint32(data[end:end+4]) {
-			break
-		}
-		payload := make([]byte, n)
-		copy(payload, data[good+4:end])
-		recs = append(recs, payload)
-		good = end + 4
+		recs = append(recs, append([]byte(nil), payload...))
+		good = len(data) - len(rest)
 		w.ends = append(w.ends, int64(len(batchWALMagic))+int64(good))
 	}
 	if bad := int64(len(data) - good); bad > 0 {
@@ -115,22 +110,10 @@ func (w *BatchWAL) Append(payload []byte) error {
 	if len(payload) > maxBatchRecord {
 		return fmt.Errorf("durable: batch WAL record %d bytes exceeds %d", len(payload), maxBatchRecord)
 	}
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
-	sum := crc32.NewIEEE()
-	sum.Write(hdr[:])
-	sum.Write(payload)
-	var foot [4]byte
-	binary.LittleEndian.PutUint32(foot[:], sum.Sum32())
 	// A short write here leaves a torn tail; the next open truncates it, so
 	// the record is simply not committed.
-	if _, err := w.f.Write(hdr[:]); err != nil {
-		return fmt.Errorf("durable: append batch WAL record: %w", err)
-	}
-	if _, err := w.f.Write(payload); err != nil {
-		return fmt.Errorf("durable: append batch WAL record: %w", err)
-	}
-	if _, err := w.f.Write(foot[:]); err != nil {
+	w.scratch = AppendRecord(w.scratch[:0], payload)
+	if _, err := w.f.Write(w.scratch); err != nil {
 		return fmt.Errorf("durable: append batch WAL record: %w", err)
 	}
 	prev := int64(len(batchWALMagic))

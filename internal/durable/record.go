@@ -1,0 +1,103 @@
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// CRC record framing shared by the batch WAL and the binary ingest wire
+// protocol (internal/wire). A record is
+//
+//	[uint32 length][payload][uint32 crc32-IEEE of length+payload]
+//
+// all little-endian. The length covers the payload only; the checksum covers
+// the length header plus the payload, so a flipped length bit is caught even
+// when the (mis)framed payload happens to checksum clean. On disk the records
+// follow a file magic; on the wire they follow the connection handshake. The
+// contract is identical in both places: a reader trusts exactly the records
+// whose checksums verify and treats everything else as a torn tail (disk) or
+// a protocol error (wire).
+
+// RecordOverhead is the framing cost per record: 4-byte length header plus
+// 4-byte checksum footer.
+const RecordOverhead = 8
+
+// ErrRecord marks a framing-level failure: a length field exceeding the
+// caller's cap, or a checksum mismatch. Wire readers close the connection on
+// it; file readers truncate.
+var ErrRecord = errors.New("durable: invalid record")
+
+// AppendRecord appends one framed record holding payload to dst and returns
+// the extended slice. The encoding matches BatchWAL records byte for byte.
+func AppendRecord(dst, payload []byte) []byte {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	sum := crc32.NewIEEE()
+	sum.Write(hdr[:])
+	sum.Write(payload)
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, payload...)
+	var foot [4]byte
+	binary.LittleEndian.PutUint32(foot[:], sum.Sum32())
+	return append(dst, foot[:]...)
+}
+
+// SplitRecord parses the record at the head of data. payload aliases data;
+// rest is everything after the record. ok is false when data does not start
+// with a complete intact record — too short, length above max, or checksum
+// mismatch — which file recovery treats uniformly as the torn tail.
+func SplitRecord(data []byte, max uint32) (payload, rest []byte, ok bool) {
+	if len(data) < RecordOverhead {
+		return nil, data, false
+	}
+	n := binary.LittleEndian.Uint32(data[:4])
+	if n > max || 4+int(n)+4 > len(data) {
+		return nil, data, false
+	}
+	end := 4 + int(n)
+	if crc32.ChecksumIEEE(data[:end]) != binary.LittleEndian.Uint32(data[end:end+4]) {
+		return nil, data, false
+	}
+	return data[4:end], data[end+4:], true
+}
+
+// ReadRecord reads one framed record from r, growing and reusing buf so a
+// steady-state caller allocates nothing. payload aliases bufOut and is valid
+// until the next call with the same buffer. Errors: io.EOF when the stream
+// ends cleanly before a record starts, io.ErrUnexpectedEOF when it ends
+// mid-record, and an error wrapping ErrRecord for an oversized length or a
+// checksum mismatch (the stream is unsynchronized; the caller must stop).
+func ReadRecord(r io.Reader, buf []byte, max uint32) (payload, bufOut []byte, err error) {
+	if cap(buf) < RecordOverhead {
+		buf = make([]byte, 0, 4096)
+	}
+	buf = buf[:4]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, buf, io.EOF
+		}
+		return nil, buf, io.ErrUnexpectedEOF
+	}
+	n := binary.LittleEndian.Uint32(buf)
+	if n > max {
+		return nil, buf, fmt.Errorf("%w: length %d exceeds cap %d", ErrRecord, n, max)
+	}
+	total := 4 + int(n) + 4
+	if cap(buf) < total {
+		grown := make([]byte, total)
+		copy(grown, buf[:4])
+		buf = grown
+	}
+	buf = buf[:total]
+	if _, err := io.ReadFull(r, buf[4:]); err != nil {
+		return nil, buf, io.ErrUnexpectedEOF
+	}
+	end := 4 + int(n)
+	if crc32.ChecksumIEEE(buf[:end]) != binary.LittleEndian.Uint32(buf[end:]) {
+		return nil, buf, fmt.Errorf("%w: checksum mismatch", ErrRecord)
+	}
+	return buf[4:end], buf, nil
+}

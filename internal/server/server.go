@@ -544,94 +544,46 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Cluster routing: externally received batches (no ClusterHeader) split
-	// into a local portion and per-owner forwards; forwarded and replicated
-	// batches from peers are applied locally as-is, which keeps forwarding
-	// to one hop. Forwards run before the local apply so a routing failure
-	// turns into one clean 503 retry — the client's idempotency keys make
-	// the whole-batch retry safe.
-	fromCluster := r.Header.Get(ClusterHeader)
-	var fwdAccepted, fwdDeduped int
+	// The decoded batch runs the transport-independent pipeline (draining
+	// check, cluster route/forward, durable apply, replication) shared with
+	// the binary wire listener; this handler only maps the outcome back
+	// onto HTTP.
 	if cl := s.cfg.Cluster; cl != nil {
 		w.Header().Set(NodeHeader, cl.NodeID())
-		if fromCluster == "" {
-			local, forward := cl.Route(batch)
-			if len(local) == 0 && len(forward) == 1 {
-				// The whole batch belongs to one peer: hint the client to
-				// send the next one straight there.
-				for peer := range forward {
-					if addr := cl.PeerAddr(peer); addr != "" {
-						w.Header().Set(RouteHeader, addr)
-					}
-				}
-			}
-			for peer, sub := range forward {
-				fa, fd, ferr := cl.Forward(r.Context(), peer, sub)
-				fwdAccepted += fa
-				fwdDeduped += fd
-				if ferr != nil {
-					w.Header().Set(ReasonHeader, ReasonForward)
-					w.Header().Set("Retry-After", "1")
-					writeJSON(w, http.StatusServiceUnavailable, IngestResponse{
-						Accepted: fwdAccepted,
-						Deduped:  fwdDeduped,
-						Rejected: len(batch) - fwdAccepted - fwdDeduped,
-						Error: &ErrorBody{Code: CodeForwardFailed,
-							Message: "forward to stream owner failed: " + ferr.Error()},
-					})
-					return
-				}
-			}
-			batch = local
-		}
 	}
-	if len(batch) == 0 {
-		// Everything was forwarded and acked by its owner.
-		writeJSON(w, http.StatusAccepted, IngestResponse{
-			Accepted: fwdAccepted, Deduped: fwdDeduped,
-		})
-		return
-	}
-
-	var accepted, deduped int
-	var err error
-	if s.cfg.Ingest != nil {
-		accepted, deduped, err = s.cfg.Ingest(batch)
-	} else {
-		plain := make([]engine.Sample, len(batch))
-		for i, ks := range batch {
-			plain[i] = ks.Sample
-		}
-		accepted, err = s.eng.IngestBatch(plain)
-	}
-	s.met.accepted.Add(uint64(accepted))
-	s.met.rejected.Add(uint64(len(batch) - accepted - deduped))
-	if cl := s.cfg.Cluster; cl != nil && err == nil && fromCluster != ClusterReplicate {
-		// The batch is acked below; queue it for the streams' followers.
-		// Replicated samples keep their original (source, seq) keys, so a
-		// follower that already saw one (through an earlier forward, or a
-		// client retry that landed elsewhere) dedups it.
-		cl.Replicate(batch)
+	out := s.IngestKeyed(r.Context(), r.Header.Get(ClusterHeader), batch)
+	if out.RouteHint != "" {
+		w.Header().Set(RouteHeader, out.RouteHint)
 	}
 	resp := IngestResponse{
-		Accepted: accepted + fwdAccepted,
-		Rejected: len(batch) - accepted - deduped,
-		Deduped:  deduped + fwdDeduped,
+		Accepted: out.Accepted + out.FwdAccepted,
+		Rejected: out.Rejected,
+		Deduped:  out.Deduped + out.FwdDeduped,
 	}
 	switch {
-	case err == nil:
+	case errors.Is(out.Err, ErrDraining):
+		// Draining began between the top-of-handler check and the apply.
+		w.Header().Set(ReasonHeader, ReasonDrain)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, CodeDraining, "draining")
+	case errors.Is(out.Err, ErrForwardFailed):
+		w.Header().Set(ReasonHeader, ReasonForward)
+		w.Header().Set("Retry-After", "1")
+		resp.Error = &ErrorBody{Code: CodeForwardFailed, Message: out.Err.Error()}
+		writeJSON(w, http.StatusServiceUnavailable, resp)
+	case out.Err == nil:
 		writeJSON(w, http.StatusAccepted, resp)
-	case errors.Is(err, engine.ErrBacklog):
+	case errors.Is(out.Err, engine.ErrBacklog):
 		resp.Error = &ErrorBody{Code: CodeBacklog, Message: "ingest backlog"}
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusTooManyRequests, resp)
-	case errors.Is(err, engine.ErrClosed):
+	case errors.Is(out.Err, engine.ErrClosed):
 		resp.Error = &ErrorBody{Code: CodeDraining, Message: "engine closed"}
 		w.Header().Set(ReasonHeader, ReasonDrain)
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusServiceUnavailable, resp)
 	default:
-		resp.Error = &ErrorBody{Code: CodeInternal, Message: err.Error()}
+		resp.Error = &ErrorBody{Code: CodeInternal, Message: out.Err.Error()}
 		writeJSON(w, http.StatusInternalServerError, resp)
 	}
 }

@@ -1,0 +1,248 @@
+package wire
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/acis-lab/larpredictor/internal/durable"
+)
+
+// ErrConnClosed reports that the connection died (peer close, network error,
+// or local Close) with the batch outcome unknown. Batches in flight when it
+// happens were never acked — the caller resends them, over this transport or
+// HTTP, and the (source, seq) keys dedup whatever did land.
+var ErrConnClosed = errors.New("wire: connection closed")
+
+// ConnConfig configures a client connection.
+type ConnConfig struct {
+	// DialTimeout bounds dial + handshake (default 5s).
+	DialTimeout time.Duration
+	// Window caps unacknowledged batches in flight; Send blocks when the
+	// window is full (default 16).
+	Window int
+	// MaxFrameBytes caps received frame payloads (default DefaultMaxFrame).
+	MaxFrameBytes int
+}
+
+// Pending is the ack handle for one sent batch.
+type Pending struct {
+	ack  chan Ack
+	conn *Conn
+}
+
+// Wait blocks for the batch's ack, the connection dying, or ctx.
+func (p *Pending) Wait(ctx context.Context) (Ack, error) {
+	select {
+	case a := <-p.ack:
+		return a, nil
+	case <-p.conn.dead:
+		// The ack may have been resolved concurrently with the connection
+		// dying; prefer it, the outcome is real.
+		select {
+		case a := <-p.ack:
+			return a, nil
+		default:
+		}
+		return Ack{}, fmt.Errorf("%w: %v", ErrConnClosed, p.conn.deadErr())
+	case <-ctx.Done():
+		return Ack{}, ctx.Err()
+	}
+}
+
+// Conn is a client connection speaking the binary ingest protocol. Sends are
+// pipelined: Send transmits immediately (blocking only while the in-flight
+// window is full) and returns a Pending resolved by the reader goroutine
+// when the matching ack arrives. Safe for concurrent use.
+type Conn struct {
+	c       net.Conn
+	version uint16
+	window  chan struct{}
+	maxFr   uint32
+
+	wmu    sync.Mutex // serializes writers
+	bw     *bufio.Writer
+	enc    Encoder
+	sendBf []byte
+	nextID uint64
+
+	pmu     sync.Mutex
+	pending map[uint64]*Pending
+
+	dead     chan struct{}
+	deadOnce sync.Once
+	errMu    sync.Mutex
+	err      error
+}
+
+// Dial connects, handshakes, and starts the ack reader.
+func Dial(ctx context.Context, addr string, cfg ConnConfig) (*Conn, error) {
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 16
+	}
+	if cfg.MaxFrameBytes <= 0 {
+		cfg.MaxFrameBytes = DefaultMaxFrame
+	}
+	dctx, cancel := context.WithTimeout(ctx, cfg.DialTimeout)
+	defer cancel()
+	var d net.Dialer
+	nc, err := d.DialContext(dctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	nc.SetDeadline(time.Now().Add(cfg.DialTimeout))
+	if err := writeHandshake(nc, MaxVersion); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("wire: handshake %s: %w", addr, err)
+	}
+	version, err := readHandshake(nc)
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("wire: handshake %s: %w", addr, err)
+	}
+	if version == 0 || version < MinVersion || version > MaxVersion {
+		nc.Close()
+		return nil, fmt.Errorf("%w: server chose unsupported version %d", ErrProtocol, version)
+	}
+	nc.SetDeadline(time.Time{})
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	c := &Conn{
+		c:       nc,
+		version: version,
+		window:  make(chan struct{}, cfg.Window),
+		maxFr:   uint32(cfg.MaxFrameBytes),
+		bw:      bufio.NewWriterSize(nc, 64<<10),
+		pending: make(map[uint64]*Pending),
+		dead:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Version reports the negotiated protocol version.
+func (c *Conn) Version() uint16 { return c.version }
+
+func (c *Conn) deadErr() error {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	if c.err == nil {
+		return errors.New("closed")
+	}
+	return c.err
+}
+
+func (c *Conn) fail(err error) {
+	c.deadOnce.Do(func() {
+		c.errMu.Lock()
+		c.err = err
+		c.errMu.Unlock()
+		close(c.dead)
+		c.c.Close()
+	})
+}
+
+// Close tears the connection down. Unacked batches resolve as ErrConnClosed.
+func (c *Conn) Close() error {
+	c.fail(errors.New("locally closed"))
+	return nil
+}
+
+// Dead returns a channel closed when the connection dies.
+func (c *Conn) Dead() <-chan struct{} { return c.dead }
+
+func (c *Conn) readLoop() {
+	br := bufio.NewReaderSize(c.c, 64<<10)
+	var buf []byte
+	var payload []byte
+	var err error
+	for {
+		payload, buf, err = durable.ReadRecord(br, buf, c.maxFr)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				c.fail(fmt.Errorf("server closed connection"))
+			} else {
+				c.fail(err)
+			}
+			return
+		}
+		if len(payload) == 0 {
+			c.fail(fmt.Errorf("%w: empty frame", ErrProtocol))
+			return
+		}
+		switch payload[0] {
+		case FrameAck:
+			ack, perr := ParseAck(payload[1:])
+			if perr != nil {
+				c.fail(perr)
+				return
+			}
+			c.pmu.Lock()
+			p := c.pending[ack.BatchID]
+			delete(c.pending, ack.BatchID)
+			c.pmu.Unlock()
+			if p != nil {
+				p.ack <- ack
+				<-c.window // release the in-flight slot
+			}
+		case FrameError:
+			c.fail(fmt.Errorf("%w: server error: %s", ErrProtocol, payload[1:]))
+			return
+		default:
+			c.fail(fmt.Errorf("%w: unexpected frame type 0x%02x", ErrProtocol, payload[0]))
+			return
+		}
+	}
+}
+
+// Send transmits one batch and returns its ack handle. It blocks while the
+// in-flight window is full. The samples slice is fully encoded before Send
+// returns; the caller may reuse it.
+func (c *Conn) Send(ctx context.Context, source string, samples []Sample) (*Pending, error) {
+	select {
+	case c.window <- struct{}{}:
+	case <-c.dead:
+		return nil, fmt.Errorf("%w: %v", ErrConnClosed, c.deadErr())
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	p := &Pending{ack: make(chan Ack, 1), conn: c}
+
+	c.wmu.Lock()
+	c.nextID++
+	id := c.nextID
+	c.pmu.Lock()
+	c.pending[id] = p
+	c.pmu.Unlock()
+	c.sendBf = c.enc.AppendBatch(c.sendBf[:0], id, source, samples)
+	_, werr := c.bw.Write(c.sendBf)
+	if werr == nil {
+		werr = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+
+	if werr != nil {
+		c.fail(fmt.Errorf("write: %w", werr))
+		return nil, fmt.Errorf("%w: %v", ErrConnClosed, werr)
+	}
+	return p, nil
+}
+
+// Ingest sends one batch and waits for its ack: the synchronous convenience
+// for callers without their own pipelining (cluster owner-forwarding).
+func (c *Conn) Ingest(ctx context.Context, source string, samples []Sample) (Ack, error) {
+	p, err := c.Send(ctx, source, samples)
+	if err != nil {
+		return Ack{}, err
+	}
+	return p.Wait(ctx)
+}

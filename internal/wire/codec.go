@@ -1,0 +1,209 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/acis-lab/larpredictor/internal/durable"
+)
+
+// Frame payload encodings (everything after the 1-byte frame type).
+//
+// Batch: uvarint batchID, uvarint len(source) + source bytes, uvarint count,
+// then per sample: uvarint len(stream) + stream bytes, zigzag-varint TS,
+// 8-byte LE float64 bits, uvarint seq. One source per batch — the batching
+// client already groups by source, and it keeps the hot decode loop free of
+// per-sample source strings.
+//
+// Ack: uvarint batchID, 1-byte status, uvarint accepted, uvarint deduped,
+// uvarint len(msg) + msg bytes.
+//
+// Error: message bytes, verbatim.
+//
+// The varint vocabulary is the same one the predictd WAL batch codec uses,
+// so the wire batch is within a few bytes of the durable form.
+
+// maxSamplesPerBatch bounds a decoded batch before any per-sample work: a
+// count that cannot fit the remaining payload even at the minimum sample
+// size is corruption, not an allocation request.
+const maxSamplesPerBatch = 1 << 20
+
+// minSampleLen is the smallest encodable sample: 1-byte stream length (empty
+// stream), 1-byte TS, 8-byte value, 1-byte seq.
+const minSampleLen = 11
+
+// maxInterned caps the decoder's stream/source intern table. Past it the
+// table resets; a fleet cycling through more than this many distinct stream
+// IDs per connection pays an allocation per fresh name, nothing worse.
+const maxInterned = 1 << 16
+
+// Encoder builds framed wire messages. The zero value is ready; it keeps one
+// scratch buffer so steady-state encoding allocates nothing. Not safe for
+// concurrent use.
+type Encoder struct {
+	scratch []byte
+}
+
+// AppendBatch appends a complete Batch frame (record framing included) to
+// dst and returns the extended slice.
+func (e *Encoder) AppendBatch(dst []byte, batchID uint64, source string, samples []Sample) []byte {
+	p := append(e.scratch[:0], FrameBatch)
+	p = binary.AppendUvarint(p, batchID)
+	p = binary.AppendUvarint(p, uint64(len(source)))
+	p = append(p, source...)
+	p = binary.AppendUvarint(p, uint64(len(samples)))
+	for i := range samples {
+		s := &samples[i]
+		p = binary.AppendUvarint(p, uint64(len(s.Stream)))
+		p = append(p, s.Stream...)
+		p = binary.AppendVarint(p, s.TS)
+		p = binary.LittleEndian.AppendUint64(p, math.Float64bits(s.Value))
+		p = binary.AppendUvarint(p, s.Seq)
+	}
+	e.scratch = p
+	return durable.AppendRecord(dst, p)
+}
+
+// AppendAck appends a complete Ack frame to dst and returns the extended
+// slice.
+func (e *Encoder) AppendAck(dst []byte, ack Ack) []byte {
+	p := append(e.scratch[:0], FrameAck)
+	p = binary.AppendUvarint(p, ack.BatchID)
+	p = append(p, byte(ack.Status))
+	p = binary.AppendUvarint(p, uint64(ack.Accepted))
+	p = binary.AppendUvarint(p, uint64(ack.Deduped))
+	p = binary.AppendUvarint(p, uint64(len(ack.Msg)))
+	p = append(p, ack.Msg...)
+	e.scratch = p
+	return durable.AppendRecord(dst, p)
+}
+
+// AppendError appends a complete Error frame to dst and returns the extended
+// slice.
+func (e *Encoder) AppendError(dst []byte, msg string) []byte {
+	p := append(e.scratch[:0], FrameError)
+	p = append(p, msg...)
+	e.scratch = p
+	return durable.AppendRecord(dst, p)
+}
+
+// BatchDecoder decodes Batch frame payloads with zero steady-state
+// allocations: stream and source names are interned per decoder (one
+// allocation the first time each distinct name appears), and the sample
+// slice is reused across calls. The decoded batch aliases that slice — it is
+// valid until the next Decode. Not safe for concurrent use; the server keeps
+// one per connection.
+type BatchDecoder struct {
+	names   map[string]string
+	samples []Sample
+}
+
+func (d *BatchDecoder) intern(b []byte) string {
+	if d.names == nil {
+		d.names = make(map[string]string, 64)
+	}
+	// The string(b) map key does not allocate on lookup; only a miss pays
+	// for the copy that the table then retains.
+	if s, ok := d.names[string(b)]; ok {
+		return s
+	}
+	if len(d.names) >= maxInterned {
+		d.names = make(map[string]string, 64)
+	}
+	s := string(b)
+	d.names[s] = s
+	return s
+}
+
+// Decode parses a Batch frame payload (without its leading frame-type byte,
+// which the caller has already consumed to dispatch here). Every decode
+// error wraps ErrProtocol: a batch that does not parse cannot be acked,
+// because its ID cannot be trusted.
+func (d *BatchDecoder) Decode(payload []byte) (batchID uint64, source string, samples []Sample, err error) {
+	p := payload
+	batchID, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, "", nil, fmt.Errorf("%w: batch id", ErrProtocol)
+	}
+	p = p[n:]
+	srcLen, n := binary.Uvarint(p)
+	if n <= 0 || srcLen > uint64(len(p[n:])) {
+		return 0, "", nil, fmt.Errorf("%w: source length", ErrProtocol)
+	}
+	source = d.intern(p[n : n+int(srcLen)])
+	p = p[n+int(srcLen):]
+	count, n := binary.Uvarint(p)
+	if n <= 0 || count > maxSamplesPerBatch || count*minSampleLen > uint64(len(p[n:])) {
+		return 0, "", nil, fmt.Errorf("%w: sample count", ErrProtocol)
+	}
+	p = p[n:]
+	if cap(d.samples) < int(count) {
+		d.samples = make([]Sample, count)
+	}
+	out := d.samples[:count]
+	for i := range out {
+		streamLen, n := binary.Uvarint(p)
+		if n <= 0 || streamLen > uint64(len(p[n:])) {
+			return 0, "", nil, fmt.Errorf("%w: sample %d stream", ErrProtocol, i)
+		}
+		out[i].Stream = d.intern(p[n : n+int(streamLen)])
+		p = p[n+int(streamLen):]
+		ts, n := binary.Varint(p)
+		if n <= 0 {
+			return 0, "", nil, fmt.Errorf("%w: sample %d ts", ErrProtocol, i)
+		}
+		out[i].TS = ts
+		p = p[n:]
+		if len(p) < 8 {
+			return 0, "", nil, fmt.Errorf("%w: sample %d value", ErrProtocol, i)
+		}
+		out[i].Value = math.Float64frombits(binary.LittleEndian.Uint64(p))
+		p = p[8:]
+		seq, n := binary.Uvarint(p)
+		if n <= 0 {
+			return 0, "", nil, fmt.Errorf("%w: sample %d seq", ErrProtocol, i)
+		}
+		out[i].Seq = seq
+		p = p[n:]
+	}
+	if len(p) != 0 {
+		return 0, "", nil, fmt.Errorf("%w: %d trailing bytes", ErrProtocol, len(p))
+	}
+	return batchID, source, out, nil
+}
+
+// ParseAck parses an Ack frame payload (without its frame-type byte).
+func ParseAck(payload []byte) (Ack, error) {
+	var a Ack
+	p := payload
+	id, n := binary.Uvarint(p)
+	if n <= 0 {
+		return a, fmt.Errorf("%w: ack batch id", ErrProtocol)
+	}
+	a.BatchID = id
+	p = p[n:]
+	if len(p) < 1 {
+		return a, fmt.Errorf("%w: ack status", ErrProtocol)
+	}
+	a.Status = Status(p[0])
+	p = p[1:]
+	acc, n := binary.Uvarint(p)
+	if n <= 0 || acc > maxSamplesPerBatch {
+		return a, fmt.Errorf("%w: ack accepted", ErrProtocol)
+	}
+	a.Accepted = int(acc)
+	p = p[n:]
+	ded, n := binary.Uvarint(p)
+	if n <= 0 || ded > maxSamplesPerBatch {
+		return a, fmt.Errorf("%w: ack deduped", ErrProtocol)
+	}
+	a.Deduped = int(ded)
+	p = p[n:]
+	msgLen, n := binary.Uvarint(p)
+	if n <= 0 || msgLen != uint64(len(p[n:])) {
+		return a, fmt.Errorf("%w: ack message", ErrProtocol)
+	}
+	a.Msg = string(p[n:])
+	return a, nil
+}

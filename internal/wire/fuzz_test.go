@@ -1,0 +1,134 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+
+	"github.com/acis-lab/larpredictor/internal/durable"
+)
+
+func mathBits(v float64) uint64 { return math.Float64bits(v) }
+
+// FuzzWireDecode throws arbitrary bytes at the server's frame pipeline —
+// record framing, frame-type dispatch, batch decode, ack parse. The
+// invariants under fuzz: never panic, never accept a frame whose checksum
+// fails, and any batch that does decode re-encodes to a byte-identical
+// frame (so an ack can never be attached to a batch ID the codec only
+// half-understood).
+func FuzzWireDecode(f *testing.F) {
+	var enc Encoder
+	f.Add(enc.AppendBatch(nil, 1, "src", []Sample{{Stream: "vm/cpu", TS: 9, Value: 1.5, Seq: 3}}))
+	f.Add(enc.AppendAck(nil, Ack{BatchID: 2, Status: StatusBacklog, Accepted: 1, Deduped: 1, Msg: "m"}))
+	f.Add(enc.AppendError(nil, "boom"))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(bytes.Repeat([]byte{0xff}, 32))
+	truncated := enc.AppendBatch(nil, 7, "s", []Sample{{Stream: "x"}})
+	f.Add(truncated[:len(truncated)-3])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := bufio.NewReader(bytes.NewReader(data))
+		var dec BatchDecoder
+		var buf []byte
+		for {
+			payload, nbuf, err := durable.ReadRecord(br, buf, DefaultMaxFrame)
+			buf = nbuf
+			if err != nil {
+				if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, durable.ErrRecord) {
+					t.Fatalf("ReadRecord: unexpected error class %v", err)
+				}
+				return
+			}
+			if len(payload) == 0 {
+				continue
+			}
+			switch payload[0] {
+			case FrameBatch:
+				id, source, samples, err := dec.Decode(payload[1:])
+				if err != nil {
+					if !errors.Is(err, ErrProtocol) {
+						t.Fatalf("Decode: unexpected error class %v", err)
+					}
+					continue
+				}
+				// A decodable batch must re-encode to the identical frame:
+				// the codec understood every byte it acked.
+				var re Encoder
+				reframed := re.AppendBatch(nil, id, source, samples)
+				rp, rest, ok := durable.SplitRecord(reframed, DefaultMaxFrame)
+				if !ok || len(rest) != 0 {
+					t.Fatal("re-encoded frame does not reframe")
+				}
+				if !bytes.Equal(rp[1:], payload[1:]) {
+					t.Fatalf("re-encode mismatch:\n in %x\nout %x", payload[1:], rp[1:])
+				}
+			case FrameAck:
+				if _, err := ParseAck(payload[1:]); err != nil && !errors.Is(err, ErrProtocol) {
+					t.Fatalf("ParseAck: unexpected error class %v", err)
+				}
+			}
+		}
+	})
+}
+
+// FuzzWireRoundTrip builds a structurally valid batch from fuzzed primitives
+// and requires exact encode → decode identity, including the corner values
+// (negative timestamps, NaN bit patterns, empty strings, huge seqs).
+func FuzzWireRoundTrip(f *testing.F) {
+	f.Add(uint64(1), "src", "vm/cpu", int64(-5), 3.14, uint64(9), uint8(3))
+	f.Add(uint64(0), "", "", int64(0), 0.0, uint64(0), uint8(0))
+	f.Add(^uint64(0), "s", "t", int64(1)<<62, -1e308, ^uint64(0), uint8(200))
+
+	f.Fuzz(func(t *testing.T, batchID uint64, source, stream string, ts int64, value float64, seq uint64, n uint8) {
+		samples := make([]Sample, int(n)%33)
+		for i := range samples {
+			samples[i] = Sample{
+				Stream: stream,
+				TS:     ts + int64(i),
+				Value:  value,
+				Seq:    seq + uint64(i),
+			}
+		}
+		var enc Encoder
+		frame := enc.AppendBatch(nil, batchID, source, samples)
+		payload, rest, ok := durable.SplitRecord(frame, uint32(len(frame)))
+		if !ok || len(rest) != 0 || payload[0] != FrameBatch {
+			t.Fatalf("encoded frame does not parse: ok=%v rest=%d", ok, len(rest))
+		}
+		var dec BatchDecoder
+		id, src, got, err := dec.Decode(payload[1:])
+		if err != nil {
+			t.Fatalf("round trip decode: %v", err)
+		}
+		if id != batchID || src != source || len(got) != len(samples) {
+			t.Fatalf("round trip header: id=%d src=%q n=%d", id, src, len(got))
+		}
+		for i := range samples {
+			w, g := samples[i], got[i]
+			// NaN != NaN: compare values through their bit patterns.
+			if g.Stream != w.Stream || g.TS != w.TS || g.Seq != w.Seq ||
+				mathBits(g.Value) != mathBits(w.Value) {
+				t.Fatalf("sample %d: got %+v want %+v", i, g, w)
+			}
+		}
+
+		// Acks round-trip through the same framing.
+		ack := Ack{BatchID: batchID, Status: Status(n % 5), Accepted: len(samples), Deduped: int(n) % 7, Msg: source}
+		aframe := enc.AppendAck(nil, ack)
+		ap, _, ok := durable.SplitRecord(aframe, uint32(len(aframe)))
+		if !ok || ap[0] != FrameAck {
+			t.Fatal("encoded ack does not parse")
+		}
+		back, err := ParseAck(ap[1:])
+		if err != nil {
+			t.Fatalf("ack round trip: %v", err)
+		}
+		if back != ack {
+			t.Fatalf("ack got %+v want %+v", back, ack)
+		}
+	})
+}

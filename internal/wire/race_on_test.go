@@ -1,0 +1,8 @@
+//go:build race
+
+package wire
+
+// raceEnabled reports that the race detector is instrumenting this build;
+// its shadow-memory bookkeeping allocates, so zero-allocation assertions
+// are skipped under -race.
+const raceEnabled = true

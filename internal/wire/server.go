@@ -1,0 +1,268 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/acis-lab/larpredictor/internal/durable"
+	"github.com/acis-lab/larpredictor/internal/obs"
+)
+
+// ServerConfig configures a binary ingest listener.
+type ServerConfig struct {
+	// Ingest is called once per decoded batch with the interned source and
+	// the decoded samples. The samples slice is reused after Ingest returns;
+	// implementations that keep samples past the call must copy (the
+	// predictd bridge hands them straight to engine IngestBatch, which
+	// copies into the shard rings). Required. BatchID and Msg on the
+	// returned Ack are managed by the server; implementations fill Status,
+	// Accepted, and Deduped.
+	Ingest func(source string, samples []Sample) Ack
+	// Draining, when set, short-circuits batches with StatusDraining without
+	// calling Ingest — the binary twin of the HTTP 503 drain check.
+	Draining func() bool
+	// MaxFrameBytes caps a frame payload (default DefaultMaxFrame).
+	MaxFrameBytes int
+	// HandshakeTimeout bounds how long an accepted connection may take to
+	// complete the handshake (default 5s).
+	HandshakeTimeout time.Duration
+	// Registry receives the wire metrics; nil disables instrumentation.
+	Registry *obs.Registry
+	// Logw receives one line per rejected or failed connection; nil
+	// silences.
+	Logw io.Writer
+}
+
+// Server accepts persistent binary ingest connections and pumps decoded
+// batches into the configured Ingest callback. Each connection is one
+// goroutine running decode → ingest → ack; acks are buffered and flushed
+// when the reader has no further frame already buffered, so a pipelining
+// client pays one syscall per burst, not per batch.
+type Server struct {
+	cfg ServerConfig
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	mConns     *obs.Gauge
+	mBatches   *obs.Counter
+	mSamples   *obs.Counter
+	mProtoErrs *obs.Counter
+	// mAcks holds the per-status ack counters, resolved once so the hot
+	// ack path never touches the registry.
+	mAcks [StatusInvalid + 1]*obs.Counter
+}
+
+// NewServer validates cfg and returns a Server ready to Serve.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Ingest == nil {
+		return nil, errors.New("wire: ServerConfig.Ingest is required")
+	}
+	if cfg.MaxFrameBytes <= 0 {
+		cfg.MaxFrameBytes = DefaultMaxFrame
+	}
+	if cfg.HandshakeTimeout <= 0 {
+		cfg.HandshakeTimeout = 5 * time.Second
+	}
+	r := cfg.Registry
+	s := &Server{
+		cfg:        cfg,
+		conns:      make(map[net.Conn]struct{}),
+		mConns:     r.Gauge1("predictd_wire_connections", "Open binary ingest connections."),
+		mBatches:   r.Counter1("predictd_wire_batches_total", "Batch frames decoded on the binary ingest listener."),
+		mSamples:   r.Counter1("predictd_wire_samples_total", "Samples decoded on the binary ingest listener."),
+		mProtoErrs: r.Counter1("predictd_wire_protocol_errors_total", "Binary ingest connections dropped for protocol violations (bad magic, version reject, corrupt or undecodable frames)."),
+	}
+	acks := r.Counter("predictd_wire_acks_total", "Binary ingest acks by status.", "status")
+	for st := StatusOK; st <= StatusInvalid; st++ {
+		s.mAcks[st] = acks.WithLabels(st.String())
+	}
+	return s, nil
+}
+
+// Serve accepts connections on ln until Close. It returns nil after Close,
+// or the accept error that stopped it.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("wire: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("wire: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return nil
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handleConn(c)
+	}
+}
+
+// Close stops accepting, closes every open connection, and waits for the
+// per-connection goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logw != nil {
+		fmt.Fprintf(s.cfg.Logw, "wire: "+format+"\n", args...)
+	}
+}
+
+func (s *Server) dropConn(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	c.Close()
+	s.wg.Done()
+}
+
+func (s *Server) handleConn(c net.Conn) {
+	defer s.dropConn(c)
+	defer func() {
+		// An ingest-callback panic must not take the daemon down; the
+		// connection dies, the client resends elsewhere, keys dedup.
+		if p := recover(); p != nil {
+			s.logf("connection %s: panic: %v", c.RemoteAddr(), p)
+		}
+	}()
+
+	c.SetDeadline(time.Now().Add(s.cfg.HandshakeTimeout))
+	offer, err := readHandshake(c)
+	if err != nil {
+		s.mProtoErrs.Inc()
+		s.logf("connection %s: %v", c.RemoteAddr(), err)
+		return
+	}
+	version := negotiate(offer)
+	if err := writeHandshake(c, version); err != nil {
+		s.logf("connection %s: handshake write: %v", c.RemoteAddr(), err)
+		return
+	}
+	if version == 0 {
+		s.mProtoErrs.Inc()
+		s.logf("connection %s: rejected version offer %d (speak %d..%d)", c.RemoteAddr(), offer, MinVersion, MaxVersion)
+		return
+	}
+	c.SetDeadline(time.Time{})
+
+	s.mConns.Add(1)
+	defer s.mConns.Add(-1)
+
+	br := bufio.NewReaderSize(c, 64<<10)
+	bw := bufio.NewWriterSize(c, 64<<10)
+	var (
+		enc     Encoder
+		dec     BatchDecoder
+		readBuf []byte
+		payload []byte
+		ackBuf  []byte
+	)
+	fail := func(msg string) {
+		s.mProtoErrs.Inc()
+		s.logf("connection %s: %s", c.RemoteAddr(), msg)
+		// Best-effort terminal error frame so a live peer learns why,
+		// bounded so a dead one cannot wedge the goroutine.
+		c.SetWriteDeadline(time.Now().Add(2 * time.Second))
+		bw.Write(enc.AppendError(ackBuf[:0], msg))
+		bw.Flush()
+	}
+	for {
+		payload, readBuf, err = durable.ReadRecord(br, readBuf, uint32(s.cfg.MaxFrameBytes))
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return // clean close between frames
+			}
+			if errors.Is(err, durable.ErrRecord) {
+				// Corrupt frame: the batch ID inside cannot be trusted, so
+				// never ack — close and let the client resend everything
+				// unacked. The keys make the resend exactly-once.
+				fail(err.Error())
+			}
+			return
+		}
+		if len(payload) == 0 {
+			fail("empty frame")
+			return
+		}
+		switch payload[0] {
+		case FrameBatch:
+			batchID, source, samples, derr := dec.Decode(payload[1:])
+			if derr != nil {
+				fail(derr.Error())
+				return
+			}
+			s.mBatches.Inc()
+			s.mSamples.Add(uint64(len(samples)))
+			var ack Ack
+			if s.cfg.Draining != nil && s.cfg.Draining() {
+				ack = Ack{Status: StatusDraining, Msg: "draining"}
+			} else {
+				ack = s.cfg.Ingest(source, samples)
+			}
+			ack.BatchID = batchID
+			if int(ack.Status) < len(s.mAcks) {
+				s.mAcks[ack.Status].Inc()
+			}
+			ackBuf = enc.AppendAck(ackBuf[:0], ack)
+			if _, err := bw.Write(ackBuf); err != nil {
+				return
+			}
+			// Flush only when no further frame is already buffered: a
+			// pipelining client gets its acks coalesced, a synchronous one
+			// gets each ack immediately.
+			if br.Buffered() == 0 {
+				if err := bw.Flush(); err != nil {
+					return
+				}
+			}
+		case FrameError:
+			s.logf("connection %s: peer error: %s", c.RemoteAddr(), payload[1:])
+			return
+		default:
+			fail(fmt.Sprintf("unknown frame type 0x%02x", payload[0]))
+			return
+		}
+	}
+}
