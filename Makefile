@@ -19,7 +19,7 @@ fmt:
 # Run the fuzz targets' seed corpora as ordinary tests (no fuzzing engine;
 # deterministic and fast, so it belongs in ci).
 fuzz-seeds:
-	$(GO) test -run Fuzz ./internal/rrd ./internal/preddb ./internal/durable ./internal/wire ./cmd/predictd
+	$(GO) test -run Fuzz ./internal/rrd ./internal/preddb ./internal/durable ./internal/wire ./internal/tournament ./cmd/predictd
 
 # Short real fuzzing of the binary ingest protocol: corrupt frames,
 # truncation, and version skew must never panic or mis-ack. Go's fuzzer
@@ -90,7 +90,7 @@ vuln:
 BENCH ?= BenchmarkForecastPath
 BENCHFLAGS ?= -run '^$$' -bench '$(BENCH)' -benchmem -count 6
 
-BENCH_PKGS ?= . ./cmd/predictd ./internal/cluster ./internal/server ./internal/wire
+BENCH_PKGS ?= . ./cmd/predictd ./internal/cluster ./internal/server ./internal/tournament ./internal/wire
 
 bench-baseline:
 	$(GO) test $(BENCHFLAGS) $(BENCH_PKGS) | tee bench-old.txt

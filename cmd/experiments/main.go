@@ -5,8 +5,8 @@
 //	experiments -run table2     # a single experiment
 //	experiments -seed 42 -folds 5
 //
-// Experiments: figure4, figure5, table2, table3, figure6, headline,
-// ablations, all.
+// Experiments: figure4, figure5, table2, table3, figure6, tournament,
+// headline, ablations, all.
 package main
 
 import (
@@ -22,7 +22,7 @@ func main() {
 	var (
 		seed  = flag.Int64("seed", 2007, "base seed for trace synthesis and cross-validation")
 		folds = flag.Int("folds", 10, "cross-validation folds per trace")
-		run   = flag.String("run", "all", "experiment to run: figure4|figure5|table2|table3|figure6|headline|ablations|all")
+		run   = flag.String("run", "all", "experiment to run: figure4|figure5|table2|table3|figure6|tournament|headline|ablations|all")
 		asCSV = flag.Bool("csv", false, "emit machine-readable CSV (figure4, figure5, figure6, table2 only)")
 	)
 	flag.Parse()
@@ -71,6 +71,12 @@ func runExperiment(out io.Writer, name string, opts experiments.Options) error {
 		fmt.Fprint(out, r.Render())
 	case "figure6":
 		r, err := experiments.Figure6(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, r.Render())
+	case "tournament":
+		r, err := experiments.TournamentCompare(opts)
 		if err != nil {
 			return err
 		}

@@ -42,6 +42,7 @@ import (
 	"github.com/acis-lab/larpredictor/internal/engine"
 	"github.com/acis-lab/larpredictor/internal/obs"
 	"github.com/acis-lab/larpredictor/internal/server"
+	"github.com/acis-lab/larpredictor/internal/tournament"
 	"github.com/acis-lab/larpredictor/internal/wire"
 )
 
@@ -57,6 +58,8 @@ func main() {
 		train      = flag.Int("train", 60, "samples before initial training")
 		audit      = flag.Int("audit", 12, "QA audit window (scored predictions)")
 		thresh     = flag.Float64("threshold", 2.0, "QA normalized-MSE retrain threshold")
+		tourney    = flag.Bool("tournament", true, "enable the tournament meta-selector tier between the trained model and the windowed-MSE selector")
+		drift      = flag.Bool("drift", true, "enable proactive drift demotion to the tournament tier (requires -tournament)")
 		stateDir   = flag.String("state", "", "state directory for durable snapshots; empty runs stateless")
 		snapEvery  = flag.Duration("snapshot-every", 5*time.Minute, "interval between durable snapshots (0 disables periodic snapshots)")
 		durability = flag.String("durability", "snapshot", "durability mode: snapshot (acks best-effort until the next snapshot) or wal (every ack fsynced to a write-ahead log; requires -state and -backpressure=block)")
@@ -89,6 +92,8 @@ func main() {
 		trainSize:    *train,
 		auditWin:     *audit,
 		threshold:    *thresh,
+		tournament:   *tourney,
+		drift:        *drift,
 		stateDir:     *stateDir,
 		snapEvery:    *snapEvery,
 		durability:   *durability,
@@ -126,6 +131,8 @@ type options struct {
 	trainSize    int
 	auditWin     int
 	threshold    float64
+	tournament   bool
+	drift        bool
 	stateDir     string
 	snapEvery    time.Duration
 	durability   string
@@ -233,13 +240,26 @@ func run(ctx context.Context, out io.Writer, o options) error {
 			return err
 		}
 	}
+	if o.drift && !o.tournament {
+		return errors.New("-drift requires -tournament")
+	}
 	newStream := func(id string) (*core.Online, error) {
-		return core.NewOnline(core.OnlineConfig{
+		cfg := core.OnlineConfig{
 			Predictor:    core.DefaultConfig(o.window),
 			TrainSize:    o.trainSize,
 			AuditWindow:  o.auditWin,
 			MSEThreshold: o.threshold,
-		})
+		}
+		// Tournament/drift configs participate in the snapshot config
+		// fingerprint, so toggling the flags cold-starts restored streams
+		// rather than silently reinterpreting their state.
+		if o.tournament {
+			cfg.Tournament = &tournament.Config{}
+		}
+		if o.drift {
+			cfg.Drift = &tournament.DriftConfig{}
+		}
+		return core.NewOnline(cfg)
 	}
 
 	tiers, err := parseHistoryTiers(o.historyTiers)

@@ -14,6 +14,7 @@ import (
 	"github.com/acis-lab/larpredictor/internal/pca"
 	"github.com/acis-lab/larpredictor/internal/predictors"
 	"github.com/acis-lab/larpredictor/internal/timeseries"
+	"github.com/acis-lab/larpredictor/internal/tournament"
 )
 
 // Durable-state codec: a trained LARPredictor (and the Online wrapper with
@@ -47,7 +48,11 @@ var (
 	onlineStateMagic = [8]byte{'L', 'A', 'R', 'P', 'O', 'N', 'L', '1'}
 )
 
-const stateVersion uint32 = 1
+// stateVersion 2: the Health enum gained the Tournament rung between
+// Healthy and Degraded, renumbering every deeper rung, and the payload
+// gained the tournament/drift state — version-1 snapshots would silently
+// restore the wrong health, so they are rejected at the frame layer.
+const stateVersion uint32 = 2
 
 // writeFramed writes magic + version + gob(payload) + CRC32 footer.
 func writeFramed(w io.Writer, magic [8]byte, payload any) error {
@@ -346,6 +351,17 @@ type onlineState struct {
 	BreakerTrips         int
 	DegradedForecasts    int
 	FallbackForecasts    int
+	TournamentForecasts  int
+	DriftDemotions       int
+
+	// Tournament tier and drift detector, present only when the feature was
+	// enabled on the saving predictor; presence must match on restore.
+	HasTournament   bool
+	TournamentCfg   tournament.Config
+	TournamentState tournament.State
+	HasDrift        bool
+	DriftCfg        tournament.DriftConfig
+	DriftState      tournament.DriftState
 }
 
 // SaveState serializes the streaming predictor: the trained LARPredictor,
@@ -372,32 +388,44 @@ func (o *Online) SaveState(w io.Writer) error {
 
 		LAR: *o.lar.captureState(),
 
-		History:           o.history,
-		AuditSq:           o.auditSq,
-		AuditNext:         o.auditNext,
-		AuditLen:          o.auditLen,
-		Pending:           o.pending,
-		HasPending:        o.hasPending,
-		SinceRetrain:      o.sinceRetrain,
-		Retrains:          o.retrains,
-		Health:            int(o.health),
-		Selector:          o.selector.State(),
-		LastFinite:        o.lastFinite,
-		HasFinite:         o.hasFinite,
-		BreakerOpen:       o.breakerOpen,
-		HalfOpen:          o.halfOpen,
-		HalfOpenLeft:      o.halfOpenLeft,
-		Backoff:           o.backoff,
-		BackoffLeft:       o.backoffLeft,
-		ConsecFailures:    o.consecFailures,
-		ThrashRun:         o.thrashRun,
-		RetrainFailures:   o.retrainFailures,
-		BreakerTrips:      o.breakerTrips,
-		DegradedForecasts: o.degradedForecasts,
-		FallbackForecasts: o.fallbackForecasts,
+		History:             o.history,
+		AuditSq:             o.auditSq,
+		AuditNext:           o.auditNext,
+		AuditLen:            o.auditLen,
+		Pending:             o.pending,
+		HasPending:          o.hasPending,
+		SinceRetrain:        o.sinceRetrain,
+		Retrains:            o.retrains,
+		Health:              int(o.health),
+		Selector:            o.selector.State(),
+		LastFinite:          o.lastFinite,
+		HasFinite:           o.hasFinite,
+		BreakerOpen:         o.breakerOpen,
+		HalfOpen:            o.halfOpen,
+		HalfOpenLeft:        o.halfOpenLeft,
+		Backoff:             o.backoff,
+		BackoffLeft:         o.backoffLeft,
+		ConsecFailures:      o.consecFailures,
+		ThrashRun:           o.thrashRun,
+		RetrainFailures:     o.retrainFailures,
+		BreakerTrips:        o.breakerTrips,
+		DegradedForecasts:   o.degradedForecasts,
+		FallbackForecasts:   o.fallbackForecasts,
+		TournamentForecasts: o.tournamentForecasts,
+		DriftDemotions:      o.driftDemotions,
 	}
 	if o.lastErr != nil {
 		s.LastErr = o.lastErr.Error()
+	}
+	if o.tour != nil {
+		s.HasTournament = true
+		s.TournamentCfg = *o.cfg.Tournament
+		s.TournamentState = o.tour.State()
+	}
+	if o.drift != nil {
+		s.HasDrift = true
+		s.DriftCfg = *o.cfg.Drift
+		s.DriftState = o.drift.State()
 	}
 	return writeFramed(w, onlineStateMagic, s)
 }
@@ -435,11 +463,31 @@ func (o *Online) RestoreState(r io.Reader) error {
 	if s.Health < int(Healthy) || s.Health > int(Failed) {
 		return fmt.Errorf("core: online state health %d: %w", s.Health, ErrBadState)
 	}
+	if s.HasTournament != (o.tour != nil) || s.HasDrift != (o.drift != nil) {
+		return fmt.Errorf("core: online state tournament/drift presence %v/%v, predictor %v/%v: %w",
+			s.HasTournament, s.HasDrift, o.tour != nil, o.drift != nil, ErrStateMismatch)
+	}
+	if o.tour != nil && s.TournamentCfg != *o.cfg.Tournament {
+		return fmt.Errorf("core: online state under different tournament config: %w", ErrStateMismatch)
+	}
+	if o.drift != nil && s.DriftCfg != *o.cfg.Drift {
+		return fmt.Errorf("core: online state under different drift config: %w", ErrStateMismatch)
+	}
 	if err := o.lar.restoreState(&s.LAR); err != nil {
 		return err
 	}
 	if err := o.selector.SetState(s.Selector); err != nil {
 		return fmt.Errorf("core: restore fallback selector: %w: %v", ErrBadState, err)
+	}
+	if o.tour != nil {
+		if err := o.tour.SetState(s.TournamentState); err != nil {
+			return fmt.Errorf("core: restore tournament selector: %w: %v", ErrBadState, err)
+		}
+	}
+	if o.drift != nil {
+		if err := o.drift.SetState(s.DriftState); err != nil {
+			return fmt.Errorf("core: restore drift detector: %w: %v", ErrBadState, err)
+		}
 	}
 
 	o.history = append(o.history[:0], s.History...)
@@ -468,6 +516,8 @@ func (o *Online) RestoreState(r io.Reader) error {
 	o.breakerTrips = s.BreakerTrips
 	o.degradedForecasts = s.DegradedForecasts
 	o.fallbackForecasts = s.FallbackForecasts
+	o.tournamentForecasts = s.TournamentForecasts
+	o.driftDemotions = s.DriftDemotions
 	// A restore is not a transition, so the health field was set directly;
 	// resync the exported gauges with the restored state.
 	o.met.sync(o)

@@ -287,10 +287,13 @@ func (l *LARPredictor) ExpertTrainRMSE() []float64 {
 
 // Forecast sources, reported in Prediction.Source. A healthy Online
 // predictor serves SourceLAR; the degraded-mode fallback chain serves
-// SourceSelector (windowed cumulative-MSE expert selection) and, at the
-// bottom of the ladder, SourceLastResort (last finite observation).
+// SourceTournament (context-indexed tournament meta-selection, when the
+// tier is enabled), SourceSelector (windowed cumulative-MSE expert
+// selection) and, at the bottom of the ladder, SourceLastResort (last
+// finite observation).
 const (
 	SourceLAR        = "LAR"
+	SourceTournament = "TOURNAMENT"
 	SourceSelector   = "W-CUM-MSE"
 	SourceLastResort = "LAST-RESORT"
 )

@@ -79,11 +79,14 @@ type onlineMetrics struct {
 	breakerTrips *obs.Counter
 	// auditMSE exports the QA audit-window MSE (normalized space).
 	auditMSE *obs.Gauge
-	// forecastsSelector/forecastsLastResort count degraded-mode serves,
-	// completing the forecasts_total source family the LARPredictor
-	// starts.
+	// forecastsSelector/forecastsLastResort/forecastsTournament count
+	// degraded-mode serves, completing the forecasts_total source family
+	// the LARPredictor starts.
 	forecastsSelector   *obs.Counter
 	forecastsLastResort *obs.Counter
+	forecastsTournament *obs.Counter
+	// driftDemotions counts proactive drift demotions off the Healthy rung.
+	driftDemotions *obs.Counter
 }
 
 func newOnlineMetrics(r *obs.Registry) *onlineMetrics {
@@ -94,7 +97,7 @@ func newOnlineMetrics(r *obs.Registry) *onlineMetrics {
 		"Forecasts served, by fallback-ladder source.", "source")
 	return &onlineMetrics{
 		healthState: r.Gauge1("larpredictor_health_state",
-			"Current fallback-ladder rung: 0 Healthy, 1 Degraded, 2 Fallback, 3 Failed."),
+			"Current fallback-ladder rung: 0 Healthy, 1 Tournament, 2 Degraded, 3 Fallback, 4 Failed."),
 		transitions: r.Counter("larpredictor_health_transitions_total",
 			"Health-state machine transitions.", "from", "to"),
 		retrainAttempts: r.Counter1("larpredictor_retrain_attempts_total",
@@ -111,6 +114,9 @@ func newOnlineMetrics(r *obs.Registry) *onlineMetrics {
 			"QA audit-window MSE in normalized space."),
 		forecastsSelector:   forecasts.WithLabels(SourceSelector),
 		forecastsLastResort: forecasts.WithLabels(SourceLastResort),
+		forecastsTournament: forecasts.WithLabels(SourceTournament),
+		driftDemotions: r.Counter1("larpredictor_drift_demotions_total",
+			"Proactive Healthy-to-Tournament demotions fired by the drift detector."),
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"github.com/acis-lab/larpredictor/internal/obs"
 	"github.com/acis-lab/larpredictor/internal/predictors"
 	"github.com/acis-lab/larpredictor/internal/timeseries"
+	"github.com/acis-lab/larpredictor/internal/tournament"
 )
 
 // ErrNotReady is returned by Online.Forecast before enough samples have been
@@ -22,15 +23,24 @@ var ErrFailed = errors.New("core: online predictor failed (retrain failure budge
 
 // Health is the online predictor's degradation state. The state machine is
 //
-//	Healthy → Degraded → Fallback → Failed
+//	Healthy → Tournament → Degraded → Fallback → Failed
 //
 // with recovery transitions back toward Healthy whenever a (re)train
-// succeeds and survives the breaker's half-open confirmation window.
+// succeeds and survives the breaker's half-open confirmation window. The
+// Tournament rung exists only when the tournament meta-selector is enabled
+// (OnlineConfig.Tournament / WithTournament); without it demotions go
+// straight to Degraded, preserving the original four-rung ladder.
 type Health int
 
 const (
 	// Healthy serves forecasts from the trained LARPredictor.
 	Healthy Health = iota
+	// Tournament serves forecasts from the branch-predictor-style tournament
+	// meta-selector over the nonparametric pool: saturating per-expert
+	// confidence counters indexed by a context hash of the recent regime.
+	// Like Degraded it needs no training, but it is context-sensitive where
+	// the windowed-MSE selector is purely recency-weighted.
+	Tournament
 	// Degraded serves forecasts from the windowed cumulative-MSE selector
 	// (the NWS baseline needs no classifier and no training) while retrains
 	// are retried under backoff, or while the circuit breaker is open.
@@ -50,6 +60,8 @@ func (h Health) String() string {
 	switch h {
 	case Healthy:
 		return "Healthy"
+	case Tournament:
+		return "Tournament"
 	case Degraded:
 		return "Degraded"
 	case Fallback:
@@ -116,6 +128,20 @@ type OnlineConfig struct {
 	// FallbackWindow is the sliding window, in observations, of the
 	// degraded-mode cumulative-MSE selector (0 = AuditWindow).
 	FallbackWindow int
+
+	// Tournament, when non-nil, enables the tournament meta-selector tier
+	// between the LARPredictor and the windowed-MSE selector: demotions land
+	// on the Tournament rung and degraded forecasts are served by the
+	// tournament's context-indexed choice of nonparametric expert. The
+	// Experts field is overridden to the fallback-pool size; zero fields
+	// take the tournament package defaults.
+	Tournament *tournament.Config
+	// Drift, when non-nil, enables proactive drift demotion: a windowed
+	// error-ratio CUSUM over the active LAR model's squared forecast error
+	// (normalized space, the same stream the QA audits) that demotes a
+	// stale-but-not-yet-failing model to the tournament tier before the
+	// absolute QA threshold would fire. Requires Tournament.
+	Drift *tournament.DriftConfig
 }
 
 func (c *OnlineConfig) validate() error {
@@ -131,6 +157,9 @@ func (c *OnlineConfig) validate() error {
 	}
 	if c.BackoffFactor != 0 && c.BackoffFactor < 1 {
 		return fmt.Errorf("core: backoff factor %g < 1: %w", c.BackoffFactor, ErrBadConfig)
+	}
+	if c.Drift != nil && c.Tournament == nil {
+		return fmt.Errorf("core: drift demotion requires the tournament tier: %w", ErrBadConfig)
 	}
 	for _, f := range []struct {
 		name string
@@ -190,6 +219,8 @@ type Online struct {
 	health     Health
 	selector   *nws.Selector    // windowed cumulative-MSE fallback selector
 	fbPool     *predictors.Pool // nonparametric pool backing selector
+	tour       *tournament.Selector
+	drift      *tournament.DriftDetector
 	lastFinite float64
 	hasFinite  bool
 
@@ -205,10 +236,12 @@ type Online struct {
 	thrashSpacing  int
 	lastErr        error
 
-	retrainFailures   int
-	breakerTrips      int
-	degradedForecasts int
-	fallbackForecasts int
+	retrainFailures     int
+	breakerTrips        int
+	degradedForecasts   int
+	fallbackForecasts   int
+	tournamentForecasts int
+	driftDemotions      int
 }
 
 // NewOnline validates the configuration and returns an empty streaming
@@ -217,6 +250,7 @@ type Online struct {
 func NewOnline(cfg OnlineConfig, opts ...Option) (*Online, error) {
 	set := applyOptions(opts)
 	set.apply(&cfg.Predictor)
+	set.applyOnline(&cfg)
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -280,6 +314,29 @@ func NewOnline(cfg OnlineConfig, opts ...Option) (*Online, error) {
 		return nil, fmt.Errorf("core: fallback selector: %w", err)
 	}
 	selector.Instrument(set.metrics)
+	var tour *tournament.Selector
+	var drift *tournament.DriftDetector
+	if cfg.Tournament != nil {
+		tcfg := *cfg.Tournament
+		tcfg.Experts = fbPool.Size()
+		tour, err = tournament.New(tcfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: tournament selector: %w", err)
+		}
+		tour.Instrument(set.metrics, fbPool.Names())
+		// Store the defaulted copy so snapshots compare against the
+		// effective configuration, mirroring the other config fields.
+		resolved := tour.Config()
+		cfg.Tournament = &resolved
+	}
+	if cfg.Drift != nil {
+		drift, err = tournament.NewDetector(*cfg.Drift)
+		if err != nil {
+			return nil, fmt.Errorf("core: drift detector: %w", err)
+		}
+		resolved := drift.Config()
+		cfg.Drift = &resolved
+	}
 	return &Online{
 		cfg:      cfg,
 		lar:      lar,
@@ -289,6 +346,8 @@ func NewOnline(cfg OnlineConfig, opts ...Option) (*Online, error) {
 		health:   Healthy,
 		selector: selector,
 		fbPool:   fbPool,
+		tour:     tour,
+		drift:    drift,
 		backoff:  cfg.RetrainBackoff,
 		// A retrain can fire no earlier than max(MinRetrainSpacing,
 		// AuditWindow) observations after the last one (the audit ring must
@@ -296,6 +355,17 @@ func NewOnline(cfg OnlineConfig, opts ...Option) (*Online, error) {
 		// as thrash.
 		thrashSpacing: minFire + cfg.AuditWindow/2,
 	}, nil
+}
+
+// degradeRung is the first rung below Healthy: Tournament when the
+// tournament tier is enabled, Degraded otherwise. Every demotion from
+// Healthy routes through it so the ladder keeps its original shape when
+// the tier is off.
+func (o *Online) degradeRung() Health {
+	if o.tour != nil {
+		return Tournament
+	}
+	return Degraded
 }
 
 // setHealth moves the health state machine to h, recording the transition
@@ -350,6 +420,12 @@ type HealthStats struct {
 	DegradedForecasts int
 	// FallbackForecasts counts last-resort (last finite value) forecasts.
 	FallbackForecasts int
+	// TournamentForecasts counts forecasts served by the tournament
+	// meta-selector tier (always 0 when the tier is disabled).
+	TournamentForecasts int
+	// DriftDemotions counts proactive Healthy→Tournament demotions fired by
+	// the drift detector (always 0 when drift demotion is disabled).
+	DriftDemotions int
 	// NextAttemptIn is the number of observations until the next (re)train
 	// attempt is allowed (0 = allowed now).
 	NextAttemptIn int
@@ -370,6 +446,8 @@ func (o *Online) HealthStats() HealthStats {
 		BreakerTrips:        o.breakerTrips,
 		DegradedForecasts:   o.degradedForecasts,
 		FallbackForecasts:   o.fallbackForecasts,
+		TournamentForecasts: o.tournamentForecasts,
+		DriftDemotions:      o.driftDemotions,
 		NextAttemptIn:       o.backoffLeft,
 	}
 	if o.lastErr != nil {
@@ -416,13 +494,20 @@ func allFinite(v []float64) bool {
 func (o *Online) Observe(v float64) (retrained bool, err error) {
 	defer o.observeGauges()
 	// Score the pending forecast in normalized space.
-	if o.hasPending && o.lar.Trained() && isFinite(v) {
+	driftFired := false
+	if o.hasPending && o.lar.Trained() && isFinite(v) && isFinite(o.pending) {
 		sp := obs.StartSpan(o.tracer, obs.StageQAAudit)
 		d := o.lar.Normalizer().ApplyValue(o.pending) - o.lar.Normalizer().ApplyValue(v)
 		o.auditSq[o.auditNext] = d * d
 		o.auditNext = (o.auditNext + 1) % len(o.auditSq)
 		if o.auditLen < len(o.auditSq) {
 			o.auditLen++
+		}
+		// The drift detector watches the same normalized error stream the QA
+		// audits, but tests it relatively (recent vs long-run level), so it
+		// reacts to a regime shift before the absolute threshold is crossed.
+		if o.drift != nil {
+			driftFired = o.drift.Observe(d * d)
 		}
 		obs.EndSpan(sp, nil)
 	}
@@ -446,6 +531,21 @@ func (o *Online) Observe(v float64) (retrained bool, err error) {
 
 	if o.health == Failed {
 		return false, nil
+	}
+
+	// Proactive drift demotion: the active model's recent error has run
+	// persistently above its own long-run level. Demote to the tournament
+	// tier now — the ordinary degraded-rung retry path then retrains it —
+	// rather than waiting for the QA audit's absolute threshold. Gated on
+	// the same spacing as QA retrains so a shift right after a (re)train
+	// cannot thrash the ladder.
+	if driftFired && o.health == Healthy && !o.breakerOpen && !o.halfOpen &&
+		o.sinceRetrain >= o.cfg.MinRetrainSpacing {
+		o.driftDemotions++
+		if o.met != nil {
+			o.met.driftDemotions.Inc()
+		}
+		o.setHealth(o.degradeRung())
 	}
 
 	// Half-open: a probe model is serving. A fresh QA breach reopens the
@@ -494,21 +594,30 @@ func (o *Online) foldSelector(v float64) {
 	}
 	w := o.history[len(o.history)-m:]
 	if !allFinite(w) || !isFinite(v) {
-		// The selector cannot run on this window; if it is the active
+		// The selectors cannot run on this window; if one is the active
 		// forecast source, drop to the last-resort rung.
-		if o.health == Degraded {
+		if o.health == Degraded || o.health == Tournament {
 			o.setHealth(Fallback)
 		}
 		return
 	}
-	if _, err := o.selector.Step(w, v); err != nil {
-		if o.health == Degraded {
+	step, err := o.selector.Step(w, v)
+	if err != nil {
+		if o.health == Degraded || o.health == Tournament {
 			o.setHealth(Fallback)
 		}
 		return
+	}
+	// The tournament rides the selector's per-expert forecast buffer: same
+	// pool, same predictor runs, no extra allocations. The current health
+	// rung tags the context hash so regimes that only differ in ladder
+	// position learn separate choice tables.
+	if o.tour != nil {
+		o.tour.SetTag(uint8(o.health))
+		o.tour.Observe(step.All, v)
 	}
 	if o.health == Fallback {
-		o.setHealth(Degraded)
+		o.setHealth(o.degradeRung())
 	}
 }
 
@@ -563,11 +672,12 @@ func (o *Online) attemptTrain() bool {
 		o.retrains++
 	}
 	if probe {
-		// The probe succeeded; serve the fresh model but stay formally
-		// Degraded until it survives the half-open confirmation window.
+		// The probe succeeded; serve the fresh model but stay formally on
+		// the degraded rung until it survives the half-open confirmation
+		// window.
 		o.halfOpen = true
 		o.halfOpenLeft = o.cfg.HalfOpenWindow
-		o.setHealth(Degraded)
+		o.setHealth(o.degradeRung())
 		return true
 	}
 	o.setHealth(Healthy)
@@ -597,7 +707,7 @@ func (o *Online) trainFailed(err error) {
 		o.met.retrainFailures.Inc()
 	}
 	if o.health == Healthy {
-		o.setHealth(Degraded)
+		o.setHealth(o.degradeRung())
 	}
 	if o.cfg.FailureLimit > 0 && o.consecFailures >= o.cfg.FailureLimit {
 		o.setHealth(Failed)
@@ -649,11 +759,11 @@ func (o *Online) reopenBreaker() {
 	}
 }
 
-// breakerDegrade drops the health to Degraded without clobbering a deeper
-// rung (Fallback/Failed).
+// breakerDegrade drops the health off the Healthy rung without clobbering a
+// deeper rung (Fallback/Failed).
 func (o *Online) breakerDegrade() {
 	if o.health == Healthy {
-		o.setHealth(Degraded)
+		o.setHealth(o.degradeRung())
 	}
 }
 
@@ -680,6 +790,10 @@ func (o *Online) train() error {
 	}
 	o.sinceRetrain = 0
 	o.auditNext, o.auditLen = 0, 0
+	if o.drift != nil {
+		// The fresh model accumulates a fresh error reference.
+		o.drift.Reset()
+	}
 	return nil
 }
 
@@ -688,8 +802,10 @@ func (o *Online) train() error {
 // usable:
 //
 //  1. the trained LARPredictor (Healthy, or half-open breaker probes),
-//  2. the windowed cumulative-MSE selector over {LAST, SW_AVG, SW_MEDIAN},
-//  3. the last finite observation.
+//  2. the tournament meta-selector over {LAST, SW_AVG, SW_MEDIAN}, when the
+//     tier is enabled,
+//  3. the windowed cumulative-MSE selector over the same pool,
+//  4. the last finite observation.
 //
 // Prediction.Source identifies the rung. LAR forecasts are remembered and
 // scored against the next Observe; degraded forecasts are not, so the QA
@@ -727,8 +843,15 @@ func (o *Online) larForecast() (Prediction, error) {
 	if err != nil {
 		return Prediction{}, err
 	}
-	o.pending = p.Value
-	o.hasPending = true
+	// Arm the QA's pending forecast only when it is finite. A non-finite
+	// value (the window held a NaN/Inf) is never served — Forecast degrades
+	// it — and scoring it would write NaN into the audit ring, where it
+	// disables the MSE comparison (NaN > threshold is always false) until
+	// it ages out.
+	if isFinite(p.Value) {
+		o.pending = p.Value
+		o.hasPending = true
+	}
 	return p, nil
 }
 
@@ -746,6 +869,30 @@ func (o *Online) degradedForecastInner() (Prediction, error) {
 	if len(o.history) >= m {
 		w := o.history[len(o.history)-m:]
 		if allFinite(w) {
+			// Tournament rung: the context-indexed choice of expert, when
+			// the tier is enabled. Falls through to the windowed-MSE
+			// selector if the chosen expert cannot forecast this window.
+			if o.tour != nil {
+				sel := o.tour.Select()
+				if v, err := o.fbPool.At(sel).Predict(w); err == nil && isFinite(v) {
+					o.tournamentForecasts++
+					if o.met != nil {
+						o.met.forecastsTournament.Inc()
+					}
+					var std float64
+					if stats := o.selector.ErrStats(); isFinite(stats[sel]) && stats[sel] > 0 {
+						std = math.Sqrt(stats[sel])
+					}
+					return Prediction{
+						Value:        v,
+						Normalized:   o.normalizedIfTrained(v),
+						Selected:     sel,
+						SelectedName: o.fbPool.At(sel).Name(),
+						StdEstimate:  std,
+						Source:       SourceTournament,
+					}, nil
+				}
+			}
 			sel := o.selector.Select()
 			if v, err := o.fbPool.At(sel).Predict(w); err == nil && isFinite(v) {
 				o.degradedForecasts++
@@ -774,7 +921,7 @@ func (o *Online) degradedForecastInner() (Prediction, error) {
 	if o.met != nil {
 		o.met.forecastsLastResort.Inc()
 	}
-	if o.health == Degraded {
+	if o.health == Degraded || o.health == Tournament {
 		o.setHealth(Fallback)
 	}
 	return Prediction{

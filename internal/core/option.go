@@ -4,6 +4,7 @@ import (
 	"github.com/acis-lab/larpredictor/internal/knn"
 	"github.com/acis-lab/larpredictor/internal/obs"
 	"github.com/acis-lab/larpredictor/internal/predictors"
+	"github.com/acis-lab/larpredictor/internal/tournament"
 )
 
 // Option attaches optional machinery — custom pools, vote strategies,
@@ -14,11 +15,13 @@ type Option func(*optionSet)
 
 // optionSet is the resolved option state a constructor applies.
 type optionSet struct {
-	pool    *predictors.Pool
-	vote    knn.VoteStrategy
-	voteSet bool
-	metrics *obs.Registry
-	tracer  obs.Tracer
+	pool       *predictors.Pool
+	vote       knn.VoteStrategy
+	voteSet    bool
+	metrics    *obs.Registry
+	tracer     obs.Tracer
+	tournament *tournament.Config
+	drift      *tournament.DriftConfig
 }
 
 func applyOptions(opts []Option) optionSet {
@@ -66,4 +69,30 @@ func WithMetrics(r *obs.Registry) Option {
 // in a span. A nil tracer disables tracing at zero cost.
 func WithTracer(t obs.Tracer) Option {
 	return func(s *optionSet) { s.tracer = t }
+}
+
+// applyOnline folds streaming-only options into an OnlineConfig; NewOnline
+// calls it after apply. Options win over the corresponding config fields.
+func (s *optionSet) applyOnline(cfg *OnlineConfig) {
+	if s.tournament != nil {
+		cfg.Tournament = s.tournament
+	}
+	if s.drift != nil {
+		cfg.Drift = s.drift
+	}
+}
+
+// WithTournament enables the tournament meta-selector tier on an Online
+// predictor (see OnlineConfig.Tournament), overriding that field. The zero
+// Config selects the package defaults; Experts is always overridden to the
+// fallback-pool size. Ignored by New.
+func WithTournament(cfg tournament.Config) Option {
+	return func(s *optionSet) { s.tournament = &cfg }
+}
+
+// WithDrift enables proactive drift demotion on an Online predictor (see
+// OnlineConfig.Drift), overriding that field. Requires the tournament tier.
+// Ignored by New.
+func WithDrift(cfg tournament.DriftConfig) Option {
+	return func(s *optionSet) { s.drift = &cfg }
 }

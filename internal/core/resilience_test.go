@@ -386,7 +386,8 @@ func TestOnlineAuditRingResetAfterRetrain(t *testing.T) {
 // Observe → recovery edge: a pending LAR forecast followed by a non-finite
 // observation must not be scored into the audit, and the stream recovers.
 func TestOnlineForecastAfterNonFiniteObserve(t *testing.T) {
-	o, err := NewOnline(resilienceCfg())
+	cfg := resilienceCfg()
+	o, err := NewOnline(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -407,8 +408,10 @@ func TestOnlineForecastAfterNonFiniteObserve(t *testing.T) {
 	if _, after := o.AuditMSE(); after != before {
 		t.Errorf("non-finite observation was scored into the audit: %d -> %d", before, after)
 	}
-	// The NaN-free path resumes: scoring picks back up on the next pairs.
-	feedCalm(t, o, 3, &phase)
+	// The NaN-free path resumes once the Inf has left the prediction
+	// window: forecasts from a window still holding it are non-finite and
+	// are (correctly) never scored.
+	feedCalm(t, o, cfg.Predictor.WindowSize+3, &phase)
 	if _, n := o.AuditMSE(); n <= before {
 		t.Errorf("audit did not resume after the non-finite observation (%d entries)", n)
 	}
@@ -435,5 +438,144 @@ func TestOnlineConfigValidatesResilienceFields(t *testing.T) {
 		if _, err := NewOnline(cfg); !errors.Is(err, ErrBadConfig) {
 			t.Errorf("case %d: err = %v, want ErrBadConfig", i, err)
 		}
+	}
+}
+
+// TestBackoffStreakResetsAcrossRecovery is the recovery-reset regression
+// test: after a degrade -> recover cycle, the retrain-backoff streak must
+// restart from RetrainBackoff. If recovery left the grown delay (or the
+// consecutive-failure count) behind, the first failure of the NEXT
+// degradation would jump straight to the maximum backoff and the predictor
+// would sit on the fallback ladder far longer than the failure history
+// justifies. The test walks a full cycle — three failures with geometric
+// growth, a clean recovery, then a fresh failure — and checks the armed
+// delay after every failure against the expected schedule.
+func TestBackoffStreakResetsAcrossRecovery(t *testing.T) {
+	cfg := resilienceCfg()
+	cfg.MinRetrainSpacing = 10 // RetrainBackoff defaults to this
+	cfg.BreakerThreshold = 10  // keep the breaker out of this test
+	cfg.FailureLimit = -1
+	o, err := NewOnline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// armedDelays drives n observations from gen (indexed from the start of
+	// this segment) and returns the backoff armed after each new retrain
+	// failure.
+	armedDelays := func(n int, gen func(j int) float64) []int {
+		t.Helper()
+		var armed []int
+		failures := o.HealthStats().RetrainFailures
+		for j := 0; j < n; j++ {
+			if _, _, err := o.Step(gen(j)); err != nil && !errors.Is(err, ErrNotReady) {
+				t.Fatal(err)
+			}
+			if hs := o.HealthStats(); hs.RetrainFailures > failures {
+				failures = hs.RetrainFailures
+				armed = append(armed, hs.NextAttemptIn)
+			}
+		}
+		return armed
+	}
+	calm := func(j int) float64 { return 10 * math.Sin(float64(j)*0.5) }
+	// Erratic enough to breach the QA threshold over a few audit entries
+	// (but not in one, so the first fire cannot land on a still-clean train
+	// window), with a NaN at the head of the segment and every 10th
+	// observation after — every 20-sample train window holds one, so every
+	// (re)train attempt fails.
+	erratic := func(j int) float64 {
+		if j%10 == 0 {
+			return math.NaN()
+		}
+		return 15 * float64(1-2*(j%2))
+	}
+
+	if armed := armedDelays(100, calm); len(armed) != 0 {
+		t.Fatalf("failures during calm warm-up: %v", armed)
+	}
+	if o.Health() != Healthy {
+		t.Fatalf("health = %s after warm-up, want Healthy", o.Health())
+	}
+
+	// First degradation: three failures, geometric backoff 10 -> 20 -> 40.
+	armed := armedDelays(100, erratic)
+	want := []int{10, 20, 40}
+	if len(armed) < len(want) {
+		t.Fatalf("only %d failures in the first degradation: %v", len(armed), armed)
+	}
+	for i := range want {
+		if armed[i] != want[i] {
+			t.Fatalf("first degradation armed %v, want prefix %v", armed, want)
+		}
+	}
+
+	// Recovery: clean data until the pending retry fires and succeeds.
+	if armed := armedDelays(120, calm); len(armed) != 0 {
+		t.Fatalf("failures during recovery: %v", armed)
+	}
+	if o.Health() != Healthy {
+		t.Fatalf("health = %s after recovery, want Healthy", o.Health())
+	}
+	if hs := o.HealthStats(); hs.ConsecutiveFailures != 0 {
+		t.Fatalf("recovery left %d consecutive failures on the streak", hs.ConsecutiveFailures)
+	}
+
+	// Second degradation: the regression — its first failure must arm the
+	// initial delay again, not resume the grown schedule.
+	armed = armedDelays(60, erratic)
+	if len(armed) == 0 {
+		t.Fatal("second degradation never failed a retrain")
+	}
+	if armed[0] != 10 {
+		t.Fatalf("first failure after recovery armed %d, want %d (streak not reset)", armed[0], 10)
+	}
+}
+
+// TestNaNForecastDoesNotPoisonAudit is the QA-audit poisoning regression
+// test. A prediction window holding a NaN makes the trained model forecast
+// NaN; that forecast is never served (Forecast degrades it), so it must not
+// be scored either. Before the fix it was armed as the pending forecast,
+// wrote NaN into the audit ring, and froze the QA for as long as NaNs kept
+// arriving (NaN MSE > threshold is always false) — the predictor sat
+// "Healthy" on a stale model it could never again audit.
+func TestNaNForecastDoesNotPoisonAudit(t *testing.T) {
+	cfg := resilienceCfg()
+	cfg.BreakerThreshold = 10
+	cfg.FailureLimit = -1
+	o, err := NewOnline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, _, err := o.Step(10 * math.Sin(float64(i)*0.5)); err != nil && !errors.Is(err, ErrNotReady) {
+			t.Fatal(err)
+		}
+	}
+	if o.Health() != Healthy {
+		t.Fatalf("health = %s after warm-up, want Healthy", o.Health())
+	}
+	// Garbage regime with a NaN every 10th observation: half the prediction
+	// windows hold a NaN (NaN model forecast), and every 20-sample train
+	// window holds one (every retrain fails).
+	for j := 0; j < 100; j++ {
+		v := 15 * float64(1-2*(j%2))
+		if j%10 == 0 {
+			v = math.NaN()
+		}
+		if _, _, err := o.Step(v); err != nil && !errors.Is(err, ErrNotReady) {
+			t.Fatal(err)
+		}
+		if mse, n := o.AuditMSE(); n > 0 && !isFinite(mse) {
+			t.Fatalf("step %d: audit MSE %v over %d entries — NaN forecast reached the audit ring", j, mse, n)
+		}
+	}
+	// With the audit intact the QA fires on the garbage, the retrain fails
+	// on the NaN-holding window, and the predictor degrades visibly.
+	if hs := o.HealthStats(); hs.RetrainFailures == 0 {
+		t.Error("QA never fired on the garbage regime: the audit was poisoned")
+	}
+	if o.Health() == Healthy {
+		t.Error("predictor still Healthy on a regime its model cannot track")
 	}
 }

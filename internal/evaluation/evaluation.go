@@ -12,7 +12,9 @@ import (
 
 	"github.com/acis-lab/larpredictor/internal/core"
 	"github.com/acis-lab/larpredictor/internal/nws"
+	"github.com/acis-lab/larpredictor/internal/predictors"
 	"github.com/acis-lab/larpredictor/internal/timeseries"
+	"github.com/acis-lab/larpredictor/internal/tournament"
 )
 
 // ErrDegenerate marks a constant trace, reported as "NaN" in the paper's
@@ -60,6 +62,10 @@ type TraceResult struct {
 	NWSCum float64
 	// NWSWin is the fixed-window selector's MSE (W-Cum.MSE).
 	NWSWin float64
+	// Tournament is the tournament meta-selector's MSE: saturating
+	// per-expert confidence counters indexed by a context hash of the
+	// recent regime, run over the same folds as the other selectors.
+	Tournament float64
 	// Expert[i] is the MSE of pool expert i run alone; ExpertNames aligns.
 	Expert      []float64
 	ExpertNames []string
@@ -125,6 +131,7 @@ func EvaluateTrace(s *timeseries.Series, opts Options) (*TraceResult, error) {
 		res.LAR += fold.lar
 		res.NWSCum += fold.nwsCum
 		res.NWSWin += fold.nwsWin
+		res.Tournament += fold.tournament
 		res.LARAccuracy += fold.larAcc
 		res.NWSAccuracy += fold.nwsAcc
 		for i, e := range fold.expert {
@@ -136,6 +143,7 @@ func EvaluateTrace(s *timeseries.Series, opts Options) (*TraceResult, error) {
 	res.LAR *= inv
 	res.NWSCum *= inv
 	res.NWSWin *= inv
+	res.Tournament *= inv
 	res.LARAccuracy *= inv
 	res.NWSAccuracy *= inv
 	for i := range res.Expert {
@@ -147,6 +155,7 @@ func EvaluateTrace(s *timeseries.Series, opts Options) (*TraceResult, error) {
 // foldResult carries one fold's metrics.
 type foldResult struct {
 	plar, lar, nwsCum, nwsWin float64
+	tournament                float64
 	larAcc, nwsAcc            float64
 	expert                    []float64
 }
@@ -171,7 +180,6 @@ func evaluateFold(lar *core.LARPredictor, split timeseries.Split, opts Options) 
 	if err != nil {
 		return foldResult{}, err
 	}
-	_ = trainFrames
 	testFrames, err := timeseries.FrameSeries(norm.Apply(split.Test), m)
 	if err != nil {
 		return foldResult{}, err
@@ -187,6 +195,11 @@ func evaluateFold(lar *core.LARPredictor, split timeseries.Split, opts Options) 
 		}
 	}
 	cumRes, err := cum.Run(testFrames)
+	if err != nil {
+		return foldResult{}, err
+	}
+
+	tourMSE, err := runTournament(lar.Pool(), trainFrames, testFrames, opts.WarmNWS)
 	if err != nil {
 		return foldResult{}, err
 	}
@@ -218,12 +231,49 @@ func evaluateFold(lar *core.LARPredictor, split timeseries.Split, opts Options) 
 	}
 
 	return foldResult{
-		plar:   ev.OracleMSE,
-		lar:    ev.LARMSE,
-		nwsCum: cumRes.MSE,
-		nwsWin: winRes.MSE,
-		larAcc: ev.ForecastAccuracy,
-		nwsAcc: nwsAcc,
-		expert: ev.ExpertMSE,
+		plar:       ev.OracleMSE,
+		lar:        ev.LARMSE,
+		nwsCum:     cumRes.MSE,
+		nwsWin:     winRes.MSE,
+		tournament: tourMSE,
+		larAcc:     ev.ForecastAccuracy,
+		nwsAcc:     nwsAcc,
+		expert:     ev.ExpertMSE,
 	}, nil
+}
+
+// runTournament scores the tournament meta-selector over the fold's test
+// frames: select with the context-indexed counters, publish the chosen
+// expert's forecast, then update every expert's counter against the target.
+// With warm it first observes the training half — the same treatment the
+// NWS selectors get.
+func runTournament(pool *predictors.Pool, trainFrames, testFrames []timeseries.Frame, warm bool) (float64, error) {
+	tour, err := tournament.New(tournament.Config{Experts: pool.Size()})
+	if err != nil {
+		return 0, err
+	}
+	buf := make([]float64, pool.Size())
+	if warm {
+		for _, f := range trainFrames {
+			preds, err := pool.PredictAllInto(buf, f.Window)
+			if err != nil {
+				return 0, err
+			}
+			tour.Observe(preds, f.Target)
+		}
+	}
+	var sumSq float64
+	for _, f := range testFrames {
+		preds, err := pool.PredictAllInto(buf, f.Window)
+		if err != nil {
+			return 0, err
+		}
+		d := preds[tour.Select()] - f.Target
+		sumSq += d * d
+		tour.Observe(preds, f.Target)
+	}
+	if len(testFrames) == 0 {
+		return 0, nil
+	}
+	return sumSq / float64(len(testFrames)), nil
 }

@@ -41,6 +41,12 @@ func RunAll(opts Options, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "== Figure 6 ==\n%s\n", fig6.Render())
 
+	tc, err := TournamentCompare(opts)
+	if err != nil {
+		return fmt.Errorf("tournament: %w", err)
+	}
+	fmt.Fprintf(w, "== Tournament ==\n%s\n", tc.Render())
+
 	head, err := Headline(opts)
 	if err != nil {
 		return fmt.Errorf("headline: %w", err)

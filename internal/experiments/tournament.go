@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/acis-lab/larpredictor/internal/evaluation"
+	"github.com/acis-lab/larpredictor/internal/vmtrace"
+)
+
+// TournamentRow is one trace's selector comparison: the oracle, the k-NN
+// LARPredictor, the tournament meta-selector, and the NWS cumulative-MSE
+// baseline on identical folds. Delta is the tournament's MSE relative to
+// the k-NN LARPredictor, in percent (negative means the tournament won).
+type TournamentRow struct {
+	VM         vmtrace.VMID
+	Metric     vmtrace.Metric
+	PLAR       float64
+	LAR        float64
+	Tournament float64
+	Cum        float64
+	Delta      float64
+	Degenerate bool
+}
+
+// TournamentResult compares the tournament meta-selector against the
+// learned and baseline selectors across every (VM, metric) trace.
+type TournamentResult struct {
+	Rows []TournamentRow
+}
+
+// TournamentCompare cross-validates every trace in the standard set and
+// scores the tournament meta-selector on the same folds as the k-NN
+// LARPredictor, the perfect-selection oracle, and the NWS cumulative-MSE
+// selector. It answers the sizing question for the fallback ladder's
+// tournament tier: how much accuracy does the O(1), never-retrained
+// selector give up against the trained classifier it stands in for?
+func TournamentCompare(opts Options) (*TournamentResult, error) {
+	ts := vmtrace.StandardTraceSet(opts.Seed)
+	evals, err := evaluateAll(ts, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &TournamentResult{}
+	for _, ev := range evals {
+		row := TournamentRow{VM: ev.vm, Metric: ev.metric, Degenerate: ev.degenerate}
+		if ev.degenerate {
+			row.PLAR, row.LAR, row.Tournament, row.Cum, row.Delta =
+				math.NaN(), math.NaN(), math.NaN(), math.NaN(), math.NaN()
+		} else {
+			row.PLAR = ev.res.PLAR
+			row.LAR = ev.res.LAR
+			row.Tournament = ev.res.Tournament
+			row.Cum = ev.res.NWSCum
+			row.Delta = math.NaN()
+			if ev.res.LAR > 0 {
+				row.Delta = 100 * (ev.res.Tournament - ev.res.LAR) / ev.res.LAR
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// MeanDelta returns the mean tournament-vs-LARPredictor MSE delta in
+// percent over the non-degenerate traces.
+func (r *TournamentResult) MeanDelta() float64 {
+	sum, n := 0.0, 0
+	for _, row := range r.Rows {
+		if row.Degenerate || math.IsNaN(row.Delta) {
+			continue
+		}
+		sum += row.Delta
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// Render prints the comparison table.
+func (r *TournamentResult) Render() string {
+	tb := evaluation.NewTable("Trace", "P-LARP", "Knn-LARP", "Tournament", "Cum.MSE", "Δ% vs Knn")
+	cell := func(v float64) string {
+		if math.IsNaN(v) {
+			return "NaN"
+		}
+		return evaluation.FormatMSE(v)
+	}
+	for _, row := range r.Rows {
+		delta := "NaN"
+		if !math.IsNaN(row.Delta) {
+			delta = fmt.Sprintf("%+.1f", row.Delta)
+		}
+		tb.AddRow(fmt.Sprintf("%s_%s", row.VM, row.Metric),
+			cell(row.PLAR), cell(row.LAR), cell(row.Tournament), cell(row.Cum), delta)
+	}
+	return fmt.Sprintf("Tournament meta-selector vs learned and baseline selectors\n%s"+
+		"mean Δ%% vs Knn-LARP over non-degenerate traces: %+.1f%%\n",
+		tb.String(), r.MeanDelta())
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestTournamentCompare pins the acceptance criterion for the fallback
+// ladder's tournament tier: across the standard trace set its mean MSE must
+// stay within 5% of the k-NN LARPredictor it stands in for, while costing
+// O(1) per selection and never retraining.
+func TestTournamentCompare(t *testing.T) {
+	res, err := TournamentCompare(Options{Seed: 2007, Folds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no comparison rows")
+	}
+	live := 0
+	for _, row := range res.Rows {
+		if row.Degenerate {
+			continue
+		}
+		live++
+		if math.IsNaN(row.Tournament) || row.Tournament < 0 {
+			t.Errorf("%s_%s: tournament MSE = %v", row.VM, row.Metric, row.Tournament)
+		}
+	}
+	if live == 0 {
+		t.Fatal("every trace degenerate")
+	}
+	if md := res.MeanDelta(); math.IsNaN(md) || md > 5 {
+		t.Errorf("mean tournament MSE delta vs Knn-LARP = %+.1f%%, want <= +5%%", md)
+	}
+	out := res.Render()
+	for _, want := range []string{"Knn-LARP", "Tournament", "Cum.MSE", "mean Δ%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q", want)
+		}
+	}
+}

@@ -14,6 +14,7 @@ package nws
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"github.com/acis-lab/larpredictor/internal/obs"
 	"github.com/acis-lab/larpredictor/internal/predictors"
@@ -23,6 +24,8 @@ import (
 // ErrNoPool is returned when a selector is constructed without predictors.
 var ErrNoPool = errors.New("nws: empty predictor pool")
 
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
 // Selector is a mix-of-experts forecaster with cumulative-MSE selection.
 // It is stateful — each Step folds one observation into the per-expert error
 // statistics — and not safe for concurrent use.
@@ -30,14 +33,25 @@ type Selector struct {
 	pool   *predictors.Pool
 	window int // 0 = cumulative over all history
 
-	// cumulative statistics (window == 0)
-	sumSq []float64
-	count int
+	// cumulative statistics (window == 0). counts is per-expert: an expert
+	// whose forecast was non-finite on some step has fewer scored terms than
+	// its peers, and averaging over a shared count would dilute its MSE.
+	sumSq  []float64
+	counts []int
 
-	// sliding statistics (window > 0): ring buffer of recent squared errors
+	// sliding statistics (window > 0): ring buffer of recent squared errors.
+	// A slot holding skippedTerm marks a step where the expert could not be
+	// scored (non-finite forecast); errStat ignores such slots.
 	recent [][]float64 // recent[i] is the ring for expert i
 	next   int
 	filled int
+
+	// stale[i] counts consecutive steps expert i could not be scored. Past
+	// the staleness budget the expert is benched — its error statistic
+	// reports +Inf so selection never publishes a forecast from an expert
+	// that has produced nothing finite for a full budget of steps. One
+	// finite, scorable forecast un-benches it.
+	stale []int
 
 	// decisions[i] counts selections of expert i; nil when uninstrumented.
 	decisions []*obs.Counter
@@ -66,9 +80,10 @@ func newSelector(pool *predictors.Pool, window int) (*Selector, error) {
 	if pool == nil || pool.Size() == 0 {
 		return nil, ErrNoPool
 	}
-	s := &Selector{pool: pool, window: window}
+	s := &Selector{pool: pool, window: window, stale: make([]int, pool.Size())}
 	if window == 0 {
 		s.sumSq = make([]float64, pool.Size())
+		s.counts = make([]int, pool.Size())
 	} else {
 		s.recent = make([][]float64, pool.Size())
 		for i := range s.recent {
@@ -76,6 +91,22 @@ func newSelector(pool *predictors.Pool, window int) (*Selector, error) {
 		}
 	}
 	return s, nil
+}
+
+// skippedTerm marks a ring slot whose step produced no scorable error term
+// (squared errors are never negative, so the sentinel cannot collide).
+const skippedTerm = -1
+
+// staleBudget is the number of consecutive unscorable steps after which an
+// expert is benched. Windowed selectors use the window itself — once every
+// slot in the ring is a skipped term there is no evidence left to rank the
+// expert on; cumulative selectors, whose statistic never forgets, use a
+// fixed budget.
+func (s *Selector) staleBudget() int {
+	if s.window > 0 {
+		return s.window
+	}
+	return 8
 }
 
 // Pool returns the selector's expert pool.
@@ -130,17 +161,39 @@ func (s *Selector) Step(window []float64, observed float64) (StepResult, error) 
 	s.allBuf = all
 	sel := s.selectExpert()
 	s.countDecision(sel)
-	// Fold this step's errors in.
+	// Fold this step's errors in. A non-finite term — NaN/Inf observation or
+	// expert forecast — is skipped rather than accumulated: folding it would
+	// poison the expert's statistic permanently (cumulative) or for a full
+	// window (sliding), since NaN propagates through every later average and
+	// never compares "lowest". Skipped terms count against the expert's
+	// staleness budget instead, so an expert that has stopped producing
+	// finite forecasts is benched rather than ranked on stale evidence.
+	if !isFinite(observed) {
+		// Nothing can be scored this step; no expert is at fault, so the
+		// statistics (and staleness) are left untouched.
+		return StepResult{Selected: sel, Prediction: all[sel], All: all}, nil
+	}
 	if s.window == 0 {
 		for i, p := range all {
 			d := p - observed
+			if !isFinite(d) {
+				s.stale[i]++
+				continue
+			}
 			s.sumSq[i] += d * d
+			s.counts[i]++
+			s.stale[i] = 0
 		}
-		s.count++
 	} else {
 		for i, p := range all {
 			d := p - observed
+			if !isFinite(d) {
+				s.recent[i][s.next] = skippedTerm
+				s.stale[i]++
+				continue
+			}
 			s.recent[i][s.next] = d * d
+			s.stale[i] = 0
 		}
 		s.next = (s.next + 1) % s.window
 		if s.filled < s.window {
@@ -187,31 +240,44 @@ func (s *Selector) selectExpert() int {
 }
 
 // errStat returns expert i's current selection statistic (mean squared
-// error over the tracked horizon).
+// error over the tracked horizon, skipped terms excluded). A benched expert
+// — one past its staleness budget — reports +Inf so it can never win
+// selection until it produces a finite forecast again.
 func (s *Selector) errStat(i int) float64 {
+	if s.stale[i] > s.staleBudget() {
+		return math.Inf(1)
+	}
 	if s.window == 0 {
-		if s.count == 0 {
+		if s.counts[i] == 0 {
 			return 0
 		}
-		return s.sumSq[i] / float64(s.count)
-	}
-	if s.filled == 0 {
-		return 0
+		return s.sumSq[i] / float64(s.counts[i])
 	}
 	var sum float64
+	valid := 0
 	for j := 0; j < s.filled; j++ {
+		if s.recent[i][j] == skippedTerm {
+			continue
+		}
 		sum += s.recent[i][j]
+		valid++
 	}
-	return sum / float64(s.filled)
+	if valid == 0 {
+		return 0
+	}
+	return sum / float64(valid)
 }
 
 // Reset clears all accumulated error statistics.
 func (s *Selector) Reset() {
+	for i := range s.stale {
+		s.stale[i] = 0
+	}
 	if s.window == 0 {
 		for i := range s.sumSq {
 			s.sumSq[i] = 0
+			s.counts[i] = 0
 		}
-		s.count = 0
 		return
 	}
 	for i := range s.recent {

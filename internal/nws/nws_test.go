@@ -5,9 +5,12 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+	"time"
 
+	"github.com/acis-lab/larpredictor/internal/faults"
 	"github.com/acis-lab/larpredictor/internal/predictors"
 	"github.com/acis-lab/larpredictor/internal/timeseries"
+	"github.com/acis-lab/larpredictor/internal/vmtrace"
 )
 
 func fittedPool(t *testing.T, m int, train []float64) *predictors.Pool {
@@ -267,5 +270,108 @@ func TestSelectAndErrStatsMirrorStep(t *testing.T) {
 	}
 	if step.Selected != sel {
 		t.Errorf("Step selected %d after Select() reported %d", step.Selected, sel)
+	}
+}
+
+// TestNaNBurstDoesNotPoisonSelection is the regression test for the
+// score-poisoning bug: a single non-finite observation (or expert forecast)
+// used to be folded straight into the error statistics, where it turned the
+// cumulative statistic NaN forever — every later comparison on the poisoned
+// statistic is false, so selection freezes on expert 0 no matter how the
+// experts actually perform. Non-finite terms must be skipped instead.
+func TestNaNBurstDoesNotPoisonSelection(t *testing.T) {
+	// A smooth ramp, so LAST is consistently the best expert, poisoned by a
+	// periodic NaN burst from the faults package.
+	const n = 128
+	step := 5 * time.Minute
+	epoch := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	clean := make([]float64, n)
+	for i := range clean {
+		clean[i] = float64(i)
+	}
+	poisoned, _ := faults.InjectValues(clean, vmtrace.VMID("VM1"), "CPU_usedsec", epoch, step,
+		&faults.NaNBurst{Epoch: epoch, Start: 20 * step, Len: 2 * step, Period: 40 * step})
+
+	pool := predictors.NewPool(predictors.NewSWAvg(4), predictors.NewLast())
+	s, err := NewCumulativeMSE(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, err := timeseries.FrameSeries(poisoned, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Selection must track LAST (index 1) at the end of the trace, and the
+	// error statistics must have stayed finite throughout.
+	if got := res.Selected[len(res.Selected)-1]; got != 1 {
+		t.Errorf("final selection = %d after NaN bursts, want LAST", got)
+	}
+	for i, e := range s.ErrStats() {
+		if math.IsNaN(e) {
+			t.Errorf("expert %d error statistic is NaN: the burst poisoned it", i)
+		}
+	}
+
+	// The windowed variant has the same bug with a window-long horizon.
+	w, err := NewWindowedMSE(pool, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wres, err := w.Run(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := wres.Selected[len(wres.Selected)-1]; got != 1 {
+		t.Errorf("windowed final selection = %d after NaN bursts, want LAST", got)
+	}
+	for i, e := range w.ErrStats() {
+		if math.IsNaN(e) {
+			t.Errorf("windowed expert %d error statistic is NaN", i)
+		}
+	}
+}
+
+// TestStaleExpertIsBenched: an expert that stops producing finite forecasts
+// is excluded from selection once it exhausts its staleness budget, and
+// rejoins as soon as it produces a scorable forecast again.
+func TestStaleExpertIsBenched(t *testing.T) {
+	// SW_AVG(2) sees the NaN at the head of the window and predicts NaN;
+	// LAST sees only the tail and stays finite.
+	pool := predictors.NewPool(predictors.NewSWAvg(2), predictors.NewLast())
+	s, err := NewWindowedMSE(pool, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First give SW_AVG the better record so only benching can unseat it.
+	for i := 0; i < 4; i++ {
+		if _, err := s.Step([]float64{10, 10}, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Select(); got != 0 {
+		t.Fatalf("selection = %d on clean steps, want SW_AVG", got)
+	}
+	// Now SW_AVG goes non-finite for more than the budget (= window = 2).
+	for i := 0; i < 3; i++ {
+		if _, err := s.Step([]float64{math.NaN(), 10}, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e := s.ErrStats()[0]; !math.IsInf(e, 1) {
+		t.Errorf("stale expert's statistic = %g, want +Inf (benched)", e)
+	}
+	if got := s.Select(); got != 1 {
+		t.Errorf("selection = %d with expert 0 benched, want LAST", got)
+	}
+	// One finite forecast un-benches it.
+	if _, err := s.Step([]float64{10, 10}, 10); err != nil {
+		t.Fatal(err)
+	}
+	if e := s.ErrStats()[0]; math.IsInf(e, 1) {
+		t.Error("expert 0 still benched after a scorable step")
 	}
 }

@@ -5,25 +5,39 @@ import "fmt"
 // State is the exported error-statistics state of a Selector, used by the
 // durable-state codec in internal/core to checkpoint the degraded-mode
 // fallback selector across restarts. Exactly one of the cumulative
-// (SumSq/Count) or sliding (Recent/Next/Filled) families is populated,
+// (SumSq/Counts) or sliding (Recent/Next/Filled) families is populated,
 // matching the selector variant.
 type State struct {
 	// Window is the selector's window (0 = cumulative).
 	Window int
-	// SumSq and Count are the cumulative statistics (Window == 0).
-	SumSq []float64
-	Count int
+	// SumSq and Counts are the cumulative statistics (Window == 0). Counts
+	// is per-expert because unscorable steps (non-finite terms) are skipped
+	// per expert. Count is the legacy shared denominator: snapshots written
+	// before per-expert counting carry only Count, and SetState expands it.
+	SumSq  []float64
+	Counts []int
+	Count  int
 	// Recent, Next, and Filled are the sliding-window rings (Window > 0).
+	// A ring slot equal to skippedTerm (-1) marks an unscorable step.
 	Recent [][]float64
 	Next   int
 	Filled int
+	// Stale is each expert's consecutive-unscorable-step counter. Absent
+	// (nil) in legacy snapshots; SetState treats that as all-zero.
+	Stale []int
 }
 
 // State exports a deep copy of the selector's error statistics.
 func (s *Selector) State() State {
-	st := State{Window: s.window, Count: s.count, Next: s.next, Filled: s.filled}
+	st := State{
+		Window: s.window,
+		Next:   s.next,
+		Filled: s.filled,
+		Stale:  append([]int(nil), s.stale...),
+	}
 	if s.window == 0 {
 		st.SumSq = append([]float64(nil), s.sumSq...)
+		st.Counts = append([]int(nil), s.counts...)
 		return st
 	}
 	st.Recent = make([][]float64, len(s.recent))
@@ -41,15 +55,39 @@ func (s *Selector) SetState(st State) error {
 		return fmt.Errorf("nws: state window %d, selector window %d", st.Window, s.window)
 	}
 	n := s.pool.Size()
+	if st.Stale != nil && len(st.Stale) != n {
+		return fmt.Errorf("nws: state staleness tracks %d experts, pool has %d", len(st.Stale), n)
+	}
+	for i, v := range st.Stale {
+		if v < 0 {
+			return fmt.Errorf("nws: negative staleness %d for expert %d", v, i)
+		}
+	}
 	if s.window == 0 {
 		if len(st.SumSq) != n {
 			return fmt.Errorf("nws: state tracks %d experts, pool has %d", len(st.SumSq), n)
 		}
+		if st.Counts != nil && len(st.Counts) != n {
+			return fmt.Errorf("nws: state counts %d experts, pool has %d", len(st.Counts), n)
+		}
 		if st.Count < 0 {
 			return fmt.Errorf("nws: negative state count %d", st.Count)
 		}
+		for i, c := range st.Counts {
+			if c < 0 {
+				return fmt.Errorf("nws: negative state count %d for expert %d", c, i)
+			}
+		}
 		copy(s.sumSq, st.SumSq)
-		s.count = st.Count
+		if st.Counts != nil {
+			copy(s.counts, st.Counts)
+		} else {
+			// Legacy snapshot: every expert shared one denominator.
+			for i := range s.counts {
+				s.counts[i] = st.Count
+			}
+		}
+		s.restoreStale(st.Stale)
 		return nil
 	}
 	if len(st.Recent) != n {
@@ -62,9 +100,23 @@ func (s *Selector) SetState(st State) error {
 		if len(ring) != s.window {
 			return fmt.Errorf("nws: state ring %d has %d slots, want %d", i, len(ring), s.window)
 		}
+	}
+	for i, ring := range st.Recent {
 		copy(s.recent[i], ring)
 	}
 	s.next = st.Next
 	s.filled = st.Filled
+	s.restoreStale(st.Stale)
 	return nil
+}
+
+// restoreStale applies a (possibly legacy-nil) staleness vector.
+func (s *Selector) restoreStale(stale []int) {
+	if stale == nil {
+		for i := range s.stale {
+			s.stale[i] = 0
+		}
+		return
+	}
+	copy(s.stale, stale)
 }

@@ -298,3 +298,63 @@ func TestHistoryRecordZeroAlloc(t *testing.T) {
 		t.Errorf("Record allocates %.2f objects per call in steady state, want 0", avg)
 	}
 }
+
+// TestHistoryTierBoundarySelection pins the tier-selection rule at its
+// boundaries: a step exactly equal to a tier's resolution must pick that
+// tier (not the next coarser one), steps between tiers round up to the
+// next coarser tier, and steps beyond the coarsest tier fall back to it.
+func TestHistoryTierBoundarySelection(t *testing.T) {
+	h := newHistory(t, HistoryConfig{
+		RawRows: 16,
+		Tiers:   []HistoryTier{{Steps: 4, Rows: 8}, {Steps: 32, Rows: 8}},
+	})
+	for i := 1; i <= 9; i++ {
+		h.Record(histResult("s", int64(i), float64(i), 0, "", true))
+	}
+	cases := []struct {
+		name string
+		step int
+		want int // resolution; 1 means the raw ring
+	}{
+		{"zero step serves raw", 0, 1},
+		{"step one serves raw", 1, 1},
+		{"below finest rounds up", 2, 4},
+		{"exactly finest picks finest", 4, 4},
+		{"just above finest picks next", 5, 32},
+		{"exactly coarsest picks coarsest", 32, 32},
+		{"beyond coarsest clamps to coarsest", 33, 32},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, ok := h.Range("s", RangeQuery{Step: tc.step})
+			if !ok {
+				t.Fatal("no history")
+			}
+			if res.Resolution != tc.want {
+				t.Fatalf("Step %d resolved to resolution %d, want %d", tc.step, res.Resolution, tc.want)
+			}
+			if tc.want == 1 {
+				if len(res.Entries) != 9 || len(res.Rows) != 0 {
+					t.Fatalf("raw read returned %d entries / %d rows, want 9 / 0", len(res.Entries), len(res.Rows))
+				}
+			} else if len(res.Entries) != 0 {
+				t.Fatalf("consolidated read leaked %d raw entries", len(res.Entries))
+			}
+		})
+	}
+
+	// Boundary reads must include the open partial bucket. Tier 4 holds two
+	// full rows plus the open bucket of one; tier 32 has consolidated
+	// nothing yet, so its read is exactly the open bucket of all nine.
+	res, _ := h.Range("s", RangeQuery{Step: 4})
+	if len(res.Rows) != 3 || res.Rows[2].Count != 1 || res.Rows[2].StartSeq != 9 {
+		t.Fatalf("tier 4 rows = %+v, want 2 full + open bucket of step 9", res.Rows)
+	}
+	res, _ = h.Range("s", RangeQuery{Step: 32})
+	if len(res.Rows) != 1 || res.Rows[0].Count != 9 {
+		t.Fatalf("tier 32 rows = %+v, want a single open bucket of 9 steps", res.Rows)
+	}
+	if res.Rows[0].StartSeq != 1 || res.Rows[0].EndSeq != 9 {
+		t.Fatalf("tier 32 open bucket bounds = %+v, want seq 1..9", res.Rows[0])
+	}
+}

@@ -1,0 +1,31 @@
+package tournament
+
+import "testing"
+
+// BenchmarkTournamentSelect pins the steady-state selection cost: one
+// Select plus one Observe per observation over a warm selector, which the
+// benchguard gate holds at zero allocations and within 10% time/op. This is
+// the tier's whole pitch — adaptive selection at O(1) per step with no
+// retraining — so a regression here defeats the feature.
+func BenchmarkTournamentSelect(b *testing.B) {
+	s, err := New(Config{Experts: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	preds := make([]float64, 3)
+	v := 0.0
+	// Warm the tables so the benchmark measures steady state.
+	for i := 0; i < 256; i++ {
+		v += float64(i%5) - 2
+		preds[0], preds[1], preds[2] = v+0.1, v-0.5, v+float64(i%3)
+		s.Observe(preds, v)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v += float64(i%5) - 2
+		preds[0], preds[1], preds[2] = v+0.1, v-0.5, v+float64(i%3)
+		_ = s.Select()
+		s.Observe(preds, v)
+	}
+}

@@ -1,0 +1,157 @@
+package tournament
+
+import (
+	"fmt"
+	"math"
+)
+
+// DriftConfig parameterizes a DriftDetector. The zero value of every field
+// selects the default.
+type DriftConfig struct {
+	// Short is the length of the recent-error window whose mean forms the
+	// numerator of the drift ratio (default 8).
+	Short int
+	// RefDecay in (0,1) is the per-observation EWMA decay of the long-run
+	// reference error level (default 1/128 ≈ an 89-observation half-life).
+	RefDecay float64
+	// Allowance is the ratio slack absorbed per observation before the
+	// CUSUM accumulates: recent error up to (1+Allowance)× the reference
+	// contributes nothing (default 0.25 — about 4σ of an 8-wide window's
+	// sampling noise, so stationary regimes stay quiescent while slow ramps
+	// whose ratio plateaus against the adapting reference still accumulate).
+	Allowance float64
+	// Threshold is the CUSUM level at which the detector fires (default 6).
+	Threshold float64
+	// MinSamples is the number of observations the reference must absorb
+	// before the detector may fire (default 4×Short).
+	MinSamples int
+}
+
+// withDefaults returns cfg with zero fields replaced by defaults.
+func (c DriftConfig) withDefaults() DriftConfig {
+	if c.Short == 0 {
+		c.Short = 8
+	}
+	if c.RefDecay == 0 {
+		c.RefDecay = 1.0 / 128
+	}
+	if c.Allowance == 0 {
+		c.Allowance = 0.25
+	}
+	if c.Threshold == 0 {
+		c.Threshold = 6
+	}
+	if c.MinSamples == 0 {
+		c.MinSamples = 4 * c.Short
+	}
+	return c
+}
+
+func (c DriftConfig) validate() error {
+	if c.Short < 1 {
+		return fmt.Errorf("tournament: drift window %d < 1: %w", c.Short, ErrBadConfig)
+	}
+	if c.RefDecay <= 0 || c.RefDecay >= 1 {
+		return fmt.Errorf("tournament: drift reference decay %g outside (0,1): %w", c.RefDecay, ErrBadConfig)
+	}
+	if c.Allowance < 0 {
+		return fmt.Errorf("tournament: drift allowance %g < 0: %w", c.Allowance, ErrBadConfig)
+	}
+	if c.Threshold <= 0 {
+		return fmt.Errorf("tournament: drift threshold %g <= 0: %w", c.Threshold, ErrBadConfig)
+	}
+	if c.MinSamples < c.Short {
+		return fmt.Errorf("tournament: drift min samples %d < window %d: %w", c.MinSamples, c.Short, ErrBadConfig)
+	}
+	return nil
+}
+
+// DriftDetector is a one-sided CUSUM on the ratio of a short windowed mean
+// of a model's squared forecast error to a slow EWMA reference of the same
+// error. It detects that the active model has gone stale — its recent error
+// persistently exceeding its own long-run level — well before an absolute
+// audit threshold would, because the test is relative and the window short.
+// Stateful, not safe for concurrent use.
+type DriftDetector struct {
+	cfg DriftConfig
+
+	ring   []float64
+	next   int
+	filled int
+	sum    float64
+
+	ref    float64
+	refSum float64 // warm-up accumulator: ref is the plain mean until MinSamples
+	n      int
+	cum    float64
+}
+
+// NewDetector validates cfg (after applying defaults) and returns a cold
+// detector.
+func NewDetector(cfg DriftConfig) (*DriftDetector, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &DriftDetector{cfg: cfg, ring: make([]float64, cfg.Short)}, nil
+}
+
+// Config returns the detector's defaulted configuration.
+func (d *DriftDetector) Config() DriftConfig { return d.cfg }
+
+// Level returns the current CUSUM level (0 when quiescent) and the fraction
+// of Threshold it represents.
+func (d *DriftDetector) Level() (cum, fraction float64) {
+	return d.cum, d.cum / d.cfg.Threshold
+}
+
+// Observe folds one squared forecast error and reports whether the CUSUM
+// crossed the drift threshold on this observation. Non-finite or negative
+// errors are skipped. The caller owns the response to a firing (demotion,
+// retrain) and should Reset the detector once the model is refreshed;
+// without a Reset the detector keeps reporting true while the error level
+// stays elevated. Allocation-free.
+func (d *DriftDetector) Observe(sqErr float64) bool {
+	if !isFinite(sqErr) || sqErr < 0 {
+		return false
+	}
+	d.sum += sqErr - d.ring[d.next]
+	d.ring[d.next] = sqErr
+	d.next = (d.next + 1) % len(d.ring)
+	if d.filled < len(d.ring) {
+		d.filled++
+	}
+	d.n++
+	if d.n <= d.cfg.MinSamples || d.ref <= 0 {
+		// Warm-up: the reference is the plain mean of everything seen, so
+		// it has fully converged on the baseline when testing begins (a
+		// cold EWMA would still be low, inflating the first ratios).
+		d.refSum += sqErr
+		d.ref = d.refSum / float64(d.n)
+		return false
+	}
+	short := d.sum / float64(d.filled)
+	ratio := short / math.Max(d.ref, math.SmallestNonzeroFloat64)
+	d.cum += ratio - 1 - d.cfg.Allowance
+	if d.cum < 0 {
+		d.cum = 0
+	}
+	// The reference adapts after the test, so a shift is measured against
+	// the pre-shift level for as long as the slow EWMA remembers it.
+	d.ref += d.cfg.RefDecay * (sqErr - d.ref)
+	return d.cum > d.cfg.Threshold
+}
+
+// Reset returns the detector to its cold state — call after the monitored
+// model retrains, so the fresh model accumulates a fresh reference.
+func (d *DriftDetector) Reset() {
+	for i := range d.ring {
+		d.ring[i] = 0
+	}
+	d.next, d.filled = 0, 0
+	d.sum = 0
+	d.ref = 0
+	d.refSum = 0
+	d.n = 0
+	d.cum = 0
+}

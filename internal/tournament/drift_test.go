@@ -1,0 +1,207 @@
+package tournament
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func mustDetector(t *testing.T, cfg DriftConfig) *DriftDetector {
+	t.Helper()
+	d, err := NewDetector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// qaFireIndex simulates the core QA audit on the same squared-error stream:
+// the first index at which a full trailing window of `window` errors has a
+// mean above the absolute threshold. Returns len(errs) if it never fires —
+// the comparison baseline for "demotion fires before QA audit would".
+func qaFireIndex(errs []float64, window int, threshold float64) int {
+	var sum float64
+	for i, e := range errs {
+		sum += e
+		if i >= window {
+			sum -= errs[i-window]
+		}
+		if i >= window-1 && sum/float64(window) > threshold {
+			return i
+		}
+	}
+	return len(errs)
+}
+
+// driftFireIndex runs the detector over the stream and returns the first
+// firing index (len(errs) if never).
+func driftFireIndex(t *testing.T, errs []float64) int {
+	t.Helper()
+	d := mustDetector(t, DriftConfig{})
+	for i, e := range errs {
+		if d.Observe(e) {
+			return i
+		}
+	}
+	return len(errs)
+}
+
+// noisy returns a baseline squared error around level with ±30% deterministic
+// noise.
+func noisy(rng *rand.Rand, level float64) float64 {
+	return level * (0.7 + 0.6*rng.Float64())
+}
+
+func TestDriftNeverFiresOnStationaryNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	errs := make([]float64, 5000)
+	for i := range errs {
+		errs[i] = noisy(rng, 1)
+	}
+	if idx := driftFireIndex(t, errs); idx != len(errs) {
+		t.Fatalf("drift fired at %d on stationary noise", idx)
+	}
+}
+
+func TestDriftFiresOnAbruptShiftBeforeQA(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const shift = 300
+	errs := make([]float64, 600)
+	for i := range errs {
+		level := 1.0
+		if i >= shift {
+			level = 3.0 // the model is suddenly 3× worse
+		}
+		errs[i] = noisy(rng, level)
+	}
+	// QA with a realistic absolute threshold at 2× the baseline error and
+	// the audit window the core defaults would use.
+	qa := qaFireIndex(errs, 24, 2.0)
+	drift := driftFireIndex(t, errs)
+	if drift >= len(errs) {
+		t.Fatal("drift never fired on an abrupt 3× error shift")
+	}
+	if drift < shift {
+		t.Fatalf("drift fired at %d, before the shift at %d", drift, shift)
+	}
+	if drift >= qa {
+		t.Errorf("drift fired at %d, QA audit at %d: demotion must beat the audit", drift, qa)
+	}
+}
+
+func TestDriftFiresOnSlowRampBeforeQA(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const rampStart = 300
+	errs := make([]float64, 1200)
+	for i := range errs {
+		level := 1.0
+		if i >= rampStart {
+			level = 1.0 + 0.01*float64(i-rampStart) // +1% of baseline per step
+		}
+		errs[i] = noisy(rng, level)
+	}
+	qa := qaFireIndex(errs, 24, 2.0)
+	drift := driftFireIndex(t, errs)
+	if drift >= len(errs) {
+		t.Fatal("drift never fired on a slow error ramp")
+	}
+	if drift < rampStart {
+		t.Fatalf("drift fired at %d, before the ramp start at %d", drift, rampStart)
+	}
+	if drift >= qa {
+		t.Errorf("drift fired at %d, QA audit at %d: demotion must beat the audit", drift, qa)
+	}
+}
+
+func TestDriftFiresOnOscillationOnset(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	const onset = 300
+	errs := make([]float64, 900)
+	for i := range errs {
+		level := 1.0
+		// After the onset the error oscillates between the baseline and 4×
+		// it in 20-observation phases — a thrashing regime.
+		if i >= onset && (i-onset)/20%2 == 0 {
+			level = 4.0
+		}
+		errs[i] = noisy(rng, level)
+	}
+	// A QA window longer than one oscillation period averages the phases
+	// out and never breaches a 2.5× threshold; the drift detector's short
+	// window sees each high phase against the pre-onset reference.
+	qa := qaFireIndex(errs, 48, 2.5)
+	drift := driftFireIndex(t, errs)
+	if drift >= len(errs) {
+		t.Fatal("drift never fired on oscillation onset")
+	}
+	if drift < onset {
+		t.Fatalf("drift fired at %d, before the onset at %d", drift, onset)
+	}
+	if drift >= qa {
+		t.Errorf("drift fired at %d, QA audit at %d: demotion must beat the audit", drift, qa)
+	}
+}
+
+func TestDriftSkipsNonScorableErrors(t *testing.T) {
+	d := mustDetector(t, DriftConfig{})
+	for i := 0; i < 100; i++ {
+		if d.Observe(math.NaN()) || d.Observe(math.Inf(1)) || d.Observe(-1) {
+			t.Fatal("fired on a non-scorable error")
+		}
+	}
+	if d.n != 0 {
+		t.Fatalf("non-scorable errors were folded: n=%d", d.n)
+	}
+}
+
+func TestDriftResetQuiesces(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := mustDetector(t, DriftConfig{})
+	for i := 0; i < 200; i++ {
+		d.Observe(noisy(rng, 1))
+	}
+	fired := false
+	for i := 0; i < 50 && !fired; i++ {
+		fired = d.Observe(noisy(rng, 5))
+	}
+	if !fired {
+		t.Fatal("drift never fired on a 5× shift")
+	}
+	d.Reset()
+	if cum, _ := d.Level(); cum != 0 || d.n != 0 {
+		t.Fatalf("Reset left cum=%g n=%d", cum, d.n)
+	}
+	// After a reset (post-retrain) the detector re-learns the new level and
+	// stays quiet on it.
+	for i := 0; i < 500; i++ {
+		if d.Observe(noisy(rng, 5)) {
+			t.Fatalf("fired at %d on the re-learned stationary level", i)
+		}
+	}
+}
+
+func TestDriftConfigValidation(t *testing.T) {
+	for _, bad := range []DriftConfig{
+		{Short: -1},
+		{RefDecay: 1.5},
+		{Allowance: -0.1},
+		{Threshold: -2},
+		{Short: 8, MinSamples: 2},
+	} {
+		if _, err := NewDetector(bad); err == nil {
+			t.Errorf("NewDetector(%+v) accepted", bad)
+		}
+	}
+}
+
+func TestDriftObserveAllocationFree(t *testing.T) {
+	d := mustDetector(t, DriftConfig{})
+	v := 0.0
+	allocs := testing.AllocsPerRun(1000, func() {
+		v += 0.001
+		d.Observe(1 + v)
+	})
+	if allocs != 0 {
+		t.Errorf("DriftDetector.Observe allocates %.1f/op, want 0", allocs)
+	}
+}

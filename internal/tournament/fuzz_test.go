@@ -1,0 +1,79 @@
+package tournament
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTournamentState fuzzes the state codec: arbitrary bytes must either
+// fail to decode, or decode into a State that SetState cleanly accepts or
+// rejects — never a panic, and never a selector left holding counters or
+// codes outside their invariants. Valid states must round-trip
+// bit-identically.
+func FuzzTournamentState(f *testing.F) {
+	// Seed with real encodings: a cold selector and a stepped one.
+	cold, err := New(Config{Experts: 3})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if b, err := cold.State().Encode(); err == nil {
+		f.Add(b)
+	}
+	warm, err := New(Config{Experts: 3})
+	if err != nil {
+		f.Fatal(err)
+	}
+	v := 0.0
+	for i := 0; i < 64; i++ {
+		v += float64(i%5) - 2
+		warm.Observe([]float64{v + 1, v - 1, v}, v)
+	}
+	if b, err := warm.State().Encode(); err == nil {
+		f.Add(b)
+		// A few structured corruptions of a valid payload.
+		for _, cut := range []int{1, len(b) / 2, len(b) - 1} {
+			f.Add(b[:cut])
+		}
+		flip := append([]byte(nil), b...)
+		flip[len(flip)/3] ^= 0x40
+		f.Add(flip)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("not a gob payload"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var st State
+		if err := st.Decode(data); err != nil {
+			return // corrupt payloads must simply be rejected
+		}
+		target, err := New(Config{Experts: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := target.SetState(st); err != nil {
+			return // structurally invalid: rejected without panic
+		}
+		// Accepted states round-trip bit-identically.
+		b1, err := target.State().Encode()
+		if err != nil {
+			t.Fatalf("re-encode accepted state: %v", err)
+		}
+		second, err := New(Config{Experts: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := second.SetState(target.State()); err != nil {
+			t.Fatalf("re-restore accepted state: %v", err)
+		}
+		b2, err := second.State().Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatal("accepted state does not round-trip bit-identically")
+		}
+		// The restored selector must be usable.
+		_ = target.Select()
+		target.Observe([]float64{1, 2, 3}, 2)
+	})
+}

@@ -1,0 +1,183 @@
+package tournament
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// State is the exported durable state of a Selector, carried inside the
+// internal/core online-predictor snapshot so predictd state files, WAL
+// replay, and cluster handoff round-trip the tournament bit-identically.
+// All fields mirror the live selector; SetState validates every structural
+// invariant so a corrupt-but-decodable payload can never panic selection.
+type State struct {
+	// Experts, CounterBits, ContextBits, SignatureLen echo the configuration
+	// the state was captured under; SetState rejects mismatches.
+	Experts, CounterBits, ContextBits, SignatureLen int
+
+	Global  []uint8
+	Tables  []uint8
+	Seen    []uint32
+	Sig     []uint8
+	SigNext int
+	EMAAbs  float64
+	Prev    float64
+	HasPrev bool
+	Tag     uint8
+	Obs     uint64
+}
+
+// State exports a deep copy of the selector's durable state.
+func (s *Selector) State() State {
+	return State{
+		Experts:      s.cfg.Experts,
+		CounterBits:  s.cfg.CounterBits,
+		ContextBits:  s.cfg.ContextBits,
+		SignatureLen: s.cfg.SignatureLen,
+		Global:       append([]uint8(nil), s.global...),
+		Tables:       append([]uint8(nil), s.tables...),
+		Seen:         append([]uint32(nil), s.seen...),
+		Sig:          append([]uint8(nil), s.sig...),
+		SigNext:      s.sigNext,
+		EMAAbs:       s.emaAbs,
+		Prev:         s.prev,
+		HasPrev:      s.hasPrev,
+		Tag:          s.tag,
+		Obs:          s.observations,
+	}
+}
+
+// SetState restores state exported by State. The state must come from a
+// selector with the same geometry (experts, counter width, context bits,
+// signature length); anything structurally invalid is rejected without
+// modifying the selector.
+func (s *Selector) SetState(st State) error {
+	if st.Experts != s.cfg.Experts || st.CounterBits != s.cfg.CounterBits ||
+		st.ContextBits != s.cfg.ContextBits || st.SignatureLen != s.cfg.SignatureLen {
+		return fmt.Errorf("tournament: state geometry %d/%d/%d/%d, selector %d/%d/%d/%d",
+			st.Experts, st.CounterBits, st.ContextBits, st.SignatureLen,
+			s.cfg.Experts, s.cfg.CounterBits, s.cfg.ContextBits, s.cfg.SignatureLen)
+	}
+	if len(st.Global) != len(s.global) || len(st.Tables) != len(s.tables) ||
+		len(st.Seen) != len(s.seen) || len(st.Sig) != len(s.sig) {
+		return fmt.Errorf("tournament: state tables %d/%d/%d/%d, want %d/%d/%d/%d",
+			len(st.Global), len(st.Tables), len(st.Seen), len(st.Sig),
+			len(s.global), len(s.tables), len(s.seen), len(s.sig))
+	}
+	for _, c := range st.Global {
+		if c > s.max {
+			return fmt.Errorf("tournament: state counter %d exceeds ceiling %d", c, s.max)
+		}
+	}
+	for _, c := range st.Tables {
+		if c > s.max {
+			return fmt.Errorf("tournament: state counter %d exceeds ceiling %d", c, s.max)
+		}
+	}
+	for _, c := range st.Sig {
+		if c >= uint8(numCodes) {
+			return fmt.Errorf("tournament: state delta code %d outside 0..%d", c, numCodes-1)
+		}
+	}
+	if st.SigNext < 0 || st.SigNext >= len(s.sig) {
+		return fmt.Errorf("tournament: state signature position %d outside ring of %d", st.SigNext, len(s.sig))
+	}
+	if !isFinite(st.EMAAbs) || st.EMAAbs < 0 {
+		return fmt.Errorf("tournament: state |delta| mean %g invalid", st.EMAAbs)
+	}
+	if st.HasPrev && !isFinite(st.Prev) {
+		return fmt.Errorf("tournament: state previous observation %g not finite", st.Prev)
+	}
+	copy(s.global, st.Global)
+	copy(s.tables, st.Tables)
+	copy(s.seen, st.Seen)
+	copy(s.sig, st.Sig)
+	s.sigNext = st.SigNext
+	s.emaAbs = st.EMAAbs
+	s.prev = st.Prev
+	s.hasPrev = st.HasPrev
+	s.tag = st.Tag
+	s.observations = st.Obs
+	return nil
+}
+
+// Encode serializes the state as a gob payload — the same encoding the
+// internal/core snapshot codec embeds it with. Exposed (with Decode) so the
+// state codec can be fuzzed in isolation. Deliberately NOT named
+// MarshalBinary: gob special-cases that interface, which would recurse.
+func (st State) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("tournament: encode state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode parses a payload written by Encode. Structural validation happens
+// in SetState; this only guarantees decode never panics.
+func (st *State) Decode(data []byte) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(st); err != nil {
+		return fmt.Errorf("tournament: decode state: %w", err)
+	}
+	return nil
+}
+
+// DriftState is the exported durable state of a DriftDetector.
+type DriftState struct {
+	// Short echoes the window the state was captured under.
+	Short  int
+	Ring   []float64
+	Next   int
+	Filled int
+	Sum    float64
+	Ref    float64
+	RefSum float64
+	N      int
+	Cum    float64
+}
+
+// State exports a deep copy of the detector's durable state.
+func (d *DriftDetector) State() DriftState {
+	return DriftState{
+		Short:  d.cfg.Short,
+		Ring:   append([]float64(nil), d.ring...),
+		Next:   d.next,
+		Filled: d.filled,
+		Sum:    d.sum,
+		Ref:    d.ref,
+		RefSum: d.refSum,
+		N:      d.n,
+		Cum:    d.cum,
+	}
+}
+
+// SetState restores state exported by DriftDetector.State, rejecting
+// anything structurally invalid without modifying the detector.
+func (d *DriftDetector) SetState(st DriftState) error {
+	if st.Short != d.cfg.Short || len(st.Ring) != len(d.ring) {
+		return fmt.Errorf("tournament: drift state window %d/%d, detector %d", st.Short, len(st.Ring), d.cfg.Short)
+	}
+	if st.Next < 0 || st.Next >= len(d.ring) || st.Filled < 0 || st.Filled > len(d.ring) {
+		return fmt.Errorf("tournament: drift state ring position %d/%d outside window %d", st.Next, st.Filled, len(d.ring))
+	}
+	for _, v := range st.Ring {
+		if !isFinite(v) || v < 0 {
+			return fmt.Errorf("tournament: drift state ring entry %g invalid", v)
+		}
+	}
+	if !isFinite(st.Sum) || !isFinite(st.Ref) || !isFinite(st.Cum) || !isFinite(st.RefSum) ||
+		st.Ref < 0 || st.RefSum < 0 || st.Cum < 0 || st.N < 0 {
+		return fmt.Errorf("tournament: drift state accumulators (sum=%g ref=%g refsum=%g n=%d cum=%g) invalid",
+			st.Sum, st.Ref, st.RefSum, st.N, st.Cum)
+	}
+	copy(d.ring, st.Ring)
+	d.next = st.Next
+	d.filled = st.Filled
+	d.sum = st.Sum
+	d.ref = st.Ref
+	d.refSum = st.RefSum
+	d.n = st.N
+	d.cum = st.Cum
+	return nil
+}

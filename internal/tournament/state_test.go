@@ -1,0 +1,131 @@
+package tournament
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// steppedSelector builds a selector with non-trivial state.
+func steppedSelector(t *testing.T) *Selector {
+	t.Helper()
+	s := mustNew(t, Config{Experts: 3})
+	s.SetTag(2)
+	v := 0.0
+	for i := 0; i < 120; i++ {
+		v += float64(i%7) - 3
+		s.Observe([]float64{v + 0.2, v - 1, v + float64(i%3)}, v)
+	}
+	return s
+}
+
+func TestStateRoundTripBitIdentical(t *testing.T) {
+	s := steppedSelector(t)
+	st := s.State()
+	b1, err := st.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := mustNew(t, Config{Experts: 3})
+	if err := r.SetState(st); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := r.State().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("state round-trip is not bit-identical")
+	}
+
+	// The restored selector must behave identically, not just encode
+	// identically: drive both forward and compare selections.
+	v := 5.0
+	for i := 0; i < 50; i++ {
+		v += float64(i%5) - 2
+		preds := []float64{v + 1, v - 0.3, v + float64(i%2)}
+		if got, want := r.Select(), s.Select(); got != want {
+			t.Fatalf("step %d: restored selects %d, original %d", i, got, want)
+		}
+		s.Observe(preds, v)
+		r.Observe(preds, v)
+	}
+}
+
+func TestSetStateRejectsMismatch(t *testing.T) {
+	s := steppedSelector(t)
+	st := s.State()
+
+	cases := []struct {
+		name   string
+		mutate func(State) State
+	}{
+		{"experts", func(st State) State { st.Experts = 4; return st }},
+		{"counter bits", func(st State) State { st.CounterBits = 2; return st }},
+		{"context bits", func(st State) State { st.ContextBits = 5; return st }},
+		{"signature length", func(st State) State { st.SignatureLen = 8; return st }},
+		{"global length", func(st State) State { st.Global = st.Global[:1]; return st }},
+		{"table length", func(st State) State { st.Tables = append(st.Tables, 0); return st }},
+		{"counter overflow", func(st State) State { st.Global[0] = 200; return st }},
+		{"bad delta code", func(st State) State { st.Sig[0] = 99; return st }},
+		{"sig position", func(st State) State { st.SigNext = -1; return st }},
+		{"ema", func(st State) State { st.EMAAbs = -1; return st }},
+	}
+	for _, c := range cases {
+		target := mustNew(t, Config{Experts: 3})
+		want := target.State()
+		if err := target.SetState(c.mutate(s.State())); err == nil {
+			t.Errorf("%s: corrupt state accepted", c.name)
+		}
+		if !statesEqual(target.State(), want) {
+			t.Errorf("%s: rejected state mutated the selector", c.name)
+		}
+	}
+	_ = st
+}
+
+func TestDriftStateRoundTrip(t *testing.T) {
+	d := mustDetector(t, DriftConfig{})
+	for i := 0; i < 100; i++ {
+		d.Observe(1 + float64(i%9)*0.1)
+	}
+	st := d.State()
+	r := mustDetector(t, DriftConfig{})
+	if err := r.SetState(st); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r.State(), st) {
+		t.Fatal("drift state round-trip diverged")
+	}
+	// Identical continuation.
+	for i := 0; i < 200; i++ {
+		e := 1 + float64(i%13)*0.3
+		if got, want := r.Observe(e), d.Observe(e); got != want {
+			t.Fatalf("step %d: restored detector fired=%v, original %v", i, got, want)
+		}
+	}
+}
+
+func TestDriftSetStateRejectsInvalid(t *testing.T) {
+	d := mustDetector(t, DriftConfig{})
+	for i := 0; i < 50; i++ {
+		d.Observe(1)
+	}
+	for _, c := range []struct {
+		name   string
+		mutate func(DriftState) DriftState
+	}{
+		{"window", func(st DriftState) DriftState { st.Short = 4; return st }},
+		{"ring length", func(st DriftState) DriftState { st.Ring = st.Ring[:2]; return st }},
+		{"ring position", func(st DriftState) DriftState { st.Next = 99; return st }},
+		{"negative entry", func(st DriftState) DriftState { st.Ring[0] = -1; return st }},
+		{"negative cum", func(st DriftState) DriftState { st.Cum = -1; return st }},
+		{"negative n", func(st DriftState) DriftState { st.N = -1; return st }},
+	} {
+		target := mustDetector(t, DriftConfig{})
+		if err := target.SetState(c.mutate(d.State())); err == nil {
+			t.Errorf("%s: invalid drift state accepted", c.name)
+		}
+	}
+}

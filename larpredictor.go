@@ -62,6 +62,7 @@ import (
 	"github.com/acis-lab/larpredictor/internal/core"
 	"github.com/acis-lab/larpredictor/internal/predictors"
 	"github.com/acis-lab/larpredictor/internal/timeseries"
+	"github.com/acis-lab/larpredictor/internal/tournament"
 )
 
 // Core predictor types, re-exported from the implementation packages. The
@@ -81,11 +82,17 @@ type (
 	// Online is the streaming predictor with QA-driven retraining.
 	Online = core.Online
 	// Health is the streaming predictor's degradation state
-	// (Healthy → Degraded → Fallback → Failed).
+	// (Healthy → Tournament → Degraded → Fallback → Failed).
 	Health = core.Health
 	// HealthStats is a snapshot of the resilience machinery (circuit
 	// breaker, retrain backoff, fallback counters).
 	HealthStats = core.HealthStats
+	// TournamentConfig parameterizes the tournament meta-selector tier;
+	// see WithTournament and OnlineConfig.Tournament.
+	TournamentConfig = tournament.Config
+	// DriftConfig parameterizes proactive drift demotion; see WithDrift
+	// and OnlineConfig.Drift.
+	DriftConfig = tournament.DriftConfig
 
 	// Predictor is the one-step-ahead expert interface; implement it to
 	// add custom experts to a Pool.
@@ -121,6 +128,9 @@ var (
 const (
 	// Healthy serves forecasts from the trained LARPredictor.
 	Healthy = core.Healthy
+	// Tournament serves the context-indexed tournament meta-selector; the
+	// rung exists only when the tier is enabled (WithTournament).
+	Tournament = core.Tournament
 	// Degraded serves the windowed cumulative-MSE selector while retrains
 	// back off or the circuit breaker is open.
 	Degraded = core.Degraded
@@ -134,6 +144,9 @@ const (
 const (
 	// SourceLAR marks a forecast served by the trained LARPredictor.
 	SourceLAR = core.SourceLAR
+	// SourceTournament marks a degraded-mode forecast from the tournament
+	// meta-selector tier.
+	SourceTournament = core.SourceTournament
 	// SourceSelector marks a degraded-mode forecast from the windowed
 	// cumulative-MSE selector.
 	SourceSelector = core.SourceSelector
@@ -160,6 +173,20 @@ func WithPool(p *Pool) Option { return core.WithPool(p) }
 // WithVote sets the k-NN neighbor-combination strategy, overriding
 // Config.Vote.
 func WithVote(v VoteStrategy) Option { return core.WithVote(v) }
+
+// WithTournament enables the tournament meta-selector tier on an Online
+// predictor: a branch-predictor-style table of saturating per-expert
+// confidence counters, indexed by a hash of the recent regime, that serves
+// degraded-mode forecasts between the LARPredictor and the windowed-MSE
+// selector. The zero TournamentConfig selects the defaults.
+func WithTournament(cfg TournamentConfig) Option { return core.WithTournament(cfg) }
+
+// WithDrift enables proactive drift demotion on an Online predictor: a
+// relative CUSUM over the active model's forecast error that demotes a
+// stale model to the tournament tier before the QA audit's absolute
+// threshold fires. Requires WithTournament. The zero DriftConfig selects
+// the defaults.
+func WithDrift(cfg DriftConfig) Option { return core.WithDrift(cfg) }
 
 // New validates the configuration and returns an untrained LARPredictor.
 func New(cfg Config, opts ...Option) (*LARPredictor, error) {
